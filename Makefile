@@ -1,0 +1,36 @@
+# Convenience targets for the PseudoLRU insertion/promotion reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick figures wn-vectors examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+bench-quick:
+	REPRO_SCALE=0.4 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) scripts/export_results.py --outdir results
+
+report:
+	$(PYTHON) scripts/make_report.py --out results/REPORT.md
+
+wn-vectors:
+	$(PYTHON) scripts/evolve_wn1_vectors.py
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

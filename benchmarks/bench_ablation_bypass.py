@@ -1,0 +1,60 @@
+"""Ablation (future work item 1): DGIPPR combined with a bypass predictor.
+
+The paper proposes pairing DGIPPR with a dead-block/bypass predictor.  This
+bench compares plain 4-DGIPPR against the SHiP-style bypass extension on
+the scan-heavy and thrash benchmarks where dead-on-arrival blocks exist,
+plus friendly benchmarks where bypass must do no harm.
+
+Expected shape: bypass helps where zero-reuse scans exist, never hurts
+materially elsewhere (misprediction is bounded by the 2-bit counters).
+"""
+
+from conftest import print_header
+
+from repro.eval import PolicySpec, run_suite
+
+BENCHES = [
+    "483.xalancbmk",
+    "445.gobmk",
+    "464.h264ref",
+    "400.perlbench",
+    "462.libquantum",
+    "433.milc",
+    "453.povray",
+    "447.dealII",
+]
+
+
+def run_experiment(config, workers):
+    return run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("4-DGIPPR", "dgippr"),
+            PolicySpec("bypass-4-DGIPPR", "bypass-dgippr"),
+        ],
+        config=config,
+        benchmarks=BENCHES,
+        workers=workers,
+    )
+
+
+def test_ablation_bypass(benchmark, bench_config, workers):
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    print_header("Ablation: DGIPPR with and without the bypass predictor")
+    plain = suite.speedups("4-DGIPPR")
+    bypass = suite.speedups("bypass-4-DGIPPR")
+    print(f"  {'benchmark':<16} {'plain':>8} {'bypass':>8} {'delta':>8}")
+    for bench_name in BENCHES:
+        delta = bypass[bench_name] - plain[bench_name]
+        print(f"  {bench_name:<16} {plain[bench_name]:>8.4f} "
+              f"{bypass[bench_name]:>8.4f} {delta:>+8.4f}")
+    plain_geo = suite.geomean_speedup("4-DGIPPR")
+    bypass_geo = suite.geomean_speedup("bypass-4-DGIPPR")
+    print(f"  {'GEOMEAN':<16} {plain_geo:>8.4f} {bypass_geo:>8.4f}")
+    benchmark.extra_info.update(plain=plain_geo, bypass=bypass_geo)
+    # Bypass must not be a regression overall and must not tank anything.
+    assert bypass_geo >= plain_geo - 0.01
+    for bench_name in BENCHES:
+        assert bypass[bench_name] >= plain[bench_name] - 0.05, bench_name

@@ -1,0 +1,84 @@
+"""Ablation (future work item 2): linear vs MLP-aware fitness.
+
+The paper's fitness "cannot take into account the effects of memory-level
+parallelism" and lists MLP-awareness as future work; it blames this for
+cases where workload-inclusive vectors lose to workload-neutral ones.
+This bench scores the same policies under both CPI models.
+
+Expected shape: the MLP-aware model compresses speedups (clustered misses
+are cheaper, so saving them is worth less) but preserves the policy
+ordering on thrash-dominated workloads.
+"""
+
+from conftest import print_header
+
+from repro.eval import PolicySpec, default_config, run_suite
+from repro.eval.runner import run_benchmark
+from repro.timing import LinearCPIModel, MLPAwareCPIModel
+from repro.workloads import get_benchmark
+
+BENCHES = ["462.libquantum", "436.cactusADM", "429.mcf", "482.sphinx3"]
+POLICIES = ["lru", "drrip", "dgippr"]
+
+
+def run_experiment(config):
+    linear = LinearCPIModel()
+    mlp = MLPAwareCPIModel()
+    out = {}
+    for bench_name in BENCHES:
+        bench = get_benchmark(bench_name)
+        cells = {}
+        for policy in POLICIES:
+            result = run_benchmark(
+                policy, bench, config, collect_miss_positions=True
+            )
+            cells[policy] = result
+        lru_runs = cells["lru"].runs
+        for policy in POLICIES[1:]:
+            runs = cells[policy].runs
+            linear_speedup = 0.0
+            mlp_speedup = 0.0
+            for lru_run, run, weight in zip(
+                lru_runs, runs, bench.weights()
+            ):
+                linear_speedup += weight * linear.speedup(
+                    run.instructions, lru_run.misses, run.misses
+                )
+                mlp_speedup += weight * mlp.speedup(
+                    run.instructions,
+                    lru_run.miss_positions,
+                    run.miss_positions,
+                )
+            out[(bench_name, policy)] = (linear_speedup, mlp_speedup)
+    return out
+
+
+def test_ablation_fitness_model(benchmark):
+    config = default_config(trace_length=12_000)
+    results = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=1, iterations=1
+    )
+    print_header("Ablation: linear-CPI vs MLP-aware CPI speedups")
+    print(f"  {'benchmark':<16} {'policy':<8} {'linear':>8} {'MLP-aware':>10}")
+    orderings_preserved = 0
+    comparisons = 0
+    for (bench_name, policy), (lin, mlp) in sorted(results.items()):
+        print(f"  {bench_name:<16} {policy:<8} {lin:>8.4f} {mlp:>10.4f}")
+    for bench_name in BENCHES:
+        lin_order = sorted(
+            POLICIES[1:], key=lambda p: results[(bench_name, p)][0]
+        )
+        mlp_order = sorted(
+            POLICIES[1:], key=lambda p: results[(bench_name, p)][1]
+        )
+        comparisons += 1
+        if lin_order == mlp_order:
+            orderings_preserved += 1
+    print(f"\n  policy orderings preserved: {orderings_preserved}/{comparisons}")
+    benchmark.extra_info["orderings_preserved"] = orderings_preserved
+    assert orderings_preserved >= comparisons - 1
+    # The MLP model must compress (not flip) the large thrash gains.
+    for bench_name in BENCHES:
+        lin, mlp = results[(bench_name, "dgippr")]
+        if lin > 1.05:
+            assert mlp > 1.0

@@ -1,0 +1,58 @@
+"""Ablation (Section 3.5): how many duelled vectors are worth having?
+
+The paper: "extending beyond four vectors yields diminishing returns, so
+in this research we limit the number of evolved vectors to four."  This
+bench duels 1, 2, 4 and 8 vectors (8 uses the generalized bracket
+selector) built from the published vector sets and reports geomean
+speedups over LRU.
+
+Expected shape: 2 and 4 clearly above 1 (static); 8 within noise of 4 —
+no step up comparable to the 1 -> 2 or 2 -> 4 moves.
+"""
+
+from conftest import print_header
+
+from repro.core.vectors import (
+    DGIPPR2_WI_VECTORS,
+    DGIPPR4_WI_VECTORS,
+    GIPPR_WI_VECTOR,
+    GIPPR_WN1_PERLBENCH,
+    LIP16,
+)
+from repro.eval import PolicySpec, run_suite
+
+EIGHT = DGIPPR4_WI_VECTORS + DGIPPR2_WI_VECTORS + [GIPPR_WN1_PERLBENCH, LIP16]
+
+
+def run_experiment(config, workers):
+    return run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("1-vector", "gippr", {"ipv": GIPPR_WI_VECTOR}),
+            PolicySpec("2-vector", "dgippr", {"ipvs": DGIPPR2_WI_VECTORS}),
+            PolicySpec("4-vector", "dgippr", {"ipvs": DGIPPR4_WI_VECTORS}),
+            PolicySpec("8-vector", "dgippr", {"ipvs": EIGHT}),
+        ],
+        config=config,
+        workers=workers,
+    )
+
+
+def test_ablation_vector_count(benchmark, bench_config, workers):
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    print_header("Ablation: duelled vector count (Section 3.5)")
+    results = {}
+    for label in ("1-vector", "2-vector", "4-vector", "8-vector"):
+        results[label] = suite.geomean_speedup(label)
+        print(f"  {label}: geomean speedup {results[label]:.4f}")
+    gain_1_to_4 = results["4-vector"] - results["1-vector"]
+    gain_4_to_8 = results["8-vector"] - results["4-vector"]
+    print(f"\n  1->4 vector gain: {gain_1_to_4:+.4f}")
+    print(f"  4->8 vector gain: {gain_4_to_8:+.4f} (diminishing returns)")
+    benchmark.extra_info.update({k.replace("-", "_"): v for k, v in results.items()})
+    assert all(v > 1.0 for v in results.values())
+    # Beyond four vectors, the improvement collapses (may even be negative:
+    # more leader sets run losing policies).
+    assert gain_4_to_8 < max(gain_1_to_4, 0.01)

@@ -1,0 +1,63 @@
+"""Extension: the Section 6.3 related-work family, measured.
+
+The paper argues dead-block-style predictors (SDBP, SHiP, counter-based)
+buy performance with state and a PC channel to the LLC that DGIPPR does not
+need.  This bench puts the whole family on the suite and prints speedup
+next to total replacement state, making the area/performance trade-off the
+paper describes concrete.
+
+Expected shape: SHiP/SDBP land in DGIPPR's performance band (or above on
+scan-heavy workloads) while spending an order of magnitude more state.
+"""
+
+from conftest import print_header
+
+from repro.eval import PolicySpec, overhead_row, run_suite
+
+LINEUP = [
+    PolicySpec("LRU", "lru"),
+    PolicySpec("4-DGIPPR", "dgippr"),
+    PolicySpec("SHiP", "ship"),
+    PolicySpec("SDBP", "sdbp"),
+    PolicySpec("Counter", "counter"),
+]
+
+#: Scan/stream-heavy slice where PC-based prediction has the advantage.
+BENCHES = [
+    "483.xalancbmk",
+    "445.gobmk",
+    "464.h264ref",
+    "462.libquantum",
+    "436.cactusADM",
+    "429.mcf",
+    "400.perlbench",
+    "453.povray",
+]
+
+
+def run_experiment(config, workers):
+    return run_suite(LINEUP, config=config, benchmarks=BENCHES, workers=workers)
+
+
+def test_ext_related_work(benchmark, bench_config, workers):
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    print_header("Related work (Section 6.3): performance vs state")
+    rows = []
+    for spec in LINEUP[1:]:
+        geomean = suite.geomean_speedup(spec.label)
+        overhead = overhead_row(spec.policy)
+        kb = overhead["total_kilobytes"]
+        rows.append((spec.label, geomean, kb))
+        print(f"  {spec.label:<10} speedup {geomean:.4f}   state {kb:8.2f} KB")
+    by_label = dict((label, (geomean, kb)) for label, geomean, kb in rows)
+    benchmark.extra_info.update(
+        {label: geomean for label, geomean, _ in rows}
+    )
+    dgippr_speedup, dgippr_kb = by_label["4-DGIPPR"]
+    for label in ("SHiP", "SDBP", "Counter"):
+        speedup, kb = by_label[label]
+        assert kb > 2 * dgippr_kb, label  # everyone pays more state
+        # ...while staying in the same performance band (within ~8%).
+        assert abs(speedup - dgippr_speedup) < 0.10, label

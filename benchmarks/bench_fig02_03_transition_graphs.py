@@ -1,0 +1,33 @@
+"""Figures 2 and 3: transition graphs for LRU and the GIPLR vector.
+
+These figures are structural, not measured: the bench regenerates the DOT
+sources and checks the edges the paper describes (LRU: everything promotes
+to MRU and inserts at MRU; GIPLR: insertion at 13, LRU-position hits
+promote to 11).
+"""
+
+from conftest import print_header
+
+from repro.core.ipv import lru_ipv
+from repro.core.vectors import GIPLR_VECTOR
+from repro.viz import transition_dot, transition_text
+
+
+def run_experiment():
+    lru_dot = transition_dot(lru_ipv(16), title="Figure 2: LRU")
+    giplr_dot = transition_dot(GIPLR_VECTOR, title="Figure 3: GIPLR")
+    return lru_dot, giplr_dot
+
+
+def test_fig02_03_transition_graphs(benchmark):
+    lru_dot, giplr_dot = benchmark(run_experiment)
+    print_header("Figures 2/3: transition graphs (DOT regenerated)")
+    print(transition_text(lru_ipv(16)))
+    print()
+    print(transition_text(GIPLR_VECTOR))
+    # Figure 2 structure: LRU inserts and promotes to MRU.
+    assert "insertion -> 0;" in lru_dot
+    # Figure 3 structure: insertion at 13, position 15 promotes to 11.
+    assert "insertion -> 13;" in giplr_dot
+    assert "15 -> 11;" in giplr_dot
+    benchmark.extra_info["giplr_vector"] = list(GIPLR_VECTOR.entries)

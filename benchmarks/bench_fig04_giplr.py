@@ -1,0 +1,44 @@
+"""Figure 4: speedup of the GIPLR vector on true-LRU stacks.
+
+Runs LRU, tree PLRU, Random and GIPLR (the paper's evolved vector
+[0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13] on full LRU stacks) over the suite.
+
+Paper shapes: GIPLR geomean ~ +3.1% over LRU; PseudoLRU ~ LRU; Random
+~ 99.9% of LRU.
+"""
+
+from conftest import print_header
+
+from repro.eval import PolicySpec, run_suite, speedup_table
+
+
+def run_experiment(config, workers):
+    return run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("PLRU", "plru"),
+            PolicySpec("Random", "random"),
+            PolicySpec("GIPLR", "giplr"),
+        ],
+        config=config,
+        workers=workers,
+    )
+
+
+def test_fig04_giplr_speedup(benchmark, bench_config, workers):
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    print_header("Figure 4: GIPLR vector speedup over LRU (sorted per paper)")
+    print(speedup_table(suite, sort_by="GIPLR"))
+    giplr = suite.geomean_speedup("GIPLR")
+    plru = suite.geomean_speedup("PLRU")
+    rand = suite.geomean_speedup("Random")
+    print(f"\n  geomeans: GIPLR {giplr:.4f} (paper 1.031), "
+          f"PLRU {plru:.4f} (paper ~1.0), Random {rand:.4f} (paper 0.999)")
+    benchmark.extra_info.update(
+        giplr_geomean=giplr, plru_geomean=plru, random_geomean=rand
+    )
+    assert giplr > 1.0
+    assert abs(plru - 1.0) < 0.05
+    assert abs(rand - 1.0) < 0.05

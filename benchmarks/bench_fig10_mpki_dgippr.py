@@ -1,0 +1,62 @@
+"""Figure 10: normalized MPKI for 1/2/4-vector GIPPR and optimal MIN.
+
+Runs GIPPR (single WI vector), 2-DGIPPR, 4-DGIPPR and Belady MIN over the
+suite and reports MPKI normalized to LRU.
+
+Paper numbers: WN1-GIPPR 95.2%, WN1-2-DGIPPR 96.5%, WN1-4-DGIPPR 91.0%,
+MIN 67.5% of LRU's misses.  Expected shapes here: all GIPPR variants below
+1.0, the dynamic versions at or below the static one, MIN far below all.
+"""
+
+from conftest import print_header
+
+from repro.core.vectors import DGIPPR2_WI_VECTORS, DGIPPR4_WI_VECTORS
+from repro.eval import PolicySpec, normalized_mpki_table, run_suite
+
+
+def run_experiment(config, workers):
+    return run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("GIPPR", "gippr"),
+            PolicySpec("2-DGIPPR", "dgippr", {"ipvs": DGIPPR2_WI_VECTORS}),
+            PolicySpec("4-DGIPPR", "dgippr", {"ipvs": DGIPPR4_WI_VECTORS}),
+            PolicySpec("MIN", "belady"),
+        ],
+        config=config,
+        workers=workers,
+    )
+
+
+def test_fig10_normalized_mpki(benchmark, bench_config, workers):
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    print_header("Figure 10: MPKI normalized to LRU")
+    print(normalized_mpki_table(suite, sort_by="4-DGIPPR"))
+    gippr = suite.geomean_normalized_mpki("GIPPR")
+    two = suite.geomean_normalized_mpki("2-DGIPPR")
+    four = suite.geomean_normalized_mpki("4-DGIPPR")
+    optimal = suite.geomean_normalized_mpki("MIN")
+    print(f"\n  geomeans: GIPPR {gippr:.3f} (paper 0.952), "
+          f"2-DGIPPR {two:.3f} (paper 0.965), "
+          f"4-DGIPPR {four:.3f} (paper 0.910), MIN {optimal:.3f} (paper 0.675)")
+    benchmark.extra_info.update(
+        gippr=gippr, dgippr2=two, dgippr4=four, optimal=optimal
+    )
+    assert gippr < 1.0 and two < 1.0 and four < 1.0
+    assert optimal < min(gippr, two, four)  # MIN dominates everything
+
+
+def test_fig10_min_dominates_per_benchmark(benchmark, bench_config, workers):
+    """MIN must lower-bound every policy on every single benchmark."""
+    suite = benchmark.pedantic(
+        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+    )
+    min_misses = suite.misses("MIN")
+    for label in suite.labels:
+        if label == "MIN":
+            continue
+        for bench_name, misses in suite.misses(label).items():
+            assert min_misses[bench_name] <= misses + 1e-9, (label, bench_name)
+    print_header("Figure 10 check: MIN dominates on all 29 benchmarks: OK")

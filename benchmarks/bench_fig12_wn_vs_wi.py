@@ -1,0 +1,68 @@
+"""Figure 12: workload-neutral (WN1) vs workload-inclusive (WI) vectors.
+
+Performs the paper's actual Section 4.4 methodology at laptop scale: for
+each held-out benchmark, a GA evolves a vector on the *other* benchmarks
+(WN1) — then one more GA run trains on everything (WI).  Each benchmark is
+then evaluated with its WN1 vector and with the WI vector.
+
+Paper shape: WI is only marginally better than WN1 (5.66% vs 5.61% for the
+4-vector version; 3.68% vs 3.47% for single vectors) — i.e. the technique
+does not depend on having trained on the test workload.
+"""
+
+import math
+
+from conftest import print_header
+
+from repro.eval import geometric_mean
+from repro.ga import FitnessEvaluator, evolve_ipv
+
+#: Scaled-down WN1 universe (full 29-way cross-validation is a cluster job;
+#: the methodology is identical).
+BENCHES = [
+    "462.libquantum",
+    "436.cactusADM",
+    "447.dealII",
+    "429.mcf",
+    "483.xalancbmk",
+    "400.perlbench",
+]
+
+GA = dict(population_size=12, initial_population_size=24, generations=3)
+
+
+def run_experiment(config):
+    wn1_speedups = {}
+    for held_out in BENCHES:
+        training = [b for b in BENCHES if b != held_out]
+        evaluator = FitnessEvaluator(training, config=config)
+        result = evolve_ipv(evaluator, seed=7, **GA)
+        probe = FitnessEvaluator([held_out], config=config)
+        wn1_speedups[held_out] = probe.evaluate(result.best)
+
+    wi_evaluator = FitnessEvaluator(BENCHES, config=config)
+    wi_result = evolve_ipv(wi_evaluator, seed=7, **GA)
+    wi_speedups = {
+        b: FitnessEvaluator([b], config=config).evaluate(wi_result.best)
+        for b in BENCHES
+    }
+    return wn1_speedups, wi_speedups
+
+
+def test_fig12_wn_vs_wi(benchmark, ga_config):
+    wn1, wi = benchmark.pedantic(
+        run_experiment, args=(ga_config,), rounds=1, iterations=1
+    )
+    print_header("Figure 12: WN1 vs WI single-vector GIPPR speedups")
+    print(f"  {'benchmark':<16} {'WN1':>8} {'WI':>8}")
+    for b in BENCHES:
+        print(f"  {b:<16} {wn1[b]:>8.4f} {wi[b]:>8.4f}")
+    wn1_geo = geometric_mean(wn1.values())
+    wi_geo = geometric_mean(wi.values())
+    print(f"  {'GEOMEAN':<16} {wn1_geo:>8.4f} {wi_geo:>8.4f}")
+    print("  paper: WN1 1.0347 vs WI 1.0368 (single vector) — small gap")
+    benchmark.extra_info.update(wn1_geomean=wn1_geo, wi_geomean=wi_geo)
+    # Both methodologies beat LRU; the WI advantage is small.
+    assert wn1_geo > 1.0
+    assert wi_geo > 1.0
+    assert abs(math.log(wi_geo / wn1_geo)) < 0.05

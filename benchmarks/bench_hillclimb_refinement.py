@@ -1,0 +1,53 @@
+"""Section 2.6: hill-climbing refinement of an evolved vector.
+
+The paper observes the GA's GIPLR vector is not locally optimal (zeroing
+its first twelve entries nudges the speedup from 3.10% to 3.12%) and
+proposes hill climbing as the refinement.  This bench climbs from the
+published GIPLR vector under the linear-CPI fitness.
+
+Expected shape: a small but non-negative fitness improvement — the GA got
+close to a local optimum but not onto it.
+"""
+
+from conftest import print_header
+
+from repro.core.vectors import GIPLR_VECTOR
+from repro.ga import FitnessEvaluator, hill_climb
+
+TRAINING = [
+    "462.libquantum",
+    "436.cactusADM",
+    "447.dealII",
+    "429.mcf",
+    "400.perlbench",
+    "483.xalancbmk",
+]
+
+
+def run_experiment(config):
+    evaluator = FitnessEvaluator(TRAINING, config=config, substrate="lru")
+    return hill_climb(
+        evaluator,
+        GIPLR_VECTOR,
+        candidate_values=[0, 1, 4, 8, 11, 13, 15],
+        max_passes=1,
+    )
+
+
+def test_hillclimb_refinement(benchmark, ga_config):
+    result = benchmark.pedantic(
+        run_experiment, args=(ga_config,), rounds=1, iterations=1
+    )
+    print_header("Section 2.6: hill climbing from the published GIPLR vector")
+    print(f"  start fitness:   {result.start_fitness:.4f}")
+    print(f"  refined fitness: {result.best_fitness:.4f} "
+          f"({result.improvement:+.4f})")
+    print(f"  improving steps: {len(result.steps)} "
+          f"in {result.evaluations} evaluations")
+    for index, value, fitness in result.steps[:8]:
+        print(f"    V[{index}] -> {value}  (fitness {fitness:.4f})")
+    print("  paper: refinement moved 3.10% -> 3.12% — small, non-negative")
+    benchmark.extra_info.update(
+        start=result.start_fitness, refined=result.best_fitness
+    )
+    assert result.improvement >= 0.0

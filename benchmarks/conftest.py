@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-reproduction benches.
+
+Every bench regenerates one of the paper's figures/tables (see DESIGN.md's
+per-experiment index) and prints the corresponding rows; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+``REPRO_SCALE`` scales trace lengths (e.g. REPRO_SCALE=0.25 for a smoke
+run, =4 for tighter statistics); ``REPRO_WORKERS`` parallelises the suite
+grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval import default_config
+
+
+def _default_workers() -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        return int(env or 0)
+    return min(8, (os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The standard bench geometry: 64 sets x 16 ways, 20k-access traces."""
+    return default_config(trace_length=20_000)
+
+
+@pytest.fixture(scope="session")
+def workers():
+    return _default_workers()
+
+
+@pytest.fixture(scope="session")
+def ga_config():
+    """Smaller traces for search-heavy benches (GA / random sampling)."""
+    return default_config(trace_length=8_000)
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

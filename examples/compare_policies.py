@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare replacement policies across the synthetic SPEC suite.
+
+Runs the paper's main line-up (LRU, PLRU, Random, DRRIP, PDP, GIPPR,
+4-DGIPPR, Belady MIN) over a slice of the SPEC CPU 2006 stand-ins and
+prints the Figure 13-style speedup table plus an ASCII rendition of the
+per-benchmark bars.
+
+Run:  python examples/compare_policies.py [--full] [--length N]
+"""
+
+import argparse
+
+from repro.core.vectors import DGIPPR4_WI_VECTORS
+from repro.eval import PolicySpec, default_config, run_suite, speedup_table
+from repro.viz import bar_chart
+from repro.workloads import benchmark_names
+
+QUICK_BENCHES = [
+    "462.libquantum",
+    "436.cactusADM",
+    "482.sphinx3",
+    "429.mcf",
+    "447.dealII",
+    "453.povray",
+    "483.xalancbmk",
+    "400.perlbench",
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="run all 29 benchmarks (slower)"
+    )
+    parser.add_argument(
+        "--length", type=int, default=20_000, help="accesses per simpoint"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, help="parallel worker processes"
+    )
+    args = parser.parse_args()
+
+    config = default_config(trace_length=args.length)
+    benches = benchmark_names() if args.full else QUICK_BENCHES
+    suite = run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("PLRU", "plru"),
+            PolicySpec("Random", "random"),
+            PolicySpec("DRRIP", "drrip"),
+            PolicySpec("PDP", "pdp"),
+            PolicySpec("GIPPR", "gippr"),
+            PolicySpec("4-DGIPPR", "dgippr", {"ipvs": DGIPPR4_WI_VECTORS}),
+            PolicySpec("MIN", "belady"),
+        ],
+        config=config,
+        benchmarks=benches,
+        workers=args.workers,
+    )
+
+    print(f"config: {config}")
+    print()
+    print(speedup_table(suite))
+    print()
+    print(bar_chart(suite.speedups("4-DGIPPR"), title="4-DGIPPR speedup over LRU"))
+    print()
+    subset = suite.memory_intensive()
+    print(f"memory-intensive subset ({len(subset)}): {', '.join(subset)}")
+    for label in ("DRRIP", "PDP", "4-DGIPPR"):
+        print(
+            f"  {label:10s} subset geomean speedup: "
+            f"{suite.geomean_speedup(label, benchmarks=subset):.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

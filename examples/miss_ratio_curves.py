@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Miss-ratio curves: where adaptive insertion pays off.
+
+Sweeps cache capacity for a thrash-plus-noise workload under LRU, DRRIP and
+4-DGIPPR.  LRU shows the classic cliff at the loop's working-set size;
+the adaptive policies cut through it by retaining a useful fraction of the
+loop at every undersized capacity — then all curves merge once the loop
+fits (the crossover the sweep helper locates).
+
+Run:  python examples/miss_ratio_curves.py
+"""
+
+from repro.eval import crossover_size, miss_ratio_curve
+from repro.trace import noisy_loop
+
+SET_COUNTS = (16, 32, 64, 128, 256)
+POLICIES = ("lru", "drrip", "dgippr")
+
+
+def main():
+    trace = noisy_loop(working_set=1000, n=40_000, noise=0.2, seed=1)
+    print(f"workload: 1,000-block loop + 20% noise, {len(trace):,} accesses")
+    print()
+    curves = {}
+    for policy in POLICIES:
+        curves[policy] = miss_ratio_curve(policy, trace, set_counts=SET_COUNTS)
+
+    sizes = sorted(curves["lru"])
+    header = "capacity(blocks)" + "".join(f"{p:>10}" for p in POLICIES)
+    print(header)
+    print("-" * len(header))
+    for size in sizes:
+        row = f"{size:>16,}"
+        for policy in POLICIES:
+            row += f"{curves[policy][size]:>10.3f}"
+        print(row)
+
+    print()
+    cross = crossover_size(curves["lru"], curves["dgippr"], tolerance=0.01)
+    if cross is None:
+        print("4-DGIPPR dominates LRU at every sampled size below the cliff;")
+        print("once the loop fits, the curves merge (no true crossover).")
+    else:
+        print(f"curves meet at {cross:,} blocks")
+
+
+if __name__ == "__main__":
+    main()

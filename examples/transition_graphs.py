@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's transition graphs (Figures 2 and 3).
+
+Emits Graphviz DOT for the LRU vector and the evolved GIPLR vector, plus
+human-readable transition summaries for every published vector.  Pipe the
+DOT output through ``dot -Tpdf`` to get figures comparable to the paper's.
+
+Run:  python examples/transition_graphs.py [--dot-dir DIR]
+"""
+
+import argparse
+import os
+
+from repro.core.ipv import lru_ipv
+from repro.core.vectors import GIPLR_VECTOR, paper_vectors
+from repro.viz import transition_dot, transition_text
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dot-dir", default=None, help="directory to write .dot files into"
+    )
+    args = parser.parse_args()
+
+    figures = {
+        "figure2_lru": (lru_ipv(16), "Figure 2: LRU transition graph"),
+        "figure3_giplr": (GIPLR_VECTOR, "Figure 3: GIPLR vector"),
+    }
+    if args.dot_dir:
+        os.makedirs(args.dot_dir, exist_ok=True)
+        for name, (ipv, title) in figures.items():
+            path = os.path.join(args.dot_dir, f"{name}.dot")
+            with open(path, "w") as handle:
+                handle.write(transition_dot(ipv, title=title))
+            print(f"wrote {path}")
+        print("render with: dot -Tpdf <file>.dot -o <file>.pdf")
+    else:
+        for name, (ipv, title) in figures.items():
+            print(f"--- {title} ---")
+            print(transition_dot(ipv, title=title))
+            print()
+
+    print("=== transition summaries for all published vectors ===")
+    for name, vector in paper_vectors().items():
+        print()
+        print(transition_text(vector))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""zCache demo: effective associativity without ways (future work item 6).
+
+The paper's future work points at the zCache as the structure to pair with
+high-associativity insertion/promotion.  This demo shows why: a 4-way
+zCache with a depth-2 replacement walk matches a 16-way conventional cache
+on a conflict-heavy workload that demolishes the 4-way conventional design.
+
+Run:  python examples/zcache_demo.py
+"""
+
+import random
+
+from repro.cache import SetAssociativeCache, ZCache
+from repro.policies import TrueLRUPolicy
+
+CAPACITY = 1024
+
+
+def conflict_trace(n=50_000, seed=7):
+    # 900 hot blocks that collide into 64 conventional sets (14 blocks per
+    # 4-way set) — the pathological index-conflict case.
+    rng = random.Random(seed)
+    hot = [(i % 64) + 256 * (i // 64) for i in range(900)]
+    return [rng.choice(hot) for _ in range(n)]
+
+
+def main():
+    trace = conflict_trace()
+    print("conflict workload: 900 hot blocks in 64 conventional sets\n")
+
+    for assoc in (4, 8, 16):
+        num_sets = CAPACITY // assoc
+        cache = SetAssociativeCache(
+            num_sets, assoc, TrueLRUPolicy(num_sets, assoc), block_size=1
+        )
+        for address in trace:
+            cache.access(address)
+        print(f"conventional {assoc:>2}-way:  miss rate "
+              f"{cache.stats.miss_rate:.4f}")
+
+    print()
+    for depth in (1, 2, 3):
+        z = ZCache(CAPACITY // 4, ways=4, depth=depth)
+        for address in trace:
+            z.access(address)
+        print(f"zCache 4-way depth {depth}: miss rate {z.stats.miss_rate:.4f} "
+              f"(pool <= {z.candidate_pool_size()} candidates, "
+              f"{z.relocations} relocations)")
+
+    print()
+    print("Skewed hashing plus the replacement walk gives 4 physical ways")
+    print("the eviction quality of 16 — the substrate the paper proposes")
+    print("pairing with insertion/promotion vectors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Export the paper's figure data as CSV for external plotting.
+
+Runs the Figure 4/10/11/13 experiments and writes one CSV per figure into
+``--outdir`` (default ``results/``), each row a benchmark and each column a
+policy.  The same numbers the benches print, in machine-readable form.
+
+Run:  python scripts/export_results.py [--outdir DIR] [--length N]
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.vectors import DGIPPR2_WI_VECTORS, DGIPPR4_WI_VECTORS  # noqa: E402
+from repro.eval import PolicySpec, default_config, run_suite  # noqa: E402
+
+
+FIGURES = {
+    "figure04_speedup": (
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("PLRU", "plru"),
+            PolicySpec("Random", "random"),
+            PolicySpec("GIPLR", "giplr"),
+        ],
+        "speedups",
+    ),
+    "figure10_norm_mpki": (
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("GIPPR", "gippr"),
+            PolicySpec("2-DGIPPR", "dgippr", {"ipvs": DGIPPR2_WI_VECTORS}),
+            PolicySpec("4-DGIPPR", "dgippr", {"ipvs": DGIPPR4_WI_VECTORS}),
+            PolicySpec("MIN", "belady"),
+        ],
+        "normalized_mpki",
+    ),
+    "figure11_norm_mpki": (
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("DRRIP", "drrip"),
+            PolicySpec("PDP", "pdp"),
+            PolicySpec("4-DGIPPR", "dgippr"),
+            PolicySpec("MIN", "belady"),
+        ],
+        "normalized_mpki",
+    ),
+    "figure13_speedup": (
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("DRRIP", "drrip"),
+            PolicySpec("PDP", "pdp"),
+            PolicySpec("4-DGIPPR", "dgippr"),
+        ],
+        "speedups",
+    ),
+}
+
+
+def export_figure(name, specs, metric, config, outdir, workers):
+    suite = run_suite(specs, config=config, workers=workers)
+    labels = [s.label for s in specs if s.label != "LRU"]
+    path = os.path.join(outdir, f"{name}.csv")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark"] + labels)
+        values = {
+            label: (
+                suite.speedups(label)
+                if metric == "speedups"
+                else suite.normalized_mpki(label)
+            )
+            for label in labels
+        }
+        for bench in suite.benchmarks:
+            writer.writerow(
+                [bench] + [f"{values[label][bench]:.6f}" for label in labels]
+            )
+    print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--length", type=int, default=20_000)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument(
+        "--figures", nargs="+", choices=sorted(FIGURES), default=sorted(FIGURES)
+    )
+    args = parser.parse_args()
+
+    os.makedirs(args.outdir, exist_ok=True)
+    config = default_config(trace_length=args.length)
+    for name in args.figures:
+        specs, metric = FIGURES[name]
+        export_figure(name, specs, metric, config, args.outdir, args.workers)
+
+
+if __name__ == "__main__":
+    main()

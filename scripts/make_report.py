@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Regenerate a full paper-vs-measured report as Markdown.
+
+Runs the Figure 4/10/11/13 experiments plus the overhead table and writes a
+self-contained report (default ``results/REPORT.md``) with per-benchmark
+tables — the regenerable counterpart to the hand-annotated EXPERIMENTS.md.
+
+Run:  python scripts/make_report.py [--length N] [--out PATH]
+"""
+
+import argparse
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.vectors import DGIPPR2_WI_VECTORS, DGIPPR4_WI_VECTORS  # noqa: E402
+from repro.eval import (  # noqa: E402
+    PolicySpec,
+    default_config,
+    format_overhead,
+    normalized_mpki_table,
+    overhead_table,
+    run_suite,
+    speedup_table,
+)
+
+PAPER_NUMBERS = """\
+Paper reference points (4MB/16-way, SPEC CPU 2006): 4-DGIPPR +5.61%,
+DRRIP +5.41%, PDP +5.69% geomean speedup over LRU; 15.6/15.6/16.4% on the
+memory-intensive subset; normalized misses 91.0/91.5/90.2% of LRU; MIN at
+67.5%.
+"""
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=20_000)
+    parser.add_argument("--out", default="results/REPORT.md")
+    parser.add_argument("--workers", type=int, default=0)
+    args = parser.parse_args()
+
+    config = default_config(trace_length=args.length)
+    sections = []
+
+    fig4 = run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("PLRU", "plru"),
+            PolicySpec("Random", "random"),
+            PolicySpec("GIPLR", "giplr"),
+        ],
+        config=config,
+        workers=args.workers,
+    )
+    sections.append(
+        "## Figure 4 — GIPLR speedup over LRU\n\n```\n"
+        + speedup_table(fig4, sort_by="GIPLR")
+        + "\n```\n"
+    )
+
+    main_suite = run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("DRRIP", "drrip"),
+            PolicySpec("PDP", "pdp"),
+            PolicySpec("GIPPR", "gippr"),
+            PolicySpec("2-DGIPPR", "dgippr", {"ipvs": DGIPPR2_WI_VECTORS}),
+            PolicySpec("4-DGIPPR", "dgippr", {"ipvs": DGIPPR4_WI_VECTORS}),
+            PolicySpec("MIN", "belady"),
+        ],
+        config=config,
+        workers=args.workers,
+    )
+    sections.append(
+        "## Figures 10/11 — MPKI normalized to LRU\n\n```\n"
+        + normalized_mpki_table(main_suite)
+        + "\n```\n"
+    )
+    sections.append(
+        "## Figure 13 — speedup over LRU\n\n```\n"
+        + speedup_table(
+            main_suite,
+            labels=["DRRIP", "PDP", "4-DGIPPR"],
+        )
+        + "\n```\n"
+    )
+    subset = main_suite.memory_intensive()
+    lines = [f"## Memory-intensive subset ({len(subset)} benchmarks)\n"]
+    for label in ("DRRIP", "PDP", "4-DGIPPR"):
+        lines.append(
+            f"* {label}: geomean speedup "
+            f"{main_suite.geomean_speedup(label, benchmarks=subset):.4f}"
+        )
+    sections.append("\n".join(lines) + "\n")
+
+    sections.append(
+        "## Section 3.6 — replacement-state overhead (4MB/16-way)\n\n```\n"
+        + format_overhead(overhead_table())
+        + "\n```\n"
+    )
+
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    report = (
+        "# Reproduction report\n\n"
+        f"Generated {stamp}; config: {config!r}.\n\n"
+        + PAPER_NUMBERS
+        + "\n"
+        + "\n".join(sections)
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        handle.write(report)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — reproduction of "Insertion and Promotion for Tree-Based PseudoLRU
+Last-Level Caches" (Daniel A. Jiménez, MICRO-46, 2013).
+
+The package implements the paper's contribution — insertion/promotion
+vectors (IPVs) on tree PseudoLRU state with set-dueling adaptivity
+(GIPPR/DGIPPR) — together with every substrate it depends on: a
+set-associative cache simulator, true-LRU and PLRU machinery, the competing
+policies (DIP, DRRIP, PDP, SHiP, Belady MIN, ...), a synthetic SPEC CPU
+2006 stand-in workload suite, genetic/random/hill-climbing IPV search, CPI
+timing models, and the evaluation harness that regenerates the paper's
+figures.
+
+Quickstart::
+
+    from repro import SetAssociativeCache, DGIPPRPolicy
+    from repro.trace import looping
+
+    policy = DGIPPRPolicy(num_sets=64, assoc=16)
+    cache = SetAssociativeCache(64, 16, policy, block_size=1)
+    for address, pc in looping(working_set=1280, n=100_000):
+        cache.access(address, pc=pc)
+    print(cache.stats.miss_rate, policy.active_ipv().name)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .cache import CacheHierarchy, CacheStats, SetAssociativeCache, paper_hierarchy
+from .core import (
+    DGIPPR2_WI_VECTORS,
+    DGIPPR4_WI_VECTORS,
+    GIPLR_VECTOR,
+    GIPPR_WI_VECTOR,
+    IPV,
+    PLRUTree,
+    RecencyStack,
+    lip_ipv,
+    lru_ipv,
+    paper_vectors,
+)
+from .policies import (
+    BeladyPolicy,
+    DGIPPRPolicy,
+    DIPPolicy,
+    DRRIPPolicy,
+    GIPLRPolicy,
+    GIPPRPolicy,
+    PDPPolicy,
+    SHiPPolicy,
+    TreePLRUPolicy,
+    TrueLRUPolicy,
+    make_policy,
+    policy_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "CacheStats",
+    "paper_hierarchy",
+    "IPV",
+    "PLRUTree",
+    "RecencyStack",
+    "lru_ipv",
+    "lip_ipv",
+    "GIPLR_VECTOR",
+    "GIPPR_WI_VECTOR",
+    "DGIPPR2_WI_VECTORS",
+    "DGIPPR4_WI_VECTORS",
+    "paper_vectors",
+    "TrueLRUPolicy",
+    "TreePLRUPolicy",
+    "GIPLRPolicy",
+    "GIPPRPolicy",
+    "DGIPPRPolicy",
+    "DIPPolicy",
+    "DRRIPPolicy",
+    "PDPPolicy",
+    "SHiPPolicy",
+    "BeladyPolicy",
+    "make_policy",
+    "policy_names",
+    "__version__",
+]

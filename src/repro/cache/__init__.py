@@ -1,0 +1,14 @@
+"""Cache substrate: set-associative cache, stats, hierarchy and zCache."""
+
+from .cache import SetAssociativeCache
+from .hierarchy import CacheHierarchy, paper_hierarchy
+from .stats import CacheStats
+from .zcache import ZCache
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "paper_hierarchy",
+    "CacheStats",
+    "ZCache",
+]

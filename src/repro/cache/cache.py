@@ -1,0 +1,175 @@
+"""Set-associative cache model.
+
+The cache owns tags, validity and dirty bits; replacement decisions are
+delegated to a :class:`~repro.policies.base.ReplacementPolicy`.  Addresses
+are byte addresses by default; pass ``block_size=1`` to feed pre-blocked
+trace addresses directly (the usual mode for LLC trace experiments, matching
+the paper's trace-driven fitness simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..policies.base import AccessContext, ReplacementPolicy
+from .stats import CacheStats
+
+__all__ = ["SetAssociativeCache"]
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+class SetAssociativeCache:
+    """A single cache level driven by a replacement policy.
+
+    Parameters
+    ----------
+    num_sets, assoc:
+        Geometry; both must be powers of two (the paper's LLC is 4096x16).
+    policy:
+        The replacement policy instance; its geometry must match.
+    block_size:
+        Bytes per block; 64 in the paper.  Use 1 for block-address traces.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        policy: ReplacementPolicy,
+        block_size: int = 64,
+        name: str = "cache",
+    ):
+        if not _is_power_of_two(num_sets):
+            raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+        if not _is_power_of_two(block_size):
+            raise ValueError(f"block_size must be a power of two, got {block_size}")
+        if policy.num_sets != num_sets or policy.assoc != assoc:
+            raise ValueError(
+                f"policy geometry {policy.num_sets}x{policy.assoc} does not "
+                f"match cache geometry {num_sets}x{assoc}"
+            )
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.policy = policy
+        self.block_size = block_size
+        self.name = name
+        self._offset_bits = block_size.bit_length() - 1
+        self._index_mask = num_sets - 1
+        # tags[s][w] is the tag in way w of set s, or None when invalid.
+        self._tags = [[None] * assoc for _ in range(num_sets)]
+        self._dirty = [[False] * assoc for _ in range(num_sets)]
+        # way_of[s] maps tag -> way for O(1) lookup.
+        self._way_of = [dict() for _ in range(num_sets)]
+        self.stats = CacheStats()
+        self._ctx = AccessContext()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers.
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.assoc * self.block_size
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.assoc
+
+    def locate(self, address: int):
+        """Split an address into (set index, tag)."""
+        block = address >> self._offset_bits
+        return block & self._index_mask, block >> (self.num_sets.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    # The access path.
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        address: int,
+        pc: int = 0,
+        is_write: bool = False,
+        next_use: Optional[int] = None,
+    ) -> bool:
+        """Perform one access; returns True on hit.
+
+        On a miss the block is always allocated (write-allocate); the paper's
+        policies (PDP without bypass included) never bypass the cache.
+        """
+        set_index, tag = self.locate(address)
+        ctx = self._ctx
+        ctx.pc = pc
+        ctx.is_write = is_write
+        ctx.next_use = next_use
+        ctx.access_index += 1
+        ctx.block = address >> self._offset_bits
+
+        stats = self.stats
+        stats.accesses += 1
+        way_of = self._way_of[set_index]
+        way = way_of.get(tag)
+        if way is not None:
+            stats.hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.policy.on_hit(set_index, way, ctx)
+            return True
+
+        stats.misses += 1
+        self.policy.on_miss(set_index, ctx)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(None)
+        except ValueError:
+            if self.policy.should_bypass(set_index, ctx):
+                stats.bypasses += 1
+                return False
+            way = self.policy.victim(set_index, ctx)
+            if not 0 <= way < self.assoc:
+                raise RuntimeError(
+                    f"{self.policy.name} returned invalid victim way {way}"
+                )
+            self.policy.on_evict(set_index, way, ctx)
+            stats.evictions += 1
+            if self._dirty[set_index][way]:
+                stats.writebacks += 1
+            del way_of[tags[way]]
+        tags[way] = tag
+        way_of[tag] = way
+        self._dirty[set_index][way] = is_write
+        self.policy.on_fill(set_index, way, ctx)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        set_index, tag = self.locate(address)
+        return tag in self._way_of[set_index]
+
+    def resident_tags(self, set_index: int):
+        """Valid tags in a set (order is way order)."""
+        return [t for t in self._tags[set_index] if t is not None]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a block if resident (used for inclusion enforcement)."""
+        set_index, tag = self.locate(address)
+        way = self._way_of[set_index].pop(tag, None)
+        if way is None:
+            return False
+        self._tags[set_index][way] = None
+        self._dirty[set_index][way] = False
+        return True
+
+    def reset_stats(self) -> None:
+        """Clear counters (e.g. after cache warmup) without losing contents."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, sets={self.num_sets}, "
+            f"assoc={self.assoc}, policy={self.policy.name})"
+        )

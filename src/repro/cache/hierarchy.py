@@ -1,0 +1,144 @@
+"""Multi-level cache hierarchy.
+
+Stands in for the CMP$im memory system: a three-level hierarchy in which
+upper levels filter the access stream seen by the LLC.  The paper's
+experiments use a 32KB/8-way L1D, a 256KB/8-way unified L2 and a 4MB/16-way
+L3 with 200-cycle DRAM.
+
+Only the miss *stream* matters for LLC replacement studies, so the model is
+functional rather than timed: an access walks down the levels until it hits;
+every level it missed in allocates the block.  Optional inclusive mode
+back-invalidates upper levels when the LLC evicts a block, as an inclusive
+LLC must.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..policies.base import ReplacementPolicy
+from ..policies.lru import TrueLRUPolicy
+from .cache import SetAssociativeCache
+
+__all__ = ["CacheHierarchy", "paper_hierarchy"]
+
+
+class _InclusionHook(ReplacementPolicy):
+    """Wrapper policy that reports LLC evictions for back-invalidation."""
+
+    def __init__(self, inner: ReplacementPolicy, hierarchy: "CacheHierarchy"):
+        super().__init__(inner.num_sets, inner.assoc)
+        self.inner = inner
+        self.name = inner.name
+        self._hierarchy = hierarchy
+
+    def victim(self, set_index, ctx):
+        return self.inner.victim(set_index, ctx)
+
+    def on_hit(self, set_index, way, ctx):
+        self.inner.on_hit(set_index, way, ctx)
+
+    def on_fill(self, set_index, way, ctx):
+        self.inner.on_fill(set_index, way, ctx)
+
+    def on_miss(self, set_index, ctx):
+        self.inner.on_miss(set_index, ctx)
+
+    def on_evict(self, set_index, way, ctx):
+        self.inner.on_evict(set_index, way, ctx)
+        self._hierarchy._note_llc_eviction(set_index, way)
+
+    def state_bits_per_set(self):
+        return self.inner.state_bits_per_set()
+
+    def global_state_bits(self):
+        return self.inner.global_state_bits()
+
+
+class CacheHierarchy:
+    """An L1 → L2 → LLC stack of :class:`SetAssociativeCache` levels."""
+
+    def __init__(
+        self,
+        levels: List[SetAssociativeCache],
+        inclusive_llc: bool = False,
+    ):
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        self.levels = levels
+        self.inclusive_llc = inclusive_llc and len(levels) > 1
+        if self.inclusive_llc:
+            llc = levels[-1]
+            llc.policy = _InclusionHook(llc.policy, self)
+
+    @property
+    def llc(self) -> SetAssociativeCache:
+        return self.levels[-1]
+
+    def access(
+        self,
+        address: int,
+        pc: int = 0,
+        is_write: bool = False,
+        next_use: Optional[int] = None,
+    ) -> int:
+        """Access the hierarchy; returns the level index that hit.
+
+        Level 0 is the L1; ``len(levels)`` means the access went to memory.
+        Lower levels allocate on the way back up (fill path).
+        """
+        for depth, cache in enumerate(self.levels):
+            if cache.access(address, pc=pc, is_write=is_write, next_use=next_use):
+                return depth
+        return len(self.levels)
+
+    def _note_llc_eviction(self, set_index: int, way: int) -> None:
+        llc = self.levels[-1]
+        tag = llc._tags[set_index][way]
+        if tag is None:
+            return
+        block = (tag << (llc.num_sets.bit_length() - 1)) | set_index
+        address = block << (llc.block_size.bit_length() - 1)
+        for upper in self.levels[:-1]:
+            # Upper levels may use a different block size; invalidate every
+            # upper block covered by the LLC block.
+            step = upper.block_size
+            for offset in range(0, llc.block_size, step):
+                upper.invalidate(address + offset)
+
+    def reset_stats(self) -> None:
+        for cache in self.levels:
+            cache.reset_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chain = " -> ".join(
+            f"{c.name}({c.capacity_bytes // 1024}KB)" for c in self.levels
+        )
+        return f"CacheHierarchy({chain})"
+
+
+def paper_hierarchy(
+    llc_policy: ReplacementPolicy,
+    llc_sets: int = 4096,
+    llc_assoc: int = 16,
+    block_size: int = 64,
+    inclusive: bool = False,
+) -> CacheHierarchy:
+    """Build the paper's hierarchy (Section 4.5) around a given LLC policy.
+
+    32KB 8-way L1D and 256KB 8-way L2 run true LRU; the LLC geometry
+    defaults to the paper's 4MB 16-way but can be scaled down (see
+    DESIGN.md on set scaling).
+    """
+    l1_sets = (32 * 1024) // (8 * block_size)
+    l2_sets = (256 * 1024) // (8 * block_size)
+    l1 = SetAssociativeCache(
+        l1_sets, 8, TrueLRUPolicy(l1_sets, 8), block_size, name="L1D"
+    )
+    l2 = SetAssociativeCache(
+        l2_sets, 8, TrueLRUPolicy(l2_sets, 8), block_size, name="L2"
+    )
+    llc = SetAssociativeCache(
+        llc_sets, llc_assoc, llc_policy, block_size, name="LLC"
+    )
+    return CacheHierarchy([l1, l2, llc], inclusive_llc=inclusive)

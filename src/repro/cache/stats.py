@@ -1,0 +1,70 @@
+"""Cache statistics accounting."""
+
+from __future__ import annotations
+
+__all__ = ["CacheStats"]
+
+
+class CacheStats:
+    """Counters for one cache level.
+
+    ``instructions`` is set by the driver (see :mod:`repro.eval.runner`) so
+    that misses-per-kilo-instruction can be reported the way the paper does.
+    """
+
+    __slots__ = (
+        "accesses",
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+        "bypasses",
+        "instructions",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.bypasses = 0
+        self.instructions = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 for an idle cache)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Misses per kilo-instruction; requires ``instructions`` to be set."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.misses / self.instructions
+
+    def snapshot(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "bypasses": self.bypasses,
+            "instructions": self.instructions,
+            "miss_rate": self.miss_rate,
+            "mpki": self.mpki,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheStats(accesses={self.accesses}, hits={self.hits}, "
+            f"misses={self.misses}, miss_rate={self.miss_rate:.4f})"
+        )

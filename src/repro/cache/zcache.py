@@ -1,0 +1,211 @@
+"""zCache: high effective associativity from few ways (Sanchez & Kozyrakis).
+
+The paper's future-work item 6 wants high-associativity insertion/promotion
+and names the zCache (MICRO 2010) as the complementary structure: a
+skewed-associative cache where each way is indexed by a different hash of
+the address, and replacement considers not just the W direct candidates but
+the blocks reachable by *relocating* candidates to their alternative
+positions — a breadth-first walk of the exchange graph.  With W ways and
+depth-d expansion the replacement pool has up to ``W * (W-1)**(d-1)``
+candidates, giving the eviction quality of a much more associative cache.
+
+Victim selection among candidates uses coarse-grained timestamps (8-bit
+access counters), as in the original design: the candidate with the oldest
+timestamp is evicted and the chain of blocks on the path to it is relocated
+one step each.
+
+This module provides the substrate plus :func:`effective_associativity`
+used by the zCache bench to show eviction quality approaching that of a
+conventional cache with many more ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .stats import CacheStats
+
+__all__ = ["ZCache"]
+
+
+def _mix(value: int, salt: int) -> int:
+    """A cheap invertible-ish hash (xorshift-multiply) per way."""
+    value ^= salt
+    value = (value * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 29
+    return value
+
+
+class ZCache:
+    """A zCache with timestamp-LRU replacement.
+
+    Parameters
+    ----------
+    num_sets:
+        Rows per way (the "set" count of each skewed bank).
+    ways:
+        Number of skewed banks (3 or 4 in the original paper).
+    depth:
+        Levels of the replacement walk (1 = plain skewed-associative).
+    timestamp_bits:
+        Width of the coarse timestamps used to rank candidates.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int = 4,
+        depth: int = 2,
+        timestamp_bits: int = 8,
+        block_size: int = 1,
+        name: str = "zcache",
+    ):
+        if num_sets < 1 or ways < 2:
+            raise ValueError("zCache needs >= 2 ways and >= 1 set")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.depth = depth
+        self.block_size = block_size
+        self.name = name
+        self._offset_bits = block_size.bit_length() - 1
+        self._timestamp_mask = (1 << timestamp_bits) - 1
+        self._salts = [0xA5A5 + 0x1357 * w for w in range(ways)]
+        # Per way: row -> block address (None = invalid), plus timestamp.
+        self._rows: List[List[Optional[int]]] = [
+            [None] * num_sets for _ in range(ways)
+        ]
+        self._stamps: List[List[int]] = [[0] * num_sets for _ in range(ways)]
+        self._where: Dict[int, Tuple[int, int]] = {}  # block -> (way, row)
+        self._clock = 0
+        self.stats = CacheStats()
+        self.relocations = 0
+
+    # ------------------------------------------------------------------
+    # Indexing.
+    # ------------------------------------------------------------------
+    def row_of(self, block: int, way: int) -> int:
+        return _mix(block, self._salts[way]) % self.num_sets
+
+    def _stamp(self, way: int, row: int) -> None:
+        self._clock = (self._clock + 1) & 0xFFFFFFFF
+        self._stamps[way][row] = self._clock & self._timestamp_mask
+
+    # ------------------------------------------------------------------
+    # Access path.
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access a block; allocate on miss via the replacement walk."""
+        block = address >> self._offset_bits
+        self.stats.accesses += 1
+        location = self._where.get(block)
+        if location is not None:
+            way, row = location
+            self.stats.hits += 1
+            self._stamp(way, row)
+            return True
+        self.stats.misses += 1
+        self._allocate(block)
+        return False
+
+    def _allocate(self, block: int) -> None:
+        # Free position among the direct candidates?
+        for way in range(self.ways):
+            row = self.row_of(block, way)
+            if self._rows[way][row] is None:
+                self._place(block, way, row)
+                return
+        path = self._find_eviction_path(block)
+        victim_way, victim_row = path[-1]
+        victim = self._rows[victim_way][victim_row]
+        if victim is not None:
+            del self._where[victim]
+            self.stats.evictions += 1
+        # else: the walk reached an empty slot through relocation — the
+        # zCache absorbed the fill without evicting anything.
+        # Relocate each block one step toward the vacated slot (walk the
+        # path from the tail back to the head).
+        for i in range(len(path) - 1, 0, -1):
+            src_way, src_row = path[i - 1]
+            dst_way, dst_row = path[i]
+            moved = self._rows[src_way][src_row]
+            self._rows[dst_way][dst_row] = moved
+            self._stamps[dst_way][dst_row] = self._stamps[src_way][src_row]
+            self._where[moved] = (dst_way, dst_row)
+            self.relocations += 1
+        head_way, head_row = path[0]
+        self._place(block, head_way, head_row)
+
+    def _place(self, block: int, way: int, row: int) -> None:
+        self._rows[way][row] = block
+        self._where[block] = (way, row)
+        self._stamp(way, row)
+
+    def _find_eviction_path(self, block: int) -> List[Tuple[int, int]]:
+        """Breadth-first walk of the exchange graph, oldest stamp wins.
+
+        Returns the chain of (way, row) slots from a direct candidate of
+        ``block`` to the chosen victim's slot.
+        """
+        best_path: Optional[List[Tuple[int, int]]] = None
+        best_age: Optional[int] = None
+        frontier: List[List[Tuple[int, int]]] = [
+            [(way, self.row_of(block, way))] for way in range(self.ways)
+        ]
+        seen = {path[0] for path in frontier}
+        for level in range(self.depth):
+            next_frontier: List[List[Tuple[int, int]]] = []
+            for path in frontier:
+                way, row = path[-1]
+                resident = self._rows[way][row]
+                if resident is None:
+                    # An empty slot reachable by relocation: take it — no
+                    # eviction needed at all.
+                    return path
+                age = (self._clock - self._stamps[way][row]) & self._timestamp_mask
+                if best_age is None or age > best_age:
+                    best_age = age
+                    best_path = path
+                if level + 1 < self.depth:
+                    # Expand: the resident block could move to its other ways.
+                    for other_way in range(self.ways):
+                        if other_way == way:
+                            continue
+                        slot = (other_way, self.row_of(resident, other_way))
+                        if slot not in seen:
+                            seen.add(slot)
+                            next_frontier.append(path + [slot])
+            frontier = next_frontier
+            if not frontier:
+                break
+        assert best_path is not None
+        return best_path
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.ways
+
+    def contains(self, address: int) -> bool:
+        return (address >> self._offset_bits) in self._where
+
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    def candidate_pool_size(self) -> int:
+        """Replacement candidates examined per eviction (upper bound)."""
+        total = self.ways
+        layer = self.ways
+        for _ in range(1, self.depth):
+            layer *= self.ways - 1
+            total += layer
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ZCache(sets={self.num_sets}, ways={self.ways}, "
+            f"depth={self.depth}, candidates<={self.candidate_pool_size()})"
+        )

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro policies                       # list registered policies
+    repro vectors                        # show the published paper vectors
+    repro compare --benchmarks 429.mcf 462.libquantum
+    repro evolve --generations 8 --population 24
+    repro overhead                       # the Section 3.6 table
+    repro trace-stats 462.libquantum     # reuse profile of a stand-in
+
+Each subcommand is a thin wrapper over the library API, so everything the
+CLI does can be scripted directly against :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.vectors import paper_vectors
+from .eval import (
+    PolicySpec,
+    default_config,
+    format_overhead,
+    overhead_table,
+    run_suite,
+    speedup_table,
+)
+from .policies import policy_names
+from .viz import bar_chart, transition_text
+from .workloads import get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_COMPARE = ["lru", "plru", "drrip", "pdp", "dgippr"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tree-PseudoLRU insertion/promotion (MICRO 2013) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("policies", help="list registered replacement policies")
+
+    sub.add_parser("vectors", help="show the published paper IPVs")
+
+    compare = sub.add_parser("compare", help="run policies over the suite")
+    compare.add_argument(
+        "--policies", nargs="+", default=DEFAULT_COMPARE, metavar="NAME",
+        help=f"registry names (default: {' '.join(DEFAULT_COMPARE)})",
+    )
+    compare.add_argument(
+        "--benchmarks", nargs="+", default=None, metavar="BENCH",
+        help="benchmark names (default: all 29)",
+    )
+    compare.add_argument("--length", type=int, default=20_000,
+                         help="accesses per simpoint")
+    compare.add_argument("--sets", type=int, default=64, help="LLC sets")
+    compare.add_argument("--workers", type=int, default=0,
+                         help="parallel worker processes")
+    compare.add_argument("--chart", action="store_true",
+                         help="also print an ASCII bar chart")
+
+    evolve = sub.add_parser("evolve", help="evolve an IPV with the GA")
+    evolve.add_argument("--benchmarks", nargs="+", default=None)
+    evolve.add_argument("--generations", type=int, default=8)
+    evolve.add_argument("--population", type=int, default=24)
+    evolve.add_argument("--length", type=int, default=10_000)
+    evolve.add_argument("--seed", type=int, default=0)
+    evolve.add_argument("--workers", type=int, default=0)
+    evolve.add_argument("--substrate", choices=["plru", "lru"], default="plru")
+
+    sub.add_parser("overhead", help="Section 3.6 storage-overhead table")
+
+    simulate = sub.add_parser(
+        "simulate", help="run a saved .npz trace through a policy"
+    )
+    simulate.add_argument("trace", help="path to a trace saved with save_trace")
+    simulate.add_argument("--policy", default="dgippr")
+    simulate.add_argument("--sets", type=int, default=64)
+    simulate.add_argument("--assoc", type=int, default=16)
+    simulate.add_argument("--warmup", type=float, default=0.25,
+                          help="warmup fraction")
+    simulate.add_argument(
+        "--filter-l1l2", action="store_true",
+        help="filter the trace through the paper's L1/L2 first",
+    )
+
+    stats = sub.add_parser("trace-stats", help="reuse profile of a benchmark")
+    stats.add_argument("benchmark", help="benchmark name (e.g. 429.mcf)")
+    stats.add_argument("--length", type=int, default=20_000)
+
+    return parser
+
+
+def _cmd_policies() -> int:
+    for name in policy_names():
+        print(name)
+    return 0
+
+
+def _cmd_vectors() -> int:
+    for name, vector in paper_vectors().items():
+        print(transition_text(vector))
+        print()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    specs = [PolicySpec(name.upper() if name == "lru" else name, name)
+             for name in args.policies]
+    labels = [s.label for s in specs]
+    if "LRU" not in labels:
+        specs.insert(0, PolicySpec("LRU", "lru"))
+    config = default_config(trace_length=args.length, num_sets=args.sets)
+    suite = run_suite(
+        specs, config=config, benchmarks=args.benchmarks, workers=args.workers
+    )
+    print(speedup_table(suite, sort_by=specs[-1].label))
+    if args.chart:
+        print()
+        print(bar_chart(
+            suite.speedups(specs[-1].label),
+            title=f"{specs[-1].label} speedup over LRU",
+        ))
+    return 0
+
+
+def _cmd_evolve(args) -> int:
+    from .ga import FitnessEvaluator, evolve_ipv
+
+    config = default_config(trace_length=args.length)
+    evaluator = FitnessEvaluator(
+        args.benchmarks, config=config, substrate=args.substrate
+    )
+    result = evolve_ipv(
+        evaluator,
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        workers=args.workers,
+        on_generation=lambda g, f: print(
+            f"generation {g}: best fitness {f:.4f}", file=sys.stderr
+        ),
+    )
+    print(transition_text(result.best))
+    print(f"fitness (mean speedup over LRU): {result.best_fitness:.4f}")
+    return 0
+
+
+def _cmd_overhead() -> int:
+    print(format_overhead(overhead_table()))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .eval.config import ExperimentConfig
+    from .eval.runner import run_trace
+    from .policies import make_policy
+    from .trace import load_trace, paper_l1_l2_filter
+
+    trace = load_trace(args.trace)
+    print(f"loaded {trace!r}")
+    if args.filter_l1l2:
+        trace = paper_l1_l2_filter(trace)
+        print(f"after L1/L2 filter: {len(trace):,} LLC accesses")
+    config = ExperimentConfig(
+        num_sets=args.sets,
+        assoc=args.assoc,
+        trace_length=len(trace),
+        warmup_fraction=args.warmup,
+        apply_env_scale=False,
+    )
+    policy = make_policy(args.policy, args.sets, args.assoc)
+    result = run_trace(policy, trace, config)
+    print(
+        f"{policy.name}: {result.misses:,}/{result.accesses:,} misses "
+        f"(rate {result.miss_rate:.4f}, mpki {result.mpki:.2f})"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args) -> int:
+    from .trace import stack_distance_histogram
+
+    benchmark = get_benchmark(args.benchmark)
+    config = default_config(trace_length=args.length)
+    print(f"{benchmark.name}: archetype {benchmark.archetype}, "
+          f"{benchmark.instructions_per_access:.0f} instructions/access")
+    for trace, weight in zip(
+        benchmark.traces(config.trace_length, config.capacity_blocks),
+        benchmark.weights(),
+    ):
+        histogram = stack_distance_histogram(trace, max_distance=4096)
+        cold = histogram.get(-1, 0)
+        reuses = sum(c for d, c in histogram.items() if d >= 0)
+        print(f"  {trace.name} (weight {weight:.2f}): "
+              f"{len(trace):,} accesses, footprint {trace.footprint():,}, "
+              f"cold {cold / len(trace):.1%}")
+        if reuses:
+            total = 0
+            for threshold in (64, 256, 1024, 4096):
+                mass = sum(
+                    c for d, c in histogram.items() if 0 <= d < threshold
+                )
+                print(f"    reuse within stack distance {threshold:>5}: "
+                      f"{mass / reuses:.1%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "vectors":
+        return _cmd_vectors()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "evolve":
+        return _cmd_evolve(args)
+    if args.command == "overhead":
+        return _cmd_overhead()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "trace-stats":
+        return _cmd_trace_stats(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly.
+        sys.exit(0)

@@ -1,0 +1,183 @@
+"""Insertion/Promotion Vectors (IPVs).
+
+An IPV for a k-way set-associative cache is a (k+1)-entry vector ``V[0..k]``
+of recency-stack positions in ``0..k-1`` (Section 2.3 of the paper):
+
+* ``V[i]`` for ``i < k`` is the new position a block at position ``i`` is
+  promoted to when it is re-referenced;
+* ``V[k]`` is the position an incoming block is inserted at.
+
+Classic policies are special cases: true LRU is ``[0]*k + [0]`` (promote to
+MRU, insert at MRU) and LRU-insertion (LIP) is ``[0]*k + [k-1]``.
+
+This module provides the :class:`IPV` value type, well-formedness checks,
+the transition-graph induction used by the paper's degeneracy analysis
+(footnote 1), and constructors for the classic vectors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Set, Tuple
+
+from .plru import is_power_of_two
+
+__all__ = ["IPV", "lru_ipv", "lip_ipv", "mru_pessimistic_ipv", "random_ipv"]
+
+
+class IPV:
+    """An immutable, validated insertion/promotion vector.
+
+    Parameters
+    ----------
+    entries:
+        Sequence of ``k + 1`` integers, each in ``0..k-1``.  ``entries[i]``
+        is the promotion target for stack position ``i``; ``entries[k]`` is
+        the insertion position.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    __slots__ = ("entries", "k", "name")
+
+    def __init__(self, entries: Sequence[int], name: str = ""):
+        entries = tuple(int(e) for e in entries)
+        k = len(entries) - 1
+        if k < 2:
+            raise ValueError(f"IPV needs at least 3 entries, got {len(entries)}")
+        if not is_power_of_two(k):
+            raise ValueError(
+                f"IPV length {len(entries)} implies associativity {k}, "
+                "which is not a power of two"
+            )
+        for i, e in enumerate(entries):
+            if not 0 <= e < k:
+                raise ValueError(f"IPV entry V[{i}]={e} out of range 0..{k - 1}")
+        object.__setattr__(self, "entries", entries)
+        object.__setattr__(self, "k", k)
+        object.__setattr__(self, "name", name or f"ipv{k}")
+
+    # IPVs are value objects: hashable, comparable by entries.
+    def __setattr__(self, *_args):  # pragma: no cover - immutability guard
+        raise AttributeError("IPV is immutable")
+
+    def __reduce__(self):
+        # Slots + the immutability guard defeat default pickling; rebuild
+        # through the constructor instead (needed for multiprocess fan-out).
+        return (IPV, (self.entries, self.name))
+
+    def __getitem__(self, i: int) -> int:
+        return self.entries[i]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IPV) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def __repr__(self) -> str:
+        body = " ".join(str(e) for e in self.entries)
+        return f"IPV([{body}], name={self.name!r})"
+
+    @property
+    def insertion(self) -> int:
+        """Position at which incoming blocks are inserted (``V[k]``)."""
+        return self.entries[self.k]
+
+    def promotion(self, pos: int) -> int:
+        """Promotion target for a block re-referenced at ``pos``."""
+        return self.entries[pos]
+
+    def with_name(self, name: str) -> "IPV":
+        return IPV(self.entries, name=name)
+
+    def mutated(self, index: int, value: int) -> "IPV":
+        """Return a copy with entry ``index`` replaced by ``value``."""
+        entries = list(self.entries)
+        entries[index] = value
+        return IPV(entries, name=f"{self.name}~m{index}:{value}")
+
+    # ------------------------------------------------------------------
+    # Transition-graph analysis (paper footnote 1).
+    # ------------------------------------------------------------------
+    def transition_edges(self) -> Set[Tuple[int, int]]:
+        """All possible position changes under true-LRU shift semantics.
+
+        Edges come in two kinds (Section 2.3): a *promotion* edge
+        ``i -> V[i]`` when the block at ``i`` is referenced, and *shift*
+        edges for bystander blocks displaced by someone else's promotion:
+        if ``V[j] < j`` blocks in ``V[j]..j-1`` shift down one position,
+        otherwise blocks in ``j+1..V[j]`` shift up one.  Insertion behaves
+        like a promotion from position ``k - 1`` to ``V[k]``.
+        """
+        k = self.k
+        edges: Set[Tuple[int, int]] = set()
+        moves = [(i, self.entries[i]) for i in range(k)]
+        moves.append((k - 1, self.entries[k]))  # insertion replaces the victim
+        for src, dst in moves:
+            edges.add((src, dst))
+            if dst < src:
+                for p in range(dst, src):
+                    edges.add((p, p + 1))
+            elif dst > src:
+                for p in range(src + 1, dst + 1):
+                    edges.add((p, p - 1))
+        return edges
+
+    def reachable_from_insertion(self) -> Set[int]:
+        """Positions reachable by a block after it is inserted."""
+        adj = {}
+        for a, b in self.transition_edges():
+            adj.setdefault(a, set()).add(b)
+        seen = {self.insertion}
+        stack = [self.insertion]
+        while stack:
+            node = stack.pop()
+            for nxt in adj.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def is_degenerate(self) -> bool:
+        """True when no path exists from the insertion position to MRU.
+
+        The paper's footnote 1 calls such IPVs degenerate: an inserted block
+        can never be promoted to the MRU position no matter how it is
+        re-referenced, so the vector wastes part of the recency stack.
+        """
+        return 0 not in self.reachable_from_insertion()
+
+
+def lru_ipv(k: int, name: str = "LRU") -> IPV:
+    """The classic LRU vector: promote to MRU, insert at MRU."""
+    return IPV([0] * (k + 1), name=name)
+
+
+def lip_ipv(k: int, name: str = "LIP") -> IPV:
+    """LRU-insertion (Qureshi et al.): promote to MRU, insert at LRU."""
+    return IPV([0] * k + [k - 1], name=name)
+
+
+def mru_pessimistic_ipv(k: int, name: str = "static") -> IPV:
+    """The three-touch vector from Section 2.4.
+
+    Insert at LRU, first re-reference promotes to the middle of the stack,
+    second re-reference promotes to MRU.
+    """
+    entries = [0] * (k + 1)
+    entries[k] = k - 1
+    entries[k - 1] = k // 2
+    return IPV(entries, name=name)
+
+
+def random_ipv(k: int, rng: random.Random, name: str = "") -> IPV:
+    """A uniformly random IPV, as sampled for Figure 1."""
+    entries = [rng.randrange(k) for _ in range(k + 1)]
+    return IPV(entries, name=name or "random")

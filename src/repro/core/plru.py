@@ -1,0 +1,197 @@
+"""Tree-based PseudoLRU machinery.
+
+This module implements the four algorithms from the paper (Figures 5, 6, 7
+and 9) on a *packed* representation: the complete binary tree for a k-way set
+is stored as a single integer holding the k-1 internal ``plru`` bits.
+
+Tree layout
+-----------
+Internal nodes are numbered in heap order: node 1 is the root and node ``n``
+has children ``2n`` (left) and ``2n + 1`` (right).  Nodes ``k .. 2k-1`` are
+the (virtual) leaves; leaf ``k + w`` corresponds to way ``w``.  The plru bit
+of internal node ``n`` is stored at bit ``n - 1`` of the state integer, so a
+fresh all-zeros state is simply ``0``.
+
+A plru bit of 0 sends the victim search left, 1 sends it right.
+
+Positions
+---------
+Every block occupies a distinct *PseudoLRU recency-stack position* decoded
+from the plru bits on its leaf-to-root path (Figure 7).  Position 0 is the
+pseudo-MRU (PMRU) block; position ``k - 1`` (all ones) is the PseudoLRU
+victim.  :func:`position` and :func:`set_position` convert between plru bits
+and positions; :func:`set_position` is the primitive that makes arbitrary
+insertion/promotion vectors implementable on PLRU state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "tree_bits",
+    "find_plru",
+    "promote",
+    "position",
+    "set_position",
+    "all_positions",
+    "way_at_position",
+    "PLRUTree",
+]
+
+
+def is_power_of_two(k: int) -> bool:
+    """Return True if ``k`` is a positive power of two."""
+    return k > 0 and (k & (k - 1)) == 0
+
+
+def _check_assoc(k: int) -> None:
+    if not is_power_of_two(k):
+        raise ValueError(f"associativity must be a power of two, got {k}")
+
+
+def tree_bits(k: int) -> int:
+    """Number of plru bits needed for a k-way set (k - 1 internal nodes)."""
+    _check_assoc(k)
+    return k - 1
+
+
+def find_plru(state: int, k: int) -> int:
+    """Find the PseudoLRU victim way (Figure 5).
+
+    Walk from the root following plru bits: 0 goes left, 1 goes right.  The
+    leaf reached is the PLRU block, i.e. the block at position ``k - 1``.
+    """
+    n = 1
+    while n < k:
+        n = (n << 1) | ((state >> (n - 1)) & 1)
+    return n - k
+
+
+def promote(state: int, way: int, k: int) -> int:
+    """Promote ``way`` to the PMRU position (Figure 6).
+
+    Sets every plru bit on the leaf-to-root path to point *away* from the
+    promoted block, and returns the new state.  Equivalent to
+    ``set_position(state, way, 0, k)``.
+    """
+    q = k + way
+    while q > 1:
+        parent = q >> 1
+        mask = 1 << (parent - 1)
+        if q & 1:
+            # Right child: parent must point left (0) to lead away.
+            state &= ~mask
+        else:
+            # Left child: parent must point right (1) to lead away.
+            state |= mask
+        q = parent
+    return state
+
+
+def position(state: int, way: int, k: int) -> int:
+    """Decode the PseudoLRU recency-stack position of ``way`` (Figure 7).
+
+    Bit ``i`` of the position (counting from the leaf upward, LSB first) is
+    the parent's plru bit when the i-th node on the path is a right child,
+    and its complement when it is a left child.  More 1 bits mean the block
+    is closer to eviction; position ``k - 1`` is the PLRU victim.
+    """
+    q = k + way
+    x = 0
+    i = 0
+    while q > 1:
+        parent = q >> 1
+        b = (state >> (parent - 1)) & 1
+        if not (q & 1):
+            b ^= 1
+        x |= b << i
+        q = parent
+        i += 1
+    return x
+
+
+def set_position(state: int, way: int, x: int, k: int) -> int:
+    """Set the PseudoLRU position of ``way`` to ``x`` (Figure 9).
+
+    Writes the plru bits on the leaf-to-root path so that ``way`` decodes to
+    position ``x``.  As in hardware, this touches only ``log2(k)`` bits — but
+    as a side effect it may drastically change *other* blocks' positions,
+    which is why IPVs evolved for true LRU do not transfer to PLRU and the
+    paper evolves PLRU-specific vectors (Section 3.4).
+    """
+    if not 0 <= x < k:
+        raise ValueError(f"position {x} out of range for {k}-way set")
+    q = k + way
+    i = 0
+    while q > 1:
+        parent = q >> 1
+        bit = (x >> i) & 1
+        if not (q & 1):
+            bit ^= 1
+        mask = 1 << (parent - 1)
+        state = (state | mask) if bit else (state & ~mask)
+        q = parent
+        i += 1
+    return state
+
+
+def all_positions(state: int, k: int) -> list:
+    """Return the position of every way; always a permutation of 0..k-1."""
+    return [position(state, w, k) for w in range(k)]
+
+
+def way_at_position(state: int, x: int, k: int) -> int:
+    """Return the way currently decoding to position ``x``.
+
+    Walks down from the root using the bits of ``x`` from MSB (root level)
+    to LSB (leaf level): a 1 bit follows the parent's plru direction, a 0
+    bit goes the other way.
+    """
+    if not 0 <= x < k:
+        raise ValueError(f"position {x} out of range for {k}-way set")
+    n = 1
+    level = k.bit_length() - 2  # index of the root-level bit of x
+    while n < k:
+        b = (state >> (n - 1)) & 1
+        want = (x >> level) & 1
+        # Position bit is 1 when we follow the plru direction (toward the
+        # victim side), 0 when we go against it.
+        n = (n << 1) | (b if want else b ^ 1)
+        level -= 1
+    return n - k
+
+
+class PLRUTree:
+    """A mutable wrapper around the packed PLRU state for one cache set.
+
+    The functional API above is the ground truth; this class is a
+    convenience for code that wants object syntax (examples, tests).
+    """
+
+    __slots__ = ("k", "state")
+
+    def __init__(self, k: int, state: int = 0):
+        _check_assoc(k)
+        self.k = k
+        self.state = state
+
+    def victim(self) -> int:
+        """Way of the current PseudoLRU block."""
+        return find_plru(self.state, self.k)
+
+    def touch(self, way: int) -> None:
+        """Promote ``way`` to PMRU (classic PLRU hit handling)."""
+        self.state = promote(self.state, way, self.k)
+
+    def position_of(self, way: int) -> int:
+        return position(self.state, way, self.k)
+
+    def move_to(self, way: int, pos: int) -> None:
+        self.state = set_position(self.state, way, pos, self.k)
+
+    def positions(self) -> list:
+        return all_positions(self.state, self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bits = format(self.state, f"0{self.k - 1}b")
+        return f"PLRUTree(k={self.k}, bits={bits}, positions={self.positions()})"

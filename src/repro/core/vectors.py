@@ -1,0 +1,107 @@
+"""Published insertion/promotion vectors from the paper.
+
+These are the exact vectors reported in Sections 2.5 and 5.3 for 16-way
+associativity.  Shipping them lets every experiment run with the authors'
+evolved vectors as well as with vectors evolved locally by :mod:`repro.ga`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from .ipv import IPV, lip_ipv, lru_ipv
+
+__all__ = [
+    "GIPLR_VECTOR",
+    "GIPPR_WI_VECTOR",
+    "GIPPR_WN1_PERLBENCH",
+    "DGIPPR2_WI_VECTORS",
+    "DGIPPR4_WI_VECTORS",
+    "LRU16",
+    "LIP16",
+    "paper_vectors",
+    "load_wn1_vectors",
+    "WN1_VECTORS_PATH",
+]
+
+#: Best vector evolved for true-LRU GIPLR (Section 2.5): insert at 13,
+#: promote LRU-position blocks to 11, etc.
+GIPLR_VECTOR = IPV(
+    [0, 0, 1, 0, 3, 0, 1, 2, 1, 0, 5, 1, 0, 0, 1, 11, 13], name="GIPLR"
+)
+
+#: Workload-inclusive single vector for GIPPR (Section 5.3).
+GIPPR_WI_VECTOR = IPV(
+    [0, 0, 2, 8, 4, 1, 4, 1, 8, 0, 14, 8, 12, 13, 14, 9, 5], name="GIPPR-WI"
+)
+
+#: Best single workload-neutral vector for 400.perlbench (Section 5.3).
+GIPPR_WN1_PERLBENCH = IPV(
+    [12, 8, 14, 1, 4, 4, 2, 1, 8, 12, 6, 4, 0, 0, 10, 12, 11],
+    name="GIPPR-WN1-perlbench",
+)
+
+#: The two vectors duelled by WI-2-DGIPPR (Section 5.3).  The paper notes
+#: they clearly duel between PLRU and PMRU insertion, like DIP.
+DGIPPR2_WI_VECTORS: List[IPV] = [
+    IPV([8, 0, 2, 8, 12, 4, 6, 3, 0, 8, 10, 8, 4, 12, 14, 3, 15], name="2DG-A"),
+    IPV([0, 0, 0, 0, 0, 0, 0, 0, 8, 8, 8, 8, 0, 0, 0, 0, 0], name="2DG-B"),
+]
+
+#: The four vectors duelled by WI-4-DGIPPR (Section 5.3): they switch between
+#: PLRU, PMRU, near-PMRU and "middle" insertion.
+DGIPPR4_WI_VECTORS: List[IPV] = [
+    IPV([14, 5, 6, 1, 10, 6, 8, 8, 15, 8, 8, 14, 12, 4, 12, 9, 8], name="4DG-A"),
+    IPV([4, 12, 2, 8, 10, 0, 6, 8, 0, 8, 8, 0, 2, 4, 14, 11, 15], name="4DG-B"),
+    IPV([0, 0, 2, 1, 4, 4, 6, 5, 8, 8, 10, 1, 12, 8, 2, 1, 3], name="4DG-C"),
+    IPV([11, 12, 10, 0, 5, 0, 10, 4, 9, 8, 10, 0, 4, 4, 12, 0, 0], name="4DG-D"),
+]
+
+#: Classic vectors at the paper's associativity, for convenience.
+LRU16 = lru_ipv(16)
+LIP16 = lip_ipv(16)
+
+
+def paper_vectors() -> dict:
+    """All published vectors keyed by their name."""
+    out = {
+        GIPLR_VECTOR.name: GIPLR_VECTOR,
+        GIPPR_WI_VECTOR.name: GIPPR_WI_VECTOR,
+        GIPPR_WN1_PERLBENCH.name: GIPPR_WN1_PERLBENCH,
+    }
+    for v in DGIPPR2_WI_VECTORS + DGIPPR4_WI_VECTORS:
+        out[v.name] = v
+    return out
+
+
+#: Default location of locally evolved WN1/WI vector sets (produced by
+#: ``scripts/evolve_wn1_vectors.py``).
+WN1_VECTORS_PATH = os.path.join(os.path.dirname(__file__), "..", "data",
+                                "wn1_vectors.json")
+
+
+def load_wn1_vectors(path: Optional[str] = None) -> Dict[str, Dict[int, List[IPV]]]:
+    """Load locally evolved WN1/WI vector sets, if present.
+
+    Returns ``{held_out_benchmark: {vector_count: [IPV, ...]}}``; the key
+    ``"WI"`` holds the workload-inclusive sets.  Returns an empty dict when
+    the data file has not been generated (benches then skip the honest-WN1
+    experiments and fall back to the published WI vectors).
+    """
+    path = path or WN1_VECTORS_PATH
+    if not os.path.exists(path):
+        return {}
+    with open(path) as handle:
+        payload = json.load(handle)
+    out: Dict[str, Dict[int, List[IPV]]] = {}
+    for held_out, by_count in payload["vectors"].items():
+        out[held_out] = {
+            int(count): [
+                IPV(entries, name=f"wn1-{held_out}-{count}v{i}")
+                for i, entries in enumerate(vector_lists)
+            ]
+            for count, vector_lists in by_count.items()
+        }
+    return out

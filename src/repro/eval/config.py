@@ -1,0 +1,94 @@
+"""Experiment configuration.
+
+The paper's LLC is 4 MB, 16-way, 64 B blocks (4096 sets).  Pure-Python trace
+simulation at that size needs billions of accesses to exercise capacity, so
+the default experiment geometry scales the *number of sets* down while
+keeping the associativity at 16 (the parameter IPVs depend on) and scaling
+workload working sets in proportion — the set-sampling argument in
+DESIGN.md.  ``paper_scale_config`` returns the full-size geometry for anyone
+with the patience.
+
+``REPRO_SCALE`` (environment) multiplies trace lengths, so benches can be
+made quicker or more statistically solid without code edits.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..timing import LinearCPIModel
+
+__all__ = ["ExperimentConfig", "default_config", "paper_scale_config", "env_scale"]
+
+
+def env_scale() -> float:
+    """Trace-length multiplier from the ``REPRO_SCALE`` environment variable."""
+    try:
+        return max(0.01, float(os.environ.get("REPRO_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+class ExperimentConfig:
+    """Geometry, trace sizing and timing model for one experiment."""
+
+    def __init__(
+        self,
+        num_sets: int = 64,
+        assoc: int = 16,
+        trace_length: int = 120_000,
+        warmup_fraction: float = 0.25,
+        seed: int = 0,
+        timing: Optional[LinearCPIModel] = None,
+        apply_env_scale: bool = True,
+    ):
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        scale = env_scale() if apply_env_scale else 1.0
+        self.trace_length = max(1000, int(trace_length * scale))
+        self.warmup_fraction = warmup_fraction
+        self.seed = seed
+        self.timing = timing or LinearCPIModel()
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.assoc
+
+    @property
+    def warmup_accesses(self) -> int:
+        return int(self.trace_length * self.warmup_fraction)
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields overridden."""
+        params = dict(
+            num_sets=self.num_sets,
+            assoc=self.assoc,
+            trace_length=self.trace_length,
+            warmup_fraction=self.warmup_fraction,
+            seed=self.seed,
+            timing=self.timing,
+            apply_env_scale=False,
+        )
+        params.update(overrides)
+        return ExperimentConfig(**params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExperimentConfig(sets={self.num_sets}, assoc={self.assoc}, "
+            f"trace_length={self.trace_length})"
+        )
+
+
+def default_config(**overrides) -> ExperimentConfig:
+    """The standard scaled-down experiment geometry (64 sets x 16 ways)."""
+    config = ExperimentConfig()
+    return config.scaled(**overrides) if overrides else config
+
+
+def paper_scale_config(**overrides) -> ExperimentConfig:
+    """The paper's full 4 MB / 16-way geometry (slow in pure Python)."""
+    config = ExperimentConfig(num_sets=4096, trace_length=20_000_000)
+    return config.scaled(**overrides) if overrides else config

@@ -1,0 +1,91 @@
+"""Instrumentation for set-dueling dynamics.
+
+Wraps a duelling policy's selector so every PSEL movement and every change
+of the selected policy is recorded with its access index.  This is how the
+adaptivity of DGIPPR (Section 3.5) can be *measured* rather than eyeballed:
+how long the duel takes to flip after a phase change, how often it
+thrashes, and what fraction of time each vector governs the followers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cache.cache import SetAssociativeCache
+from ..policies.base import ReplacementPolicy
+from ..trace.record import Trace
+
+__all__ = ["DuelTrace", "record_duel"]
+
+
+class DuelTrace:
+    """The recorded dueling history of one run."""
+
+    def __init__(self, switches: List[Tuple[int, int]], accesses: int,
+                 final_selected: int):
+        #: (access index, newly selected policy) pairs, first entry at 0.
+        self.switches = switches
+        self.accesses = accesses
+        self.final_selected = final_selected
+
+    @property
+    def switch_count(self) -> int:
+        """Number of times the followers changed policy."""
+        return max(0, len(self.switches) - 1)
+
+    def occupancy(self) -> dict:
+        """Fraction of accesses each policy governed the followers."""
+        out: dict = {}
+        for (start, policy), (end, _next) in zip(
+            self.switches, self.switches[1:] + [(self.accesses, -1)]
+        ):
+            out[policy] = out.get(policy, 0) + (end - start)
+        total = max(1, self.accesses)
+        return {policy: span / total for policy, span in out.items()}
+
+    def flip_latency(self, phase_starts: List[int]) -> List[Optional[int]]:
+        """Accesses from each phase start until the next selector switch.
+
+        Returns None for phases during which the selector never moved.
+        """
+        latencies: List[Optional[int]] = []
+        switch_points = [index for index, _ in self.switches[1:]]
+        for start in phase_starts:
+            after = [s for s in switch_points if s >= start]
+            latencies.append(after[0] - start if after else None)
+        return latencies
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DuelTrace(switches={self.switch_count}, "
+            f"occupancy={self.occupancy()})"
+        )
+
+
+def record_duel(
+    policy: ReplacementPolicy,
+    trace: Trace,
+    num_sets: int,
+    assoc: int,
+    sample_every: int = 1,
+) -> DuelTrace:
+    """Run a trace against a duelling policy, recording selector switches.
+
+    ``policy`` must expose a ``selector`` with a ``selected()`` method
+    (DGIPPR, DRRIP, DIP, DynamicIPVRRIP all do).
+    """
+    selector = getattr(policy, "selector", None)
+    if selector is None or not hasattr(selector, "selected"):
+        raise ValueError(f"{policy.name} has no set-dueling selector")
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    switches: List[Tuple[int, int]] = [(0, selector.selected())]
+    current = selector.selected()
+    index = 0
+    for index, (address, pc) in enumerate(trace):
+        cache.access(address, pc=pc)
+        if index % sample_every == 0:
+            selected = selector.selected()
+            if selected != current:
+                switches.append((index, selected))
+                current = selected
+    return DuelTrace(switches, len(trace), current)

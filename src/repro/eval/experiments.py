@@ -1,0 +1,205 @@
+"""Suite-level experiment driver.
+
+``run_suite`` runs a set of labelled policies over the (synthetic) SPEC
+suite and wraps the results in a :class:`SuiteResult` that knows how to
+compute the paper's reported quantities: per-benchmark speedups over LRU,
+geometric means, MPKI normalized to LRU, and the memory-intensive subset
+(benchmarks where DRRIP beats LRU by more than 1 %, Section 5.1).
+
+Every figure-bench under ``benchmarks/`` is a thin wrapper over this module;
+see DESIGN.md's per-experiment index.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from ..workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, benchmark_names
+from .config import ExperimentConfig, default_config
+from .metrics import (
+    geometric_mean,
+    memory_intensive_subset,
+    normalized_map,
+)
+from .runner import BenchmarkResult, run_benchmark
+
+__all__ = ["PolicySpec", "SuiteResult", "run_suite", "STANDARD_POLICIES"]
+
+
+class PolicySpec(NamedTuple):
+    """A labelled policy configuration for suite runs."""
+
+    label: str
+    policy: str
+    kwargs: dict = {}
+
+
+#: The line-up used by most figures.
+STANDARD_POLICIES: List[PolicySpec] = [
+    PolicySpec("LRU", "lru"),
+    PolicySpec("PLRU", "plru"),
+    PolicySpec("Random", "random"),
+    PolicySpec("DRRIP", "drrip"),
+    PolicySpec("PDP", "pdp"),
+]
+
+
+class SuiteResult:
+    """Results of ``run_suite``: benchmark x policy matrices plus metrics."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        results: Dict[str, Dict[str, BenchmarkResult]],
+        baseline_label: str = "LRU",
+    ):
+        self.config = config
+        self.results = results
+        self.baseline_label = baseline_label
+        self.labels = list(results)
+        first = next(iter(results.values()))
+        self.benchmarks = list(first)
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+    def misses(self, label: str) -> Dict[str, float]:
+        return {b: r.misses for b, r in self.results[label].items()}
+
+    def mpki(self, label: str) -> Dict[str, float]:
+        return {b: r.mpki for b, r in self.results[label].items()}
+
+    def instructions(self, label: str) -> Dict[str, float]:
+        return {b: r.instructions for b, r in self.results[label].items()}
+
+    # ------------------------------------------------------------------
+    # Paper metrics.
+    # ------------------------------------------------------------------
+    def speedups(self, label: str, baseline: Optional[str] = None) -> Dict[str, float]:
+        """Per-benchmark speedup over the baseline via the CPI model."""
+        baseline = baseline or self.baseline_label
+        timing = self.config.timing
+        base_misses = self.misses(baseline)
+        pol_misses = self.misses(label)
+        instructions = self.instructions(baseline)
+        return {
+            b: timing.cycles(int(instructions[b]), base_misses[b])
+            / timing.cycles(int(instructions[b]), pol_misses[b])
+            for b in self.benchmarks
+        }
+
+    def geomean_speedup(self, label: str, benchmarks: Optional[Sequence[str]] = None) -> float:
+        speedups = self.speedups(label)
+        benchmarks = benchmarks or self.benchmarks
+        return geometric_mean(speedups[b] for b in benchmarks)
+
+    def normalized_mpki(self, label: str) -> Dict[str, float]:
+        """MPKI normalized to the LRU baseline (Figures 10 and 11)."""
+        return normalized_map(self.mpki(self.baseline_label), self.mpki(label))
+
+    def geomean_normalized_mpki(self, label: str) -> float:
+        return geometric_mean(
+            max(v, 1e-6) for v in self.normalized_mpki(label).values()
+        )
+
+    def memory_intensive(self, drrip_label: str = "DRRIP") -> List[str]:
+        """Benchmarks where DRRIP beats LRU by > 1 % (the paper's subset)."""
+        if drrip_label not in self.results:
+            raise ValueError(f"no {drrip_label!r} run in this suite")
+        return list(memory_intensive_subset(self.speedups(drrip_label)))
+
+    def sorted_benchmarks(self, by_label: str, metric: str = "speedup") -> List[str]:
+        """Benchmarks in ascending order of a policy's statistic.
+
+        The paper sorts its bar charts in ascending order of the statistic
+        for DRRIP.
+        """
+        if metric == "speedup":
+            key = self.speedups(by_label)
+        elif metric == "normalized_mpki":
+            key = self.normalized_mpki(by_label)
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        return sorted(self.benchmarks, key=lambda b: key[b])
+
+
+def _run_one(args):
+    """Worker task: run one (benchmark, policy) cell.
+
+    Per-process trace caching keeps multiprocess fan-out from regenerating
+    traces for every policy.
+    """
+    bench_name, spec, config = args
+    benchmark = SPEC_BENCHMARKS[bench_name]
+    traces = _trace_cache(benchmark, config)
+    result = run_benchmark(
+        spec.policy, benchmark, config, policy_kwargs=spec.kwargs, traces=traces
+    )
+    return bench_name, spec.label, result
+
+
+_TRACES: dict = {}
+
+
+def _trace_cache(benchmark: SpecBenchmark, config: ExperimentConfig):
+    key = (
+        benchmark.name,
+        config.trace_length,
+        config.capacity_blocks,
+        config.seed,
+    )
+    traces = _TRACES.get(key)
+    if traces is None:
+        traces = benchmark.traces(
+            config.trace_length, config.capacity_blocks, seed=config.seed
+        )
+        _TRACES[key] = traces
+    return traces
+
+
+def run_suite(
+    policies: Sequence[PolicySpec] = None,
+    config: Optional[ExperimentConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    baseline_label: str = "LRU",
+    workers: Optional[int] = None,
+) -> SuiteResult:
+    """Run every policy over every benchmark.
+
+    ``workers`` defaults to the ``REPRO_WORKERS`` environment variable (0 or
+    unset = serial).  Results are identical either way; parallelism only
+    fans the (benchmark, policy) grid over processes.
+    """
+    policies = list(policies or STANDARD_POLICIES)
+    config = config or default_config()
+    benchmarks = list(benchmarks or benchmark_names())
+    labels = [spec.label for spec in policies]
+    if len(set(labels)) != len(labels):
+        raise ValueError("policy labels must be unique")
+    if baseline_label not in labels:
+        raise ValueError(f"baseline {baseline_label!r} must be among the policies")
+
+    tasks = [
+        (bench, spec, config) for bench in benchmarks for spec in policies
+    ]
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+
+    results: Dict[str, Dict[str, BenchmarkResult]] = {
+        label: {} for label in labels
+    }
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for bench, label, result in pool.map(_run_one, tasks, chunksize=1):
+                results[label][bench] = result
+    else:
+        for task in tasks:
+            bench, label, result = _run_one(task)
+            results[label][bench] = result
+    # Keep benchmark insertion order stable per label.
+    ordered = {
+        label: {b: results[label][b] for b in benchmarks} for label in labels
+    }
+    return SuiteResult(config, ordered, baseline_label=baseline_label)

@@ -1,0 +1,78 @@
+"""IPC estimation: cache simulation + the pipeline interval model.
+
+Bridges the cache simulator and :class:`repro.timing.PipelineModel` the way
+CMP$im couples its cache hierarchy to its core model: run the trace, record
+the per-access hit/miss outcome stream, and feed it to the interval model.
+This is the "performance simulation" counterpart to the miss-count-only
+linear model the GA uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cache.cache import SetAssociativeCache
+from ..policies.registry import make_policy
+from ..timing.pipeline import PipelineModel, PipelineResult
+from ..trace.record import Trace, annotate_next_use
+from .config import ExperimentConfig, default_config
+
+__all__ = ["estimate_ipc", "ipc_speedup"]
+
+
+def estimate_ipc(
+    policy_name: str,
+    trace: Trace,
+    config: Optional[ExperimentConfig] = None,
+    model: Optional[PipelineModel] = None,
+    policy_kwargs: Optional[dict] = None,
+) -> PipelineResult:
+    """Simulate a trace and estimate IPC with the pipeline model.
+
+    Warmup accesses are executed against the cache but excluded from the
+    outcome stream the core model sees, matching the runner's measured
+    window.
+    """
+    config = config or default_config()
+    model = model or PipelineModel()
+    policy = make_policy(
+        policy_name, config.num_sets, config.assoc, **(policy_kwargs or {})
+    )
+    cache = SetAssociativeCache(
+        config.num_sets, config.assoc, policy, block_size=1, name=trace.name
+    )
+    addresses = trace.address_list()
+    pcs = trace.pc_list()
+    warmup = int(len(addresses) * config.warmup_fraction)
+    needs_future = getattr(policy, "requires_future", False)
+    next_use = annotate_next_use(trace) if needs_future else None
+
+    outcomes = []
+    for i in range(len(addresses)):
+        hit = cache.access(
+            addresses[i],
+            pc=pcs[i],
+            next_use=next_use[i] if next_use is not None else None,
+        )
+        if i >= warmup:
+            outcomes.append(hit)
+
+    measured_instructions = max(
+        len(outcomes),
+        int(trace.instructions * (1.0 - config.warmup_fraction)),
+    )
+    return model.simulate(measured_instructions, len(outcomes), outcomes)
+
+
+def ipc_speedup(
+    policy_name: str,
+    baseline_name: str,
+    trace: Trace,
+    config: Optional[ExperimentConfig] = None,
+    model: Optional[PipelineModel] = None,
+    policy_kwargs: Optional[dict] = None,
+) -> float:
+    """IPC ratio of a policy over a baseline on one trace (>1 = faster)."""
+    policy_result = estimate_ipc(policy_name, trace, config, model, policy_kwargs)
+    baseline_result = estimate_ipc(baseline_name, trace, config, model)
+    return policy_result.ipc / baseline_result.ipc

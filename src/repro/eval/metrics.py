@@ -1,0 +1,66 @@
+"""Aggregate metrics: geometric means, speedups, normalized misses."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+__all__ = [
+    "geometric_mean",
+    "speedup_map",
+    "normalized_map",
+    "memory_intensive_subset",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on non-positive inputs (they are bugs here)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    log_sum = 0.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        log_sum += math.log(v)
+    return math.exp(log_sum / len(values))
+
+
+def speedup_map(
+    baseline_misses: Dict[str, float],
+    policy_misses: Dict[str, float],
+    instructions: Dict[str, float],
+    timing,
+) -> Dict[str, float]:
+    """Per-benchmark speedup of a policy over a baseline via the CPI model."""
+    out = {}
+    for bench, base in baseline_misses.items():
+        out[bench] = timing.cycles(
+            int(instructions[bench]), base
+        ) / timing.cycles(int(instructions[bench]), policy_misses[bench])
+    return out
+
+
+def normalized_map(
+    baseline: Dict[str, float], policy: Dict[str, float], floor: float = 1e-9
+) -> Dict[str, float]:
+    """Per-benchmark policy/baseline ratios (e.g. normalized MPKI).
+
+    Benchmarks where the baseline value is ~0 (no misses beyond compulsory)
+    are reported as 1.0 — the paper's plots do the same implicitly, since
+    0/0 benchmarks show as parity.
+    """
+    out = {}
+    for bench, base in baseline.items():
+        if base <= floor:
+            out[bench] = 1.0
+        else:
+            out[bench] = policy[bench] / base
+    return out
+
+
+def memory_intensive_subset(
+    drrip_speedup: Dict[str, float], threshold: float = 1.01
+) -> Sequence[str]:
+    """The paper's memory-intensive subset: DRRIP speedup over LRU > 1 %."""
+    return sorted(b for b, s in drrip_speedup.items() if s > threshold)

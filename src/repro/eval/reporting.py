@@ -1,0 +1,96 @@
+"""Text reporting: the paper's figures as aligned console tables.
+
+The benches print per-benchmark rows sorted the way the paper sorts its bar
+charts (ascending by the DRRIP statistic) followed by the geometric mean,
+so runs can be compared side-by-side with the published figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .experiments import SuiteResult
+from .metrics import geometric_mean
+
+__all__ = ["format_table", "speedup_table", "normalized_mpki_table", "format_overhead"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)),
+        "  ".join("-" * widths[c] for c in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(len(row))))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    suite: SuiteResult,
+    labels: Optional[Sequence[str]] = None,
+    sort_by: Optional[str] = None,
+) -> str:
+    """Per-benchmark speedups over LRU plus the geomean row (Figures 4/13)."""
+    labels = list(labels or [l for l in suite.labels if l != suite.baseline_label])
+    sort_by = sort_by or ("DRRIP" if "DRRIP" in labels else labels[0])
+    order = suite.sorted_benchmarks(sort_by, metric="speedup")
+    speedups = {label: suite.speedups(label) for label in labels}
+    rows = [[b] + [speedups[l][b] for l in labels] for b in order]
+    rows.append(
+        ["GEOMEAN"] + [geometric_mean(speedups[l].values()) for l in labels]
+    )
+    return format_table(["benchmark"] + list(labels), rows)
+
+
+def normalized_mpki_table(
+    suite: SuiteResult,
+    labels: Optional[Sequence[str]] = None,
+    sort_by: Optional[str] = None,
+) -> str:
+    """Per-benchmark MPKI normalized to LRU (Figures 10/11)."""
+    labels = list(labels or [l for l in suite.labels if l != suite.baseline_label])
+    sort_by = sort_by or ("DRRIP" if "DRRIP" in labels else labels[0])
+    order = suite.sorted_benchmarks(sort_by, metric="normalized_mpki")
+    norm = {label: suite.normalized_mpki(label) for label in labels}
+    rows = [[b] + [norm[l][b] for l in labels] for b in order]
+    rows.append(
+        ["GEOMEAN"]
+        + [geometric_mean(max(v, 1e-6) for v in norm[l].values()) for l in labels]
+    )
+    return format_table(["benchmark"] + list(labels), rows)
+
+
+def format_overhead(rows: Sequence[Dict[str, float]]) -> str:
+    """Render :func:`repro.eval.overhead.overhead_table` output."""
+    table_rows = [
+        [
+            r["policy"],
+            r["bits_per_set"],
+            r["bits_per_block"],
+            r["global_bits"],
+            r["total_kilobytes"],
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["policy", "bits/set", "bits/block", "global bits", "total KB"],
+        table_rows,
+        float_format="{:.2f}",
+    )

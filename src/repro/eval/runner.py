@@ -1,0 +1,192 @@
+"""Trace-driven simulation runner.
+
+Mirrors the paper's methodology (Section 4.3): warm the cache on a prefix of
+the trace, measure misses on the remainder, and estimate CPI from the miss
+count with a linear model.  Results are aggregated across a benchmark's
+simpoints by SimPoint weight (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cache.cache import SetAssociativeCache
+from ..policies.base import ReplacementPolicy
+from ..policies.registry import make_policy
+from ..trace.record import Trace, annotate_next_use
+from ..workloads.spec import SpecBenchmark
+from .config import ExperimentConfig
+
+__all__ = ["RunResult", "BenchmarkResult", "run_trace", "run_benchmark"]
+
+
+class RunResult:
+    """Measured-window statistics for one trace under one policy."""
+
+    __slots__ = (
+        "trace_name",
+        "policy_name",
+        "accesses",
+        "misses",
+        "instructions",
+        "mpki",
+        "miss_positions",
+    )
+
+    def __init__(
+        self,
+        trace_name: str,
+        policy_name: str,
+        accesses: int,
+        misses: int,
+        instructions: int,
+        miss_positions: Optional[List[int]] = None,
+    ):
+        self.trace_name = trace_name
+        self.policy_name = policy_name
+        self.accesses = accesses
+        self.misses = misses
+        self.instructions = instructions
+        self.mpki = 1000.0 * misses / instructions if instructions else 0.0
+        self.miss_positions = miss_positions
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunResult({self.trace_name} @ {self.policy_name}: "
+            f"misses={self.misses}/{self.accesses}, mpki={self.mpki:.2f})"
+        )
+
+
+class BenchmarkResult:
+    """Simpoint-weighted aggregate for one benchmark under one policy."""
+
+    __slots__ = ("benchmark", "policy_name", "runs", "weights", "misses", "mpki", "instructions")
+
+    def __init__(
+        self,
+        benchmark: str,
+        policy_name: str,
+        runs: Sequence[RunResult],
+        weights: Sequence[float],
+    ):
+        if len(runs) != len(weights):
+            raise ValueError("one weight per simpoint run required")
+        self.benchmark = benchmark
+        self.policy_name = policy_name
+        self.runs = list(runs)
+        self.weights = list(weights)
+        # Weighted miss count and MPKI: the weights are fractions of total
+        # executed instructions each simpoint represents.
+        self.misses = sum(r.misses * w for r, w in zip(runs, weights))
+        self.mpki = sum(r.mpki * w for r, w in zip(runs, weights))
+        self.instructions = sum(
+            r.instructions * w for r, w in zip(runs, weights)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BenchmarkResult({self.benchmark} @ {self.policy_name}: "
+            f"mpki={self.mpki:.2f})"
+        )
+
+
+def run_trace(
+    policy: ReplacementPolicy,
+    trace: Trace,
+    config: ExperimentConfig,
+    collect_miss_positions: bool = False,
+) -> RunResult:
+    """Run one trace through a fresh cache built around ``policy``.
+
+    The first ``config.warmup_fraction`` of accesses warm the cache
+    (statistics are discarded), the rest are measured — the 500M-warm /
+    1B-measure split of the paper, proportionally.
+    """
+    cache = SetAssociativeCache(
+        config.num_sets, config.assoc, policy, block_size=1, name=trace.name
+    )
+    addresses = trace.address_list()
+    pcs = trace.pc_list()
+    warmup = int(len(addresses) * config.warmup_fraction)
+    access = cache.access
+    needs_future = getattr(policy, "requires_future", False)
+    next_use = annotate_next_use(trace) if needs_future else None
+
+    if needs_future:
+        for i in range(warmup):
+            access(addresses[i], pcs[i], next_use=next_use[i])
+    else:
+        for i in range(warmup):
+            access(addresses[i], pcs[i])
+    cache.reset_stats()
+
+    measured_instructions = max(
+        1, int(trace.instructions * (1.0 - config.warmup_fraction))
+    )
+    # Real instruction positions when the trace is annotated (see
+    # repro.trace.assign_instruction_positions); uniform spacing otherwise.
+    positions = trace.position_list()
+    instructions_per_access = trace.instructions / max(1, len(addresses))
+    miss_positions: Optional[List[int]] = [] if collect_miss_positions else None
+
+    def position_of(i: int) -> int:
+        if positions is not None:
+            return positions[i]
+        return int(i * instructions_per_access)
+
+    if needs_future:
+        for i in range(warmup, len(addresses)):
+            hit = access(addresses[i], pcs[i], next_use=next_use[i])
+            if not hit and miss_positions is not None:
+                miss_positions.append(position_of(i))
+    elif miss_positions is not None:
+        for i in range(warmup, len(addresses)):
+            if not access(addresses[i], pcs[i]):
+                miss_positions.append(position_of(i))
+    else:
+        for i in range(warmup, len(addresses)):
+            access(addresses[i], pcs[i])
+
+    stats = cache.stats
+    return RunResult(
+        trace.name,
+        policy.name,
+        accesses=stats.accesses,
+        misses=stats.misses,
+        instructions=measured_instructions,
+        miss_positions=miss_positions,
+    )
+
+
+def run_benchmark(
+    policy_name: str,
+    benchmark: SpecBenchmark,
+    config: ExperimentConfig,
+    policy_kwargs: Optional[Dict] = None,
+    traces: Optional[Sequence[Trace]] = None,
+    collect_miss_positions: bool = False,
+) -> BenchmarkResult:
+    """Run every simpoint of a benchmark; aggregate by SimPoint weight.
+
+    A fresh policy instance is built per simpoint (simpoints are independent
+    program phases simulated separately, as in the paper).
+    """
+    if traces is None:
+        traces = benchmark.traces(
+            config.trace_length, config.capacity_blocks, seed=config.seed
+        )
+    runs = []
+    for trace in traces:
+        policy = make_policy(
+            policy_name, config.num_sets, config.assoc, **(policy_kwargs or {})
+        )
+        runs.append(
+            run_trace(policy, trace, config, collect_miss_positions)
+        )
+    return BenchmarkResult(
+        benchmark.name, policy_name, runs, benchmark.weights()
+    )

@@ -1,0 +1,85 @@
+"""Parameter sweeps: miss-ratio curves and geometry studies.
+
+Miss-ratio curves (miss rate as a function of cache size) are the standard
+lens for the behaviour the paper's policies exploit: a thrash loop has a
+cliff at its working-set size — LRU sits above the cliff until capacity
+covers the whole loop, while insertion-adaptive policies cut through it.
+``miss_ratio_curve`` sweeps the set count at fixed associativity (the axis
+the paper's IPVs require to stay 16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cache.cache import SetAssociativeCache
+from ..policies.registry import make_policy
+from ..trace.record import Trace, annotate_next_use
+
+__all__ = ["miss_ratio_curve", "crossover_size"]
+
+
+def miss_ratio_curve(
+    policy_name: str,
+    trace: Trace,
+    set_counts: Sequence[int] = (16, 32, 64, 128, 256),
+    assoc: int = 16,
+    warmup_fraction: float = 0.25,
+    policy_kwargs: Optional[dict] = None,
+) -> Dict[int, float]:
+    """Measured-window miss rate at each cache size (sets x assoc blocks)."""
+    addresses = trace.address_list()
+    pcs = trace.pc_list()
+    warmup = int(len(addresses) * warmup_fraction)
+    curve: Dict[int, float] = {}
+    for num_sets in set_counts:
+        policy = make_policy(
+            policy_name, num_sets, assoc, **(policy_kwargs or {})
+        )
+        cache = SetAssociativeCache(
+            num_sets, assoc, policy, block_size=1, name=trace.name
+        )
+        needs_future = getattr(policy, "requires_future", False)
+        next_use = annotate_next_use(trace) if needs_future else None
+        for i in range(warmup):
+            cache.access(
+                addresses[i], pc=pcs[i],
+                next_use=next_use[i] if next_use is not None else None,
+            )
+        cache.reset_stats()
+        for i in range(warmup, len(addresses)):
+            cache.access(
+                addresses[i], pc=pcs[i],
+                next_use=next_use[i] if next_use is not None else None,
+            )
+        curve[num_sets * assoc] = cache.stats.miss_rate
+    return curve
+
+
+def crossover_size(
+    curve_a: Dict[int, float],
+    curve_b: Dict[int, float],
+    tolerance: float = 1e-3,
+) -> Optional[int]:
+    """Smallest cache size where policy B stops beating policy A.
+
+    Returns None when no crossover exists in the sampled range (one curve
+    dominates throughout).  Useful for locating the capacity at which an
+    insertion-adaptive policy's advantage over LRU disappears (once the
+    working set fits, everybody hits).
+    """
+    sizes = sorted(set(curve_a) & set(curve_b))
+    if not sizes:
+        raise ValueError("curves share no sizes")
+    previous_winner = None
+    for size in sizes:
+        diff = curve_a[size] - curve_b[size]
+        if abs(diff) <= tolerance:
+            winner = 0
+        else:
+            winner = 1 if diff > 0 else -1
+        if previous_winner not in (None, 0) and winner not in (0, previous_winner):
+            return size
+        if winner != 0:
+            previous_winner = winner
+    return None

@@ -1,0 +1,295 @@
+"""GA fitness function (paper Section 4.3).
+
+The fitness of an IPV is the arithmetic-mean estimated speedup over true
+LRU across a set of workload traces, with CPI estimated as a linear
+function of miss count — exactly the paper's simplified fitness, which it
+notes runs in minutes where a performance simulation takes hours.
+
+The evaluator embeds two specialised simulators (true-LRU-IPV and
+PLRU-IPV) that skip the general cache machinery: the GA calls them millions
+of times, so the hot loops run on plain lists and ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.ipv import IPV, lru_ipv
+from ..eval.config import ExperimentConfig, default_config
+from ..timing import LinearCPIModel
+from ..workloads.spec import SPEC_BENCHMARKS, benchmark_names
+
+__all__ = [
+    "simulate_misses_lru_ipv",
+    "simulate_misses_plru_ipv",
+    "FitnessEvaluator",
+]
+
+
+def simulate_misses_lru_ipv(
+    addresses: Sequence[int],
+    num_sets: int,
+    assoc: int,
+    entries: Sequence[int],
+    warmup: int,
+    miss_indices: Optional[List[int]] = None,
+) -> int:
+    """Misses in the measured window for an IPV on true-LRU stacks.
+
+    Each set's recency stack is a list of block addresses, MRU first.
+    Returns misses at indices >= ``warmup``; when ``miss_indices`` is given,
+    the access index of every measured miss is appended to it (for
+    MLP-aware fitness).
+    """
+    promo = list(entries[:assoc])
+    insert = entries[assoc]
+    mask = num_sets - 1
+    stacks: List[List[int]] = [[] for _ in range(num_sets)]
+    misses = 0
+    for i, addr in enumerate(addresses):
+        stack = stacks[addr & mask]
+        try:
+            pos = stack.index(addr)
+        except ValueError:
+            if i >= warmup:
+                misses += 1
+                if miss_indices is not None:
+                    miss_indices.append(i)
+            if len(stack) >= assoc:
+                stack.pop()  # evict LRU
+            # Incoming block conceptually lands at LRU then moves to V[k].
+            stack.append(addr)
+            pos = len(stack) - 1
+            new = insert if insert < len(stack) else len(stack) - 1
+        else:
+            new = promo[pos]
+            if new >= len(stack):
+                new = len(stack) - 1
+        if new != pos:
+            del stack[pos]
+            stack.insert(new, addr)
+    return misses
+
+
+def simulate_misses_plru_ipv(
+    addresses: Sequence[int],
+    num_sets: int,
+    assoc: int,
+    entries: Sequence[int],
+    warmup: int,
+    miss_indices: Optional[List[int]] = None,
+) -> int:
+    """Misses in the measured window for an IPV on tree-PLRU state.
+
+    Inlines the Figure 5/7/9 walks over a packed plru-bit integer per set.
+    ``miss_indices``, when given, collects the access index of every
+    measured miss (for MLP-aware fitness).
+    """
+    promo = list(entries[:assoc])
+    insert = entries[assoc]
+    mask = num_sets - 1
+    states = [0] * num_sets
+    tag_to_way: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+    way_to_tag: List[List[int]] = [[-1] * assoc for _ in range(num_sets)]
+    misses = 0
+    for i, addr in enumerate(addresses):
+        si = addr & mask
+        ways = tag_to_way[si]
+        state = states[si]
+        way = ways.get(addr)
+        if way is None:
+            if i >= warmup:
+                misses += 1
+                if miss_indices is not None:
+                    miss_indices.append(i)
+            tags = way_to_tag[si]
+            if len(ways) < assoc:
+                way = len(ways)  # cold fill: ways fill in order
+            else:
+                # find_plru walk
+                n = 1
+                while n < assoc:
+                    n = (n << 1) | ((state >> (n - 1)) & 1)
+                way = n - assoc
+                del ways[tags[way]]
+            tags[way] = addr
+            ways[addr] = way
+            new_pos = insert
+        else:
+            # position decode (Figure 7)
+            q = assoc + way
+            pos = 0
+            b = 0
+            while q > 1:
+                parent = q >> 1
+                bit = (state >> (parent - 1)) & 1
+                if not (q & 1):
+                    bit ^= 1
+                pos |= bit << b
+                q = parent
+                b += 1
+            new_pos = promo[pos]
+        # set_position (Figure 9)
+        q = assoc + way
+        b = 0
+        while q > 1:
+            parent = q >> 1
+            bit = (new_pos >> b) & 1
+            if not (q & 1):
+                bit ^= 1
+            pmask = 1 << (parent - 1)
+            state = (state | pmask) if bit else (state & ~pmask)
+            q = parent
+            b += 1
+        states[si] = state
+    return misses
+
+
+class FitnessEvaluator:
+    """Arithmetic-mean linear-CPI speedup over LRU across workloads.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark names to include (the GA's training set; for WN1
+        cross-validation the held-out benchmark is simply omitted).
+    config:
+        Geometry and trace sizing; the GA typically uses a shorter
+        ``trace_length`` than the evaluation runs.
+    substrate:
+        ``"plru"`` evolves GIPPR vectors, ``"lru"`` evolves GIPLR vectors.
+    mlp_aware:
+        When True, fitness uses :class:`~repro.timing.MLPAwareCPIModel`
+        over per-miss instruction positions instead of the paper's linear
+        model — the paper's future-work item 2 ("take MLP into account in
+        the fitness function").  Accesses get bursty instruction positions
+        (see :func:`repro.trace.assign_instruction_positions`) so miss
+        clustering actually matters.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        config: Optional[ExperimentConfig] = None,
+        substrate: str = "plru",
+        mlp_aware: bool = False,
+        burstiness: float = 0.5,
+    ):
+        if substrate not in ("plru", "lru"):
+            raise ValueError("substrate must be 'plru' or 'lru'")
+        self.substrate = substrate
+        self.config = config or default_config(trace_length=30_000)
+        self.benchmark_names = list(benchmarks or benchmark_names())
+        self.timing: LinearCPIModel = self.config.timing
+        self.mlp_aware = mlp_aware
+        if mlp_aware:
+            from ..timing import MLPAwareCPIModel
+
+            self.mlp_model = MLPAwareCPIModel(
+                base_cpi=self.timing.base_cpi,
+                miss_penalty=self.timing.miss_penalty,
+            )
+        else:
+            self.mlp_model = None
+        # Workload tuples: (name, weight, addresses, instructions, positions)
+        self._workloads: List[
+            Tuple[str, float, List[int], int, Optional[List[int]]]
+        ] = []
+        self._simulate = (
+            simulate_misses_plru_ipv
+            if substrate == "plru"
+            else simulate_misses_lru_ipv
+        )
+        cfg = self.config
+        for name in self.benchmark_names:
+            benchmark = SPEC_BENCHMARKS[name]
+            traces = benchmark.traces(
+                cfg.trace_length, cfg.capacity_blocks, seed=cfg.seed
+            )
+            for trace, weight in zip(traces, benchmark.weights()):
+                measured_instructions = max(
+                    1, int(trace.instructions * (1.0 - cfg.warmup_fraction))
+                )
+                positions = None
+                if mlp_aware:
+                    from ..trace.record import assign_instruction_positions
+
+                    positions = assign_instruction_positions(
+                        trace, seed=cfg.seed ^ 0xB00, burstiness=burstiness
+                    ).position_list()
+                self._workloads.append(
+                    (
+                        name,
+                        weight,
+                        trace.address_list(),
+                        measured_instructions,
+                        positions,
+                    )
+                )
+        # Baseline: true LRU (the paper computes speedup over LRU).
+        baseline = tuple(lru_ipv(cfg.assoc).entries)
+        self._lru_cycles: Dict[str, float] = {}
+        for name, weight, addresses, instructions, positions in self._workloads:
+            cycles = self._cycles_for(
+                simulate_misses_lru_ipv, baseline, addresses, instructions,
+                positions,
+            )
+            self._lru_cycles[name] = (
+                self._lru_cycles.get(name, 0.0) + weight * cycles
+            )
+
+    def _cycles_for(
+        self,
+        simulate,
+        entries: Tuple[int, ...],
+        addresses: List[int],
+        instructions: int,
+        positions: Optional[List[int]],
+    ) -> float:
+        """Cycles under the active timing model for one workload."""
+        cfg = self.config
+        if self.mlp_model is None:
+            misses = simulate(
+                addresses, cfg.num_sets, cfg.assoc, entries, cfg.warmup_accesses
+            )
+            return self.timing.cycles(instructions, misses)
+        miss_indices: List[int] = []
+        simulate(
+            addresses, cfg.num_sets, cfg.assoc, entries, cfg.warmup_accesses,
+            miss_indices=miss_indices,
+        )
+        miss_positions = [positions[i] for i in miss_indices]
+        return self.mlp_model.cycles(instructions, miss_positions)
+
+    @property
+    def k(self) -> int:
+        return self.config.assoc
+
+    def evaluate(self, ipv) -> float:
+        """Fitness of an IPV (IPV object or raw entry sequence)."""
+        entries = tuple(ipv.entries if isinstance(ipv, IPV) else ipv)
+        if len(entries) != self.config.assoc + 1:
+            raise ValueError(
+                f"IPV must have {self.config.assoc + 1} entries, got {len(entries)}"
+            )
+        cycles: Dict[str, float] = {}
+        for name, weight, addresses, instructions, positions in self._workloads:
+            value = self._cycles_for(
+                self._simulate, entries, addresses, instructions, positions
+            )
+            cycles[name] = cycles.get(name, 0.0) + weight * value
+        speedups = [
+            self._lru_cycles[name] / cycles[name] for name in cycles
+        ]
+        return sum(speedups) / len(speedups)
+
+    def per_benchmark_speedup(self, ipv) -> Dict[str, float]:
+        """Per-benchmark speedups (diagnostics and WN1 reporting)."""
+        entries = tuple(ipv.entries if isinstance(ipv, IPV) else ipv)
+        cycles: Dict[str, float] = {}
+        for name, weight, addresses, instructions, positions in self._workloads:
+            value = self._cycles_for(
+                self._simulate, entries, addresses, instructions, positions
+            )
+            cycles[name] = cycles.get(name, 0.0) + weight * value
+        return {name: self._lru_cycles[name] / cycles[name] for name in cycles}

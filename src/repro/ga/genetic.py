@@ -1,0 +1,164 @@
+"""Genetic algorithm for evolving IPVs (paper Sections 2.5 and 4.2).
+
+The operators follow the paper: single-point crossover between two parent
+vectors, 5 % point mutation (one random element replaced by a random
+position), a large initial population shrunk for subsequent generations,
+and elitism.  The paper ran populations of 20 000/4 000 on a cluster; the
+defaults here are laptop-scale and configurable — the *algorithm* is the
+contribution being reproduced, not the cluster.
+
+Fan-out uses ``multiprocessing`` the way the paper used MPI/pgapack: the
+fitness of each individual is independent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.ipv import IPV
+from .fitness import FitnessEvaluator
+
+__all__ = ["GAResult", "evolve_ipv", "crossover", "mutate"]
+
+#: Probability that a freshly created individual suffers a point mutation.
+MUTATION_RATE = 0.05
+
+
+class GAResult:
+    """Outcome of one GA run."""
+
+    def __init__(
+        self,
+        best: IPV,
+        best_fitness: float,
+        history: List[float],
+        evaluations: int,
+    ):
+        self.best = best
+        self.best_fitness = best_fitness
+        self.history = history  # best fitness per generation
+        self.evaluations = evaluations
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GAResult(best={list(self.best.entries)}, "
+            f"fitness={self.best_fitness:.4f}, generations={len(self.history)})"
+        )
+
+
+def crossover(
+    a: Sequence[int], b: Sequence[int], rng: random.Random
+) -> Tuple[int, ...]:
+    """Single-point crossover: a prefix of one parent, suffix of the other."""
+    if len(a) != len(b):
+        raise ValueError("parents must have equal length")
+    cut = rng.randrange(1, len(a))
+    return tuple(a[:cut]) + tuple(b[cut:])
+
+
+def mutate(
+    entries: Sequence[int],
+    k: int,
+    rng: random.Random,
+    rate: float = MUTATION_RATE,
+) -> Tuple[int, ...]:
+    """With probability ``rate``, replace one random element (paper §4.2)."""
+    entries = tuple(entries)
+    if rng.random() >= rate:
+        return entries
+    index = rng.randrange(len(entries))
+    out = list(entries)
+    out[index] = rng.randrange(k)
+    return tuple(out)
+
+
+_WORKER_EVALUATOR: Optional[FitnessEvaluator] = None
+
+
+def _init_worker(evaluator: FitnessEvaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _worker_evaluate(entries: Tuple[int, ...]) -> float:
+    return _WORKER_EVALUATOR.evaluate(entries)
+
+
+def evolve_ipv(
+    evaluator: FitnessEvaluator,
+    population_size: int = 40,
+    initial_population_size: Optional[int] = None,
+    generations: int = 12,
+    mutation_rate: float = MUTATION_RATE,
+    elite: int = 2,
+    seed: int = 0,
+    workers: int = 0,
+    seeds: Optional[Sequence[IPV]] = None,
+    on_generation: Optional[Callable[[int, float], None]] = None,
+) -> GAResult:
+    """Evolve an IPV against ``evaluator``.
+
+    ``initial_population_size`` defaults to 5x the steady population,
+    echoing the paper's 20 000 -> 4 000 schedule.  ``seeds`` inject known
+    vectors (the paper seeds its pgapack stage with earlier GA winners).
+    """
+    k = evaluator.k
+    length = k + 1
+    rng = random.Random(seed)
+    if initial_population_size is None:
+        initial_population_size = 5 * population_size
+    population: List[Tuple[int, ...]] = [
+        tuple(s.entries) for s in (seeds or []) if s.k == k
+    ]
+    while len(population) < initial_population_size:
+        population.append(tuple(rng.randrange(k) for _ in range(length)))
+
+    pool = None
+    if workers and workers > 1:
+        pool = multiprocessing.Pool(
+            processes=workers, initializer=_init_worker, initargs=(evaluator,)
+        )
+
+    def evaluate_all(individuals: List[Tuple[int, ...]]) -> List[float]:
+        if pool is not None:
+            return pool.map(_worker_evaluate, individuals, chunksize=1)
+        return [evaluator.evaluate(ind) for ind in individuals]
+
+    evaluations = 0
+    history: List[float] = []
+    try:
+        scored = list(zip(evaluate_all(population), population))
+        evaluations += len(population)
+        scored.sort(key=lambda p: p[0], reverse=True)
+        for generation in range(generations):
+            survivors = scored[: max(2, population_size // 2)]
+            next_population: List[Tuple[int, ...]] = [
+                ind for _, ind in scored[:elite]
+            ]
+            while len(next_population) < population_size:
+                pa = survivors[rng.randrange(len(survivors))][1]
+                pb = survivors[rng.randrange(len(survivors))][1]
+                child = mutate(crossover(pa, pb, rng), k, rng, mutation_rate)
+                next_population.append(child)
+            fresh = next_population[elite:]
+            fresh_scores = evaluate_all(fresh)
+            evaluations += len(fresh)
+            scored = scored[:elite] + list(zip(fresh_scores, fresh))
+            scored.sort(key=lambda p: p[0], reverse=True)
+            history.append(scored[0][0])
+            if on_generation is not None:
+                on_generation(generation, scored[0][0])
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    best_fitness, best_entries = scored[0]
+    return GAResult(
+        IPV(best_entries, name=f"evolved-s{seed}"),
+        best_fitness,
+        history,
+        evaluations,
+    )

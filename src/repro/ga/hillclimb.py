@@ -1,0 +1,91 @@
+"""Hill-climbing refinement of an IPV (paper Section 2.6).
+
+The paper notes the GA's vector is not locally optimal — e.g. zeroing the
+first twelve GIPLR entries nudges the speedup from 3.1 % to 3.12 % — and
+suggests hill climbing as the refinement.  This climber tries alternative
+values entry-by-entry and keeps strict improvements until a full pass makes
+no progress.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.ipv import IPV
+from .fitness import FitnessEvaluator
+
+__all__ = ["HillClimbResult", "hill_climb"]
+
+
+class HillClimbResult:
+    """Refined vector plus the improvement trail."""
+
+    def __init__(
+        self,
+        best: IPV,
+        best_fitness: float,
+        start_fitness: float,
+        steps: List[Tuple[int, int, float]],
+        evaluations: int,
+    ):
+        self.best = best
+        self.best_fitness = best_fitness
+        self.start_fitness = start_fitness
+        self.steps = steps  # (entry index, new value, fitness after)
+        self.evaluations = evaluations
+
+    @property
+    def improvement(self) -> float:
+        return self.best_fitness - self.start_fitness
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HillClimbResult(fitness {self.start_fitness:.4f} -> "
+            f"{self.best_fitness:.4f} in {len(self.steps)} steps)"
+        )
+
+
+def hill_climb(
+    evaluator: FitnessEvaluator,
+    start: IPV,
+    candidate_values: Optional[Sequence[int]] = None,
+    max_passes: int = 2,
+) -> HillClimbResult:
+    """First-improvement hill climbing over single-entry changes.
+
+    ``candidate_values`` restricts the values tried per entry (default: all
+    positions 0..k-1, which costs (k+1)*k evaluations per pass).
+    """
+    k = evaluator.k
+    values = list(candidate_values) if candidate_values is not None else list(range(k))
+    current = list(start.entries)
+    current_fitness = evaluator.evaluate(tuple(current))
+    start_fitness = current_fitness
+    steps: List[Tuple[int, int, float]] = []
+    evaluations = 1
+    for _ in range(max_passes):
+        improved = False
+        for index in range(k + 1):
+            original = current[index]
+            for value in values:
+                if value == original:
+                    continue
+                current[index] = value
+                fitness = evaluator.evaluate(tuple(current))
+                evaluations += 1
+                if fitness > current_fitness:
+                    current_fitness = fitness
+                    steps.append((index, value, fitness))
+                    improved = True
+                    original = value
+                else:
+                    current[index] = original
+        if not improved:
+            break
+    return HillClimbResult(
+        IPV(current, name=f"{start.name}+hc"),
+        current_fitness,
+        start_fitness,
+        steps,
+        evaluations,
+    )

@@ -1,0 +1,49 @@
+"""Replacement policies: the paper's contribution plus every baseline."""
+
+from .base import AccessContext, ReplacementPolicy
+from .belady import BeladyPolicy
+from .bypass import BypassDGIPPRPolicy
+from .counter_based import CounterBasedPolicy
+from .dip import BIPPolicy, DIPPolicy, LIPPolicy
+from .ipv_rrip import DynamicIPVRRIPPolicy, IPVRRIPPolicy, rrv_distant, rrv_srrip
+from .lru import GIPLRPolicy, IPVLRUPolicy, TrueLRUPolicy
+from .pdp import PDPPolicy, compute_protecting_distance
+from .plru import DGIPPRPolicy, GIPPRPolicy, TreePLRUPolicy
+from .registry import POLICIES, make_policy, policy_names
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .sdbp import SDBPPolicy
+from .ship import SHiPPolicy
+from .simple import FIFOPolicy, RandomPolicy
+
+__all__ = [
+    "AccessContext",
+    "ReplacementPolicy",
+    "TrueLRUPolicy",
+    "IPVLRUPolicy",
+    "GIPLRPolicy",
+    "TreePLRUPolicy",
+    "GIPPRPolicy",
+    "DGIPPRPolicy",
+    "RandomPolicy",
+    "FIFOPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "DIPPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "IPVRRIPPolicy",
+    "DynamicIPVRRIPPolicy",
+    "rrv_srrip",
+    "rrv_distant",
+    "PDPPolicy",
+    "compute_protecting_distance",
+    "SHiPPolicy",
+    "SDBPPolicy",
+    "CounterBasedPolicy",
+    "BeladyPolicy",
+    "BypassDGIPPRPolicy",
+    "POLICIES",
+    "make_policy",
+    "policy_names",
+]

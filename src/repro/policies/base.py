@@ -1,0 +1,104 @@
+"""Replacement-policy interface.
+
+A policy manages the per-set replacement state of a set-associative cache.
+The cache (see :mod:`repro.cache.cache`) owns tags and validity; the policy
+only decides victims and reacts to hits, fills, misses and evictions.
+
+The hooks, in the order the cache invokes them for one access:
+
+* hit:   ``on_hit(set_index, way, ctx)``
+* miss:  ``on_miss(set_index, ctx)`` →
+  (if the set is full) ``victim(set_index, ctx)`` →
+  ``on_evict(set_index, way, ctx)`` → ``on_fill(set_index, way, ctx)``
+
+``ctx`` is a reused :class:`AccessContext` carrying side-channel information
+some policies need (the PC for SHiP, the next-use time for Belady's MIN).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["AccessContext", "ReplacementPolicy"]
+
+
+class AccessContext:
+    """Per-access side information passed to policy hooks.
+
+    The driving cache reuses one instance per cache, mutating the fields for
+    every access, so policies must not retain references past the hook call
+    (copy the values they need instead).
+    """
+
+    __slots__ = ("pc", "is_write", "next_use", "access_index", "block")
+
+    def __init__(self):
+        self.pc = 0
+        self.is_write = False
+        self.next_use: Optional[int] = None
+        self.access_index = 0
+        self.block = 0  # block address of the current access
+
+
+class ReplacementPolicy:
+    """Base class with no-op hooks.
+
+    Subclasses must implement :meth:`victim` and usually :meth:`on_hit` /
+    :meth:`on_fill`.  ``name`` is a class-level label used by the registry
+    and reports.
+    """
+
+    name = "base"
+
+    def __init__(self, num_sets: int, assoc: int):
+        if num_sets < 1:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if assoc < 1:
+            raise ValueError(f"assoc must be positive, got {assoc}")
+        self.num_sets = num_sets
+        self.assoc = assoc
+
+    # ------------------------------------------------------------------
+    # Hooks.
+    # ------------------------------------------------------------------
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        """Way to evict from a full set.  Must be overridden."""
+        raise NotImplementedError
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """A resident block in ``way`` was re-referenced."""
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """An incoming block was placed in ``way`` (after any eviction)."""
+
+    def on_miss(self, set_index: int, ctx: AccessContext) -> None:
+        """The access missed (called for every miss, full set or not)."""
+
+    def on_evict(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        """A valid block is about to be evicted from ``way``."""
+
+    def should_bypass(self, set_index: int, ctx: AccessContext) -> bool:
+        """Return True to leave a missing block unallocated.
+
+        Called after :meth:`on_miss` and only when the set is full.  Bypass
+        violates inclusion (Section 6.3's caveat about PDP), so inclusive
+        hierarchies should not be combined with bypassing policies.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Section 3.6 comparisons).
+    # ------------------------------------------------------------------
+    def state_bits_per_set(self) -> float:
+        """Replacement-state bits stored per cache set."""
+        raise NotImplementedError
+
+    def global_state_bits(self) -> int:
+        """Replacement-state bits stored once per cache (e.g. PSEL counters)."""
+        return 0
+
+    def total_state_bits(self) -> float:
+        return self.state_bits_per_set() * self.num_sets + self.global_state_bits()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(sets={self.num_sets}, assoc={self.assoc})"

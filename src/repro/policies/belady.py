@@ -1,0 +1,68 @@
+"""Belady's MIN optimal replacement (Belady, 1966).
+
+Evicts the resident block whose next use lies farthest in the future.  It is
+unimplementable in hardware (it needs the future) but bounds how much any
+practical policy can improve: the reproduced paper measures MIN at 67.5 % of
+LRU's misses (Figure 10), against 91.0 % for WN1-4-DGIPPR.
+
+The driver must annotate each access with its next-use index (see
+:func:`repro.trace.annotate_next_use`); :class:`BeladyPolicy` advertises
+``requires_future`` so runners know to do this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .base import AccessContext, ReplacementPolicy
+
+__all__ = ["BeladyPolicy"]
+
+_NEVER = math.inf
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """MIN: evict the block referenced farthest in the future."""
+
+    name = "belady"
+    requires_future = True
+
+    def __init__(self, num_sets: int, assoc: int):
+        super().__init__(num_sets, assoc)
+        self._next_use: List[List[float]] = [
+            [_NEVER] * assoc for _ in range(num_sets)
+        ]
+
+    def _record(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if ctx.next_use is None:
+            raise RuntimeError(
+                "BeladyPolicy needs next-use annotations; run the trace "
+                "through repro.trace.annotate_next_use first"
+            )
+        self._next_use[set_index][way] = (
+            _NEVER if ctx.next_use < 0 else ctx.next_use
+        )
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        next_use = self._next_use[set_index]
+        best_way = 0
+        best = next_use[0]
+        for way in range(1, self.assoc):
+            value = next_use[way]
+            if value > best:
+                best = value
+                best_way = way
+                if best == _NEVER:
+                    break
+        return best_way
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._record(set_index, way, ctx)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._record(set_index, way, ctx)
+
+    def state_bits_per_set(self) -> float:
+        # Not physically realizable; reported as NaN in overhead tables.
+        return math.nan

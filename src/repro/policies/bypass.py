@@ -1,0 +1,88 @@
+"""DGIPPR combined with a bypass predictor (paper future work, item 1).
+
+Section 7: "The low overhead of GIPPR/DGIPPR may allow it to be combined
+with other policies ... we are investigating combining DGIPPR with a
+predictor that decides whether a block should bypass the cache."
+
+This extension attaches a SHiP-style dead-on-arrival predictor to DGIPPR:
+a table of saturating counters indexed by a hash of the accessing PC.  A
+block whose signature has never produced a hit is *bypassed* on a miss to
+a full set — it is counted but not allocated, so it cannot displace live
+data.  Everything else behaves exactly like :class:`DGIPPRPolicy`.
+
+Like bypassing PDP (Section 6.3), this variant is unsuitable for inclusive
+hierarchies; the cache enforces nothing, but see
+:meth:`~repro.policies.base.ReplacementPolicy.should_bypass`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.ipv import IPV
+from .base import AccessContext
+from .plru import DGIPPRPolicy
+
+__all__ = ["BypassDGIPPRPolicy"]
+
+
+class BypassDGIPPRPolicy(DGIPPRPolicy):
+    """4-DGIPPR plus a PC-signature dead-block bypass predictor."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        ipvs: Sequence[IPV] = None,
+        signature_bits: int = 12,
+        counter_bits: int = 2,
+        **dgippr_kwargs,
+    ):
+        super().__init__(num_sets, assoc, ipvs=ipvs, **dgippr_kwargs)
+        self.name = f"bypass-{self.name}"
+        self.signature_bits = signature_bits
+        self._sig_mask = (1 << signature_bits) - 1
+        self._shct_max = (1 << counter_bits) - 1
+        self._shct_counter_bits = counter_bits
+        # Start counters at 1 ("probably reused") so bypass only triggers
+        # after a signature has demonstrably produced dead blocks.
+        self._shct: List[int] = [1] * (1 << signature_bits)
+        self._sig: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._reused: List[List[bool]] = [
+            [True] * assoc for _ in range(num_sets)
+        ]
+
+    def _signature(self, pc: int) -> int:
+        return (pc ^ (pc >> self.signature_bits)) & self._sig_mask
+
+    def should_bypass(self, set_index: int, ctx: AccessContext) -> bool:
+        return self._shct[self._signature(ctx.pc)] == 0
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        super().on_hit(set_index, way, ctx)
+        if not self._reused[set_index][way]:
+            self._reused[set_index][way] = True
+            sig = self._sig[set_index][way]
+            if self._shct[sig] < self._shct_max:
+                self._shct[sig] += 1
+
+    def on_evict(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        super().on_evict(set_index, way, ctx)
+        if not self._reused[set_index][way]:
+            sig = self._sig[set_index][way]
+            if self._shct[sig] > 0:
+                self._shct[sig] -= 1
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        super().on_fill(set_index, way, ctx)
+        self._sig[set_index][way] = self._signature(ctx.pc)
+        self._reused[set_index][way] = False
+
+    def state_bits_per_set(self) -> float:
+        # DGIPPR's plru bits plus signature + reuse bit per block.
+        return (self.assoc - 1) + (self.signature_bits + 1) * self.assoc
+
+    def global_state_bits(self) -> int:
+        return super().global_state_bits() + self._shct_counter_bits * (
+            1 << self.signature_bits
+        )

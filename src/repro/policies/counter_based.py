@@ -1,0 +1,106 @@
+"""Counter-based replacement (Kharbutli & Solihin, IEEE TC 2008).
+
+Reference [17] of the reproduced paper: each block counts events (accesses
+to its set) since its last touch; when the count exceeds a threshold
+learned for the block's accessing instruction, the block is predicted dead
+and becomes an eviction candidate.  This is the AIP (access-interval
+predictor) flavour, simplified to one hashed prediction table.
+
+Included to round out the related-work baselines: like SDBP and SHiP it
+needs the PC at the LLC and per-block counters — more state than the
+paper's DGIPPR, the recurring trade-off in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.plru import find_plru, promote
+from .base import AccessContext, ReplacementPolicy
+
+__all__ = ["CounterBasedPolicy"]
+
+
+class CounterBasedPolicy(ReplacementPolicy):
+    """AIP-style counter-based dead-block replacement on tree PLRU."""
+
+    name = "counter"
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        counter_bits: int = 5,
+        table_bits: int = 12,
+        threshold_slack: int = 1,
+    ):
+        super().__init__(num_sets, assoc)
+        self.counter_max = (1 << counter_bits) - 1
+        self.counter_bits = counter_bits
+        self.table_bits = table_bits
+        self.threshold_slack = threshold_slack
+        self._plru: List[int] = [0] * num_sets
+        # Per block: events since last touch, max interval seen this
+        # lifetime, owning PC signature.
+        self._count: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._max_interval: List[List[int]] = [
+            [0] * assoc for _ in range(num_sets)
+        ]
+        self._sig: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        # Learned access-interval thresholds per PC signature.
+        size = 1 << table_bits
+        self._threshold: List[int] = [self.counter_max] * size
+
+    def _signature(self, pc: int) -> int:
+        return (pc ^ (pc >> self.table_bits)) & ((1 << self.table_bits) - 1)
+
+    def _tick(self, set_index: int, exclude: int = -1) -> None:
+        counts = self._count[set_index]
+        for way in range(self.assoc):
+            if way != exclude and counts[way] < self.counter_max:
+                counts[way] += 1
+
+    def _expired(self, set_index: int, way: int) -> bool:
+        sig = self._sig[set_index][way]
+        return self._count[set_index][way] > (
+            self._threshold[sig] + self.threshold_slack
+        )
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        for way in range(self.assoc):
+            if self._expired(set_index, way):
+                return way
+        return find_plru(self._plru[set_index], self.assoc)
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._tick(set_index, exclude=way)
+        interval = self._count[set_index][way]
+        if interval > self._max_interval[set_index][way]:
+            self._max_interval[set_index][way] = interval
+        self._count[set_index][way] = 0
+        self._sig[set_index][way] = self._signature(ctx.pc)
+        self._plru[set_index] = promote(self._plru[set_index], way, self.assoc)
+
+    def on_miss(self, set_index: int, ctx: AccessContext) -> None:
+        self._tick(set_index)
+
+    def on_evict(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        # Learn: the block's observed maximum access interval becomes the
+        # threshold for its PC (exponential approach, as in AIP).
+        sig = self._sig[set_index][way]
+        observed = self._max_interval[set_index][way]
+        current = self._threshold[sig]
+        self._threshold[sig] = (current + observed + 1) // 2
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._count[set_index][way] = 0
+        self._max_interval[set_index][way] = 0
+        self._sig[set_index][way] = self._signature(ctx.pc)
+        self._plru[set_index] = promote(self._plru[set_index], way, self.assoc)
+
+    def state_bits_per_set(self) -> float:
+        per_block = 2 * self.counter_bits + self.table_bits
+        return (self.assoc - 1) + per_block * self.assoc
+
+    def global_state_bits(self) -> int:
+        return self.counter_bits * (1 << self.table_bits)

@@ -1,0 +1,75 @@
+"""True-LRU family: classic LRU and IPV-driven LRU (GIPLR).
+
+These are the Section 2 policies: an explicit recency stack per set, with
+insertion and promotion controlled by an IPV.  Classic LRU is the special
+case ``V = [0]*(k+1)``.  Storage cost is ``k * log2(k)`` bits per set
+(Section 2.1.2) — the cost the paper's PLRU-based policies avoid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.ipv import IPV, lru_ipv
+from ..core.recency import RecencyStack
+from .base import AccessContext, ReplacementPolicy
+
+__all__ = ["IPVLRUPolicy", "TrueLRUPolicy", "GIPLRPolicy"]
+
+
+class IPVLRUPolicy(ReplacementPolicy):
+    """LRU recency stacks driven by an arbitrary IPV (Section 2.3)."""
+
+    name = "ipv-lru"
+
+    def __init__(self, num_sets: int, assoc: int, ipv: IPV):
+        super().__init__(num_sets, assoc)
+        if ipv.k != assoc:
+            raise ValueError(f"IPV is for {ipv.k}-way sets, cache is {assoc}-way")
+        self.ipv = ipv
+        self._stacks: List[RecencyStack] = [
+            RecencyStack(assoc, ipv) for _ in range(num_sets)
+        ]
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        return self._stacks[set_index].victim()
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._stacks[set_index].touch(way)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._stacks[set_index].insert(way)
+
+    def position_of(self, set_index: int, way: int) -> int:
+        """Recency-stack position of a resident way (introspection)."""
+        return self._stacks[set_index].position_of(way)
+
+    def state_bits_per_set(self) -> float:
+        return self.assoc * math.log2(self.assoc)
+
+
+class TrueLRUPolicy(IPVLRUPolicy):
+    """Classic LRU: promote to MRU, insert at MRU, evict LRU."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, assoc: int):
+        super().__init__(num_sets, assoc, lru_ipv(assoc))
+
+
+class GIPLRPolicy(IPVLRUPolicy):
+    """Genetic Insertion and Promotion for LRU Replacement (Section 2.5).
+
+    True LRU stacks driven by an evolved vector; with the paper's published
+    GIPLR vector this is the policy behind Figure 4.
+    """
+
+    name = "giplr"
+
+    def __init__(self, num_sets: int, assoc: int, ipv: IPV = None):
+        if ipv is None:
+            from ..core.vectors import GIPLR_VECTOR
+
+            ipv = GIPLR_VECTOR
+        super().__init__(num_sets, assoc, ipv)

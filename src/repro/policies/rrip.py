@@ -1,0 +1,151 @@
+"""Re-Reference Interval Prediction policies (Jaleel et al., ISCA 2010).
+
+The paper's headline comparison point (Section 4.7): DRRIP set-duels between
+SRRIP and BRRIP and was, at publication time, the most storage-efficient
+high-performance replacement scheme — 2 bits per block, which DGIPPR halves.
+
+* SRRIP-HP: insert with RRPV = max-1 ("long re-reference"), reset RRPV to 0
+  on hit, evict a block with RRPV = max (aging all blocks until one exists).
+* BRRIP: like SRRIP but usually inserts at max ("distant"), inserting long
+  only with probability 1/32.
+* DRRIP: set-duels SRRIP vs BRRIP leader sets with a 10-bit PSEL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.dueling import DuelSelector
+from .base import AccessContext, ReplacementPolicy
+
+__all__ = ["SRRIPPolicy", "BRRIPPolicy", "DRRIPPolicy"]
+
+#: BRRIP inserts with "long" (max-1) RRPV once every 32 fills.
+BRRIP_LONG_INTERVAL = 32
+
+
+class _RRIPBase(ReplacementPolicy):
+    """Shared RRPV array and victim-selection logic.
+
+    ``hit_priority`` selects between the RRIP paper's two hit promotions:
+    HP resets a hit block's RRPV to 0 (near-immediate), FP (frequency
+    priority) only decrements it — blocks must earn protection through
+    repeated hits.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        rrpv_bits: int = 2,
+        hit_priority: bool = True,
+    ):
+        super().__init__(num_sets, assoc)
+        if rrpv_bits < 1:
+            raise ValueError("rrpv_bits must be >= 1")
+        self.rrpv_bits = rrpv_bits
+        self.hit_priority = hit_priority
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self._rrpv: List[List[int]] = [
+            [self.max_rrpv] * assoc for _ in range(num_sets)
+        ]
+
+    def victim(self, set_index: int, ctx: AccessContext) -> int:
+        rrpv = self._rrpv[set_index]
+        max_rrpv = self.max_rrpv
+        while True:
+            for way, value in enumerate(rrpv):
+                if value == max_rrpv:
+                    return way
+            # Age everyone until a distant block appears.
+            for way in range(self.assoc):
+                rrpv[way] += 1
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if self.hit_priority:
+            # HP: promote to near-immediate re-reference.
+            self._rrpv[set_index][way] = 0
+        else:
+            # FP: step one class closer per hit.
+            rrpv = self._rrpv[set_index]
+            if rrpv[way] > 0:
+                rrpv[way] -= 1
+
+    def _fill(self, set_index: int, way: int, insert_rrpv: int) -> None:
+        self._rrpv[set_index][way] = insert_rrpv
+
+    def rrpv_of(self, set_index: int, way: int) -> int:
+        return self._rrpv[set_index][way]
+
+    def state_bits_per_set(self) -> float:
+        return self.rrpv_bits * self.assoc
+
+
+class SRRIPPolicy(_RRIPBase):
+    """Static RRIP with hit priority: insert at max-1."""
+
+    name = "srrip"
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._fill(set_index, way, self.max_rrpv - 1)
+
+
+class BRRIPPolicy(_RRIPBase):
+    """Bimodal RRIP: insert distant, occasionally long.
+
+    A deterministic modulo counter stands in for the low-probability coin,
+    which keeps runs reproducible (the common hardware implementation also
+    uses a simple counter).
+    """
+
+    name = "brrip"
+
+    def __init__(self, num_sets: int, assoc: int, rrpv_bits: int = 2):
+        super().__init__(num_sets, assoc, rrpv_bits)
+        self._fill_count = 0
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        self._fill_count += 1
+        if self._fill_count % BRRIP_LONG_INTERVAL == 0:
+            self._fill(set_index, way, self.max_rrpv - 1)
+        else:
+            self._fill(set_index, way, self.max_rrpv)
+
+
+class DRRIPPolicy(_RRIPBase):
+    """Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion."""
+
+    name = "drrip"
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        rrpv_bits: int = 2,
+        leaders_per_policy: int = None,
+        psel_bits: int = 10,
+        seed: int = 0xD881,
+    ):
+        super().__init__(num_sets, assoc, rrpv_bits)
+        # Policy 0 = SRRIP, policy 1 = BRRIP.
+        self.selector = DuelSelector(
+            num_sets, leaders_per_policy, psel_bits, seed=seed
+        )
+        self._psel_bits = psel_bits
+        self._fill_count = 0
+
+    def on_miss(self, set_index: int, ctx: AccessContext) -> None:
+        self.selector.record_miss(set_index)
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if self.selector.policy_for_set(set_index) == 0:
+            self._fill(set_index, way, self.max_rrpv - 1)
+        else:
+            self._fill_count += 1
+            if self._fill_count % BRRIP_LONG_INTERVAL == 0:
+                self._fill(set_index, way, self.max_rrpv - 1)
+            else:
+                self._fill(set_index, way, self.max_rrpv)
+
+    def global_state_bits(self) -> int:
+        return self._psel_bits

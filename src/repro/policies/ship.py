@@ -1,0 +1,78 @@
+"""Signature-based Hit Predictor (SHiP-PC; Wu et al., MICRO 2011).
+
+Discussed in the reproduced paper's related work (Section 6.3): SHiP
+improves DRRIP by predicting, per memory-instruction signature, whether an
+incoming block will be re-referenced, and inserting predicted-dead blocks at
+the distant RRPV.  It costs more state than DRRIP (signature + outcome bit
+per block plus the SHCT) and requires the access PC at the LLC.
+
+Included as the "extension" comparison point beyond the paper's headline
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import AccessContext
+from .rrip import _RRIPBase
+
+__all__ = ["SHiPPolicy"]
+
+
+class SHiPPolicy(_RRIPBase):
+    """SHiP-PC on an SRRIP-HP substrate."""
+
+    name = "ship"
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        rrpv_bits: int = 2,
+        signature_bits: int = 14,
+        shct_counter_bits: int = 2,
+    ):
+        super().__init__(num_sets, assoc, rrpv_bits)
+        self.signature_bits = signature_bits
+        self.shct_counter_bits = shct_counter_bits
+        self._shct_max = (1 << shct_counter_bits) - 1
+        self._shct: List[int] = [1] * (1 << signature_bits)
+        self._sig: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._outcome: List[List[bool]] = [
+            [False] * assoc for _ in range(num_sets)
+        ]
+
+    def _signature(self, pc: int) -> int:
+        mask = (1 << self.signature_bits) - 1
+        return (pc ^ (pc >> self.signature_bits)) & mask
+
+    def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        super().on_hit(set_index, way, ctx)  # RRPV = 0
+        if not self._outcome[set_index][way]:
+            self._outcome[set_index][way] = True
+            sig = self._sig[set_index][way]
+            if self._shct[sig] < self._shct_max:
+                self._shct[sig] += 1
+
+    def on_evict(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if not self._outcome[set_index][way]:
+            sig = self._sig[set_index][way]
+            if self._shct[sig] > 0:
+                self._shct[sig] -= 1
+
+    def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        sig = self._signature(ctx.pc)
+        self._sig[set_index][way] = sig
+        self._outcome[set_index][way] = False
+        if self._shct[sig] == 0:
+            self._fill(set_index, way, self.max_rrpv)  # predicted dead
+        else:
+            self._fill(set_index, way, self.max_rrpv - 1)
+
+    def state_bits_per_set(self) -> float:
+        # RRPV + signature + outcome bit per block.
+        return (self.rrpv_bits + self.signature_bits + 1) * self.assoc
+
+    def global_state_bits(self) -> int:
+        return self.shct_counter_bits * (1 << self.signature_bits)

@@ -1,0 +1,14 @@
+"""Timing models: linear CPI (the paper's fitness), MLP-aware CPI, and a
+CMP$im-like pipeline interval model."""
+
+from .cpi import LinearCPIModel
+from .mlp import MLPAwareCPIModel
+from .pipeline import PipelineModel, PipelineResult, simulate_ipc
+
+__all__ = [
+    "LinearCPIModel",
+    "MLPAwareCPIModel",
+    "PipelineModel",
+    "PipelineResult",
+    "simulate_ipc",
+]

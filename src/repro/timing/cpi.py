@@ -1,0 +1,48 @@
+"""Linear CPI model (the paper's GA fitness function, Section 4.3).
+
+The paper estimates cycles-per-instruction as a linear function of LLC miss
+count: every miss charges the DRAM latency on top of a base CPI.  Speedups
+are ratios of estimated CPIs.  The paper notes this ignores memory-level
+parallelism — the MLP-aware model in :mod:`repro.timing.mlp` addresses
+exactly that (the paper's future-work item 2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LinearCPIModel"]
+
+
+class LinearCPIModel:
+    """``cycles = instructions * base_cpi + misses * miss_penalty``.
+
+    Defaults follow the paper's simulated machine (Section 4.5): a 4-wide
+    out-of-order core (base CPI of 0.5 reflects issue constraints and
+    upper-level misses) and 200-cycle DRAM.
+    """
+
+    def __init__(self, base_cpi: float = 0.5, miss_penalty: float = 200.0):
+        if base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if miss_penalty < 0:
+            raise ValueError("miss_penalty cannot be negative")
+        self.base_cpi = base_cpi
+        self.miss_penalty = miss_penalty
+
+    def cycles(self, instructions: int, misses: int) -> float:
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return instructions * self.base_cpi + misses * self.miss_penalty
+
+    def cpi(self, instructions: int, misses: int) -> float:
+        return self.cycles(instructions, misses) / instructions
+
+    def speedup(
+        self,
+        instructions: int,
+        baseline_misses: int,
+        policy_misses: int,
+    ) -> float:
+        """Speedup of the policy over the baseline, as a CPI ratio (>1 wins)."""
+        return self.cycles(instructions, baseline_misses) / self.cycles(
+            instructions, policy_misses
+        )

@@ -1,0 +1,89 @@
+"""MLP-aware CPI model.
+
+The paper's fitness function "cannot take into account the effects of
+memory-level parallelism" (Sections 4.3 and 5.2.1) and lists MLP-awareness
+as future work.  This model adds the first-order out-of-order effect: misses
+whose instructions fall within one reorder-window of each other overlap
+their DRAM latencies, so a burst of B clustered misses costs roughly one
+serialized latency plus a small per-miss increment rather than B full
+latencies — the behaviour Qureshi et al.'s MLP-aware replacement work
+measures.
+
+The driver must record the *instruction position* of every miss (see
+``collect_miss_positions`` in :mod:`repro.eval.runner`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["MLPAwareCPIModel"]
+
+
+class MLPAwareCPIModel:
+    """Cluster-overlap CPI model.
+
+    Misses within ``window`` instructions of the previous miss join its
+    cluster.  A cluster of size B costs
+    ``miss_penalty * (1 + (B - 1) * serial_fraction)`` cycles: the first
+    miss pays full latency and each overlapped miss adds only the
+    non-overlapped fraction.
+    """
+
+    def __init__(
+        self,
+        base_cpi: float = 0.5,
+        miss_penalty: float = 200.0,
+        window: int = 128,
+        serial_fraction: float = 0.3,
+    ):
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.base_cpi = base_cpi
+        self.miss_penalty = miss_penalty
+        self.window = window
+        self.serial_fraction = serial_fraction
+
+    def miss_cycles(self, miss_positions: Sequence[int]) -> float:
+        """Total stall cycles given per-miss instruction positions."""
+        total = 0.0
+        cluster_start = None
+        cluster_size = 0
+        last = None
+        for pos in miss_positions:
+            if last is not None and pos < last:
+                raise ValueError("miss positions must be non-decreasing")
+            if last is None or pos - last > self.window:
+                if cluster_size:
+                    total += self.miss_penalty * (
+                        1.0 + (cluster_size - 1) * self.serial_fraction
+                    )
+                cluster_size = 1
+            else:
+                cluster_size += 1
+            last = pos
+        if cluster_size:
+            total += self.miss_penalty * (
+                1.0 + (cluster_size - 1) * self.serial_fraction
+            )
+        return total
+
+    def cycles(self, instructions: int, miss_positions: Sequence[int]) -> float:
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return instructions * self.base_cpi + self.miss_cycles(miss_positions)
+
+    def cpi(self, instructions: int, miss_positions: Sequence[int]) -> float:
+        return self.cycles(instructions, miss_positions) / instructions
+
+    def speedup(
+        self,
+        instructions: int,
+        baseline_positions: Sequence[int],
+        policy_positions: Sequence[int],
+    ) -> float:
+        return self.cycles(instructions, baseline_positions) / self.cycles(
+            instructions, policy_positions
+        )

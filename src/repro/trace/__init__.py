@@ -1,0 +1,52 @@
+"""Trace infrastructure: records, generators, IO and analysis."""
+
+from .analysis import (
+    cold_miss_count,
+    per_set_reuse_histogram,
+    stack_distance_histogram,
+)
+from .filters import filter_through_caches, paper_l1_l2_filter
+from .io import load_text_trace, load_trace, save_trace
+from .record import (
+    Trace,
+    annotate_next_use,
+    assign_instruction_positions,
+    concatenate,
+)
+from .synthetic import (
+    REGION,
+    looping,
+    noisy_loop,
+    mix,
+    pointer_chase,
+    scan_interleaved,
+    stack_distance,
+    streaming,
+    uniform_random,
+    zipf,
+)
+
+__all__ = [
+    "Trace",
+    "annotate_next_use",
+    "assign_instruction_positions",
+    "concatenate",
+    "save_trace",
+    "load_trace",
+    "load_text_trace",
+    "filter_through_caches",
+    "paper_l1_l2_filter",
+    "streaming",
+    "looping",
+    "noisy_loop",
+    "uniform_random",
+    "zipf",
+    "pointer_chase",
+    "stack_distance",
+    "scan_interleaved",
+    "mix",
+    "REGION",
+    "stack_distance_histogram",
+    "per_set_reuse_histogram",
+    "cold_miss_count",
+]

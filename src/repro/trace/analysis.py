@@ -1,0 +1,82 @@
+"""Trace analysis: reuse-distance and stack-distance profiles.
+
+These are the diagnostics used to validate that the synthetic SPEC stand-ins
+have the reuse behaviour their archetypes claim (tests) and to drive PDP's
+protecting-distance intuition at trace level.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from .record import Trace
+
+__all__ = [
+    "stack_distance_histogram",
+    "per_set_reuse_histogram",
+    "cold_miss_count",
+]
+
+
+def stack_distance_histogram(
+    trace: Trace, max_distance: int = 4096
+) -> Dict[int, int]:
+    """Global LRU stack-distance histogram.
+
+    Returns a mapping distance -> count; cold (first-touch) accesses are
+    recorded under key ``-1`` and distances beyond ``max_distance`` under
+    ``max_distance``.  Uses an ordered dict as the LRU stack: move-to-front
+    on touch, position lookup by scan capped at ``max_distance``.
+    """
+    histogram: Dict[int, int] = {}
+    stack: "OrderedDict[int, None]" = OrderedDict()
+    for address in trace.address_list():
+        if address in stack:
+            distance = 0
+            for key in stack:  # newest-first iteration, see below
+                if key == address:
+                    break
+                distance += 1
+                if distance >= max_distance:
+                    break
+            distance = min(distance, max_distance)
+            histogram[distance] = histogram.get(distance, 0) + 1
+            stack.move_to_end(address, last=False)
+        else:
+            histogram[-1] = histogram.get(-1, 0) + 1
+            stack[address] = None
+            stack.move_to_end(address, last=False)
+    return histogram
+
+
+def per_set_reuse_histogram(
+    trace: Trace,
+    num_sets: int,
+    max_distance: int = 256,
+) -> List[int]:
+    """Reuse distances measured in *accesses to the same set*.
+
+    This is PDP's unit of protecting distance.  Returns a histogram list of
+    length ``max_distance + 1`` (the last bucket accumulates overflow).
+    """
+    histogram = [0] * (max_distance + 1)
+    set_clock = [0] * num_sets
+    last_touch: Dict[int, int] = {}
+    mask = num_sets - 1
+    if num_sets & mask:
+        raise ValueError("num_sets must be a power of two")
+    for address in trace.address_list():
+        set_index = address & mask
+        set_clock[set_index] += 1
+        now = set_clock[set_index]
+        last = last_touch.get(address)
+        if last is not None:
+            histogram[min(now - last, max_distance)] += 1
+        last_touch[address] = now
+    return histogram
+
+
+def cold_miss_count(trace: Trace) -> int:
+    """Number of first-touch (compulsory-miss) accesses."""
+    return trace.footprint()

@@ -1,0 +1,101 @@
+"""Trace persistence.
+
+Traces are stored as compressed ``.npz`` archives with the address and PC
+arrays plus metadata, so evolved-vector experiments can reuse identical
+traces across processes (the GA fans out with multiprocessing).  A simple
+text format is also supported for importing traces produced by external
+tools (one access per line: ``address[,pc[,instruction_position]]``, hex
+accepted with a ``0x`` prefix, ``#`` comments ignored).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from .record import Trace
+
+__all__ = ["save_trace", "load_trace", "load_text_trace"]
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace to ``path`` (.npz)."""
+    payload = dict(
+        addresses=trace.addresses,
+        pcs=trace.pcs,
+        instructions=np.int64(trace.instructions),
+        name=np.str_(trace.name),
+    )
+    if trace.positions is not None:
+        payload["positions"] = trace.positions
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        return Trace(
+            data["addresses"],
+            data["pcs"],
+            instructions=int(data["instructions"]),
+            name=str(data["name"]),
+            positions=data["positions"] if "positions" in data else None,
+        )
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def load_text_trace(
+    path: Union[str, os.PathLike],
+    instructions: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Import a textual trace: ``address[,pc[,instruction_position]]``.
+
+    Lines starting with ``#`` (and blank lines) are skipped.  Positions,
+    when present, must appear on every line.  ``instructions`` defaults to
+    the last position + 1 when positions are given, else to the Trace
+    default.
+    """
+    addresses = []
+    pcs = []
+    positions = []
+    saw_positions = None
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f for f in line.replace("\t", ",").split(",") if f.strip()]
+            if not 1 <= len(fields) <= 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 1-3 fields, got {len(fields)}"
+                )
+            has_position = len(fields) == 3
+            if saw_positions is None:
+                saw_positions = has_position
+            elif saw_positions != has_position:
+                raise ValueError(
+                    f"{path}:{line_number}: inconsistent field count "
+                    "(positions must appear on every line or none)"
+                )
+            addresses.append(_parse_int(fields[0]))
+            pcs.append(_parse_int(fields[1]) if len(fields) >= 2 else 0)
+            if has_position:
+                positions.append(_parse_int(fields[2]))
+    if not addresses:
+        raise ValueError(f"{path}: no accesses found")
+    if saw_positions and instructions is None:
+        instructions = positions[-1] + 1
+    return Trace(
+        addresses,
+        pcs,
+        instructions=instructions,
+        name=name or os.path.basename(str(path)),
+        positions=positions if saw_positions else None,
+    )

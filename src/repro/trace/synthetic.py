@@ -1,0 +1,354 @@
+"""Synthetic trace generators.
+
+These stand in for the paper's SPEC CPU 2006 simpoint traces (see DESIGN.md,
+substitutions table).  Replacement-policy behaviour at the LLC is governed
+by the reuse-distance distribution of the access stream, so each generator
+controls exactly that:
+
+* :func:`streaming` — zero-reuse blocks (Section 2.2's motivation).
+* :func:`looping` — cyclic working-set sweeps; a loop slightly larger than
+  the cache is the classic LRU-thrash / LIP-win pattern.
+* :func:`uniform_random`, :func:`zipf` — probabilistic working sets.
+* :func:`pointer_chase` — random walk over a large footprint.
+* :func:`stack_distance` — the general model: draws each access's LRU stack
+  depth from an arbitrary distribution.
+* :func:`mix`, plus :func:`~repro.trace.record.concatenate` for phases.
+
+All generators are deterministic for a given seed, tag accesses with a small
+per-stream set of PCs (so PC-indexed policies like SHiP behave sensibly) and
+use disjoint address regions unless told otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .record import Trace, concatenate
+
+__all__ = [
+    "streaming",
+    "looping",
+    "uniform_random",
+    "zipf",
+    "pointer_chase",
+    "stack_distance",
+    "scan_interleaved",
+    "mix",
+]
+
+#: Address regions of different streams are separated by this many blocks so
+#: they never alias even for large footprints.
+REGION = 1 << 28
+
+
+def _pcs(rng: np.random.Generator, n: int, pc_base: int, pc_count: int):
+    if pc_count <= 1:
+        return np.full(n, pc_base, dtype=np.int64)
+    return pc_base + rng.integers(0, pc_count, size=n, dtype=np.int64)
+
+
+def streaming(
+    n: int,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    pc_count: int = 2,
+    name: str = "streaming",
+) -> Trace:
+    """Sequential blocks that are never revisited (pure zero-reuse)."""
+    rng = np.random.default_rng(seed)
+    addresses = region * REGION + np.arange(n, dtype=np.int64)
+    return Trace(
+        addresses,
+        _pcs(rng, n, pc_base=region * 1000 + 1, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def looping(
+    working_set: int,
+    n: int,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    pc_count: int = 4,
+    name: str = "looping",
+) -> Trace:
+    """Cyclic sweep over ``working_set`` blocks.
+
+    With a working set slightly larger than the cache this produces the
+    canonical LRU-thrash pattern: LRU hits 0 % while LRU-insertion retains
+    most of the loop.
+    """
+    if working_set < 1:
+        raise ValueError("working_set must be positive")
+    rng = np.random.default_rng(seed)
+    addresses = region * REGION + (np.arange(n, dtype=np.int64) % working_set)
+    return Trace(
+        addresses,
+        _pcs(rng, n, pc_base=region * 1000 + 11, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def noisy_loop(
+    working_set: int,
+    n: int,
+    noise: float = 0.3,
+    noise_working_set: Optional[int] = None,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    name: str = "noisy-loop",
+) -> Trace:
+    """A cyclic loop interleaved with unexploitable random noise.
+
+    Real thrashing workloads are not pure loops: a fraction of their
+    accesses (``noise``) touch a footprint far larger than the cache and
+    miss under *every* policy.  The noise bounds how much any replacement
+    policy can recover, keeping policy-vs-policy gaps at realistic
+    magnitudes (see the workload-calibration notes in DESIGN.md).
+    """
+    if working_set < 1:
+        raise ValueError("working_set must be positive")
+    if not 0.0 <= noise < 1.0:
+        raise ValueError("noise must be in [0, 1)")
+    if noise_working_set is None:
+        noise_working_set = 4 * working_set
+    rng = np.random.default_rng(seed)
+    is_noise = rng.random(n) < noise
+    loop_index = np.cumsum(~is_noise) % working_set
+    noise_addr = working_set + rng.integers(
+        0, noise_working_set, size=n, dtype=np.int64
+    )
+    addresses = np.where(is_noise, noise_addr, loop_index)
+    pcs = np.where(is_noise, region * 1000 + 71, region * 1000 + 72)
+    return Trace(
+        region * REGION + addresses.astype(np.int64),
+        pcs.astype(np.int64),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def uniform_random(
+    working_set: int,
+    n: int,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    pc_count: int = 8,
+    name: str = "uniform",
+) -> Trace:
+    """Uniformly random accesses over a working set."""
+    rng = np.random.default_rng(seed)
+    addresses = region * REGION + rng.integers(
+        0, working_set, size=n, dtype=np.int64
+    )
+    return Trace(
+        addresses,
+        _pcs(rng, n, pc_base=region * 1000 + 23, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def zipf(
+    working_set: int,
+    n: int,
+    alpha: float = 1.2,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    pc_count: int = 8,
+    name: str = "zipf",
+) -> Trace:
+    """Zipf-popularity accesses: a hot head plus a long cold tail.
+
+    Ranks are drawn from a truncated Zipf and scattered over the address
+    space with a fixed permutation so popularity is not correlated with
+    cache index bits.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a proper Zipf")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(alpha, size=2 * n)
+    ranks = ranks[ranks <= working_set][:n]
+    while len(ranks) < n:
+        extra = rng.zipf(alpha, size=n)
+        ranks = np.concatenate([ranks, extra[extra <= working_set]])[:n]
+    perm = np.random.default_rng(seed ^ 0x5EED).permutation(working_set)
+    addresses = region * REGION + perm[ranks - 1]
+    return Trace(
+        addresses.astype(np.int64),
+        _pcs(rng, n, pc_base=region * 1000 + 37, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def pointer_chase(
+    working_set: int,
+    n: int,
+    seed: int = 0,
+    region: int = 0,
+    locality: float = 0.0,
+    instructions_per_access: float = 6.0,
+    pc_count: int = 4,
+    name: str = "pointer-chase",
+) -> Trace:
+    """A random walk through a pointer graph over a large footprint.
+
+    ``locality`` in [0, 1) is the probability that a step revisits a recent
+    node instead of jumping uniformly (dependent loads with a small hot
+    neighbourhood, mcf-style).
+    """
+    rng = np.random.default_rng(seed)
+    jumps = rng.integers(0, working_set, size=n, dtype=np.int64)
+    addresses = jumps.copy()
+    if locality > 0:
+        recent = rng.integers(1, 32, size=n, dtype=np.int64)
+        local = rng.random(n) < locality
+        for i in range(1, n):
+            if local[i]:
+                addresses[i] = addresses[max(0, i - recent[i])]
+    return Trace(
+        region * REGION + addresses,
+        _pcs(rng, n, pc_base=region * 1000 + 41, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def stack_distance(
+    distances: Sequence[int],
+    probabilities: Sequence[float],
+    n: int,
+    cold_fraction: float = 0.02,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    pc_count: int = 8,
+    name: str = "stackdist",
+) -> Trace:
+    """The generative LRU-stack model.
+
+    Each access either touches a brand-new block (with ``cold_fraction``
+    probability) or re-touches the block at a sampled depth of a global LRU
+    stack.  This directly shapes the reuse-distance profile the cache sees —
+    the knob every replacement-policy outcome depends on.
+    """
+    distances = list(distances)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if len(distances) != len(probabilities):
+        raise ValueError("distances and probabilities must align")
+    if probabilities.sum() <= 0:
+        raise ValueError("probabilities must not be all zero")
+    probabilities = probabilities / probabilities.sum()
+    rng = np.random.default_rng(seed)
+    depth_choices = rng.choice(len(distances), size=n, p=probabilities)
+    cold = rng.random(n) < cold_fraction
+    stack: List[int] = []
+    next_block = 0
+    addresses = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        if cold[i] or not stack:
+            block = next_block
+            next_block += 1
+        else:
+            depth = min(distances[depth_choices[i]], len(stack) - 1)
+            block = stack.pop(depth)
+        addresses[i] = block
+        stack.insert(0, block)
+        if len(stack) > 4 * (max(distances) + 1):
+            stack.pop()
+    return Trace(
+        region * REGION + addresses,
+        _pcs(rng, n, pc_base=region * 1000 + 53, pc_count=pc_count),
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def scan_interleaved(
+    hot_set: int,
+    scan_length: int,
+    period: int,
+    n: int,
+    seed: int = 0,
+    region: int = 0,
+    instructions_per_access: float = 10.0,
+    name: str = "scan-interleaved",
+) -> Trace:
+    """A hot working set periodically disturbed by one-shot scans.
+
+    The scans are dead-on-arrival blocks (Section 2.2's "zero-reuse
+    blocks"); policies that insert near LRU or predict deadness evict them
+    quickly instead of flushing the hot set.
+    """
+    rng = np.random.default_rng(seed)
+    addresses = np.empty(n, dtype=np.int64)
+    pcs = np.empty(n, dtype=np.int64)
+    scan_cursor = hot_set  # scans use addresses beyond the hot set
+    i = 0
+    while i < n:
+        burst = min(period, n - i)
+        hot = rng.integers(0, hot_set, size=burst, dtype=np.int64)
+        addresses[i : i + burst] = hot
+        pcs[i : i + burst] = region * 1000 + 61 + (hot % 4)
+        i += burst
+        burst = min(scan_length, n - i)
+        if burst > 0:
+            addresses[i : i + burst] = scan_cursor + np.arange(burst)
+            pcs[i : i + burst] = region * 1000 + 97
+            scan_cursor += burst
+            i += burst
+    return Trace(
+        region * REGION + addresses,
+        pcs,
+        instructions=int(n * instructions_per_access),
+        name=name,
+    )
+
+
+def mix(
+    traces: Sequence[Trace],
+    chunk: int = 64,
+    seed: int = 0,
+    name: str = "mix",
+) -> Trace:
+    """Round-robin interleave of several traces in chunks of accesses.
+
+    Models a workload with several concurrent access streams (the streams
+    keep their own address regions if built with distinct ``region``
+    arguments).
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    rng = np.random.default_rng(seed)
+    cursors = [0] * len(traces)
+    parts_addr = []
+    parts_pc = []
+    live = set(range(len(traces)))
+    while live:
+        order = sorted(live)
+        rng.shuffle(order)
+        for t in order:
+            trace = traces[t]
+            start = cursors[t]
+            stop = min(start + chunk, len(trace))
+            parts_addr.append(trace.addresses[start:stop])
+            parts_pc.append(trace.pcs[start:stop])
+            cursors[t] = stop
+            if stop >= len(trace):
+                live.discard(t)
+    return Trace(
+        np.concatenate(parts_addr),
+        np.concatenate(parts_pc),
+        instructions=sum(t.instructions for t in traces),
+        name=name,
+    )

@@ -1,0 +1,22 @@
+"""Visualisation helpers: transition graphs, charts and vector analysis."""
+
+from .ascii_chart import bar_chart
+from .transition_graph import transition_dot, transition_text
+from .vector_analysis import (
+    describe_vector,
+    duel_coverage,
+    insertion_class,
+    is_pessimistic_promotion,
+    promotion_bias,
+)
+
+__all__ = [
+    "bar_chart",
+    "transition_dot",
+    "transition_text",
+    "insertion_class",
+    "promotion_bias",
+    "is_pessimistic_promotion",
+    "describe_vector",
+    "duel_coverage",
+]

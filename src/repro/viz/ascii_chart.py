@@ -1,0 +1,47 @@
+"""ASCII bar charts for per-benchmark results.
+
+Console rendition of the paper's bar figures: one row per benchmark with a
+proportional bar, so speedup/MPKI shapes can be eyeballed without plotting
+dependencies (the environment is offline; matplotlib is unavailable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    values: Dict[str, float],
+    baseline: float = 1.0,
+    width: int = 40,
+    title: str = "",
+    sort: bool = True,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render a horizontal bar chart of benchmark -> value.
+
+    Bars grow rightward from ``baseline`` for values above it and are marked
+    with ``<`` for values below — mirroring speedup-over-LRU plots where the
+    1.0 line is the baseline.
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    items = sorted(values.items(), key=lambda p: p[1]) if sort else list(values.items())
+    label_width = max(len(name) for name, _ in items)
+    low = min(min(v for _, v in items), baseline)
+    high = max(max(v for _, v in items), baseline)
+    span = max(high - low, 1e-9)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in items:
+        offset = int(round((min(value, baseline) - low) / span * width))
+        length = int(round(abs(value - baseline) / span * width))
+        char = ">" if value >= baseline else "<"
+        bar = " " * offset + char * max(length, 1 if value != baseline else 0)
+        lines.append(f"{name.ljust(label_width)} |{bar.ljust(width)}| " + fmt.format(value))
+    marker = int(round((baseline - low) / span * width))
+    lines.append(" " * (label_width + 2) + " " * marker + f"^ baseline={fmt.format(baseline)}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Transition graphs for IPVs (paper Figures 2 and 3).
+
+The paper visualises an IPV as a graph over recency-stack positions: solid
+edges are promotions/insertions (where an accessed or incoming block goes),
+dashed edges are the shifts bystander blocks suffer.  This module emits the
+same graph as Graphviz DOT and as a compact text description.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ipv import IPV
+
+__all__ = ["transition_dot", "transition_text"]
+
+
+def transition_dot(ipv: IPV, title: str = "") -> str:
+    """Graphviz DOT source for an IPV's transition graph.
+
+    Render with ``dot -Tpdf``.  Solid edges: accessed/inserted block moves;
+    dashed edges: displacement shifts; the ``insertion`` pseudo-node points
+    at ``V[k]`` and ``eviction`` hangs off position ``k - 1``.
+    """
+    k = ipv.k
+    lines = [
+        "digraph ipv {",
+        "  rankdir=LR;",
+        f'  label="{title or ipv.name}";',
+        "  node [shape=circle];",
+        '  insertion [shape=plaintext];',
+        '  eviction [shape=plaintext];',
+    ]
+    for i in range(k):
+        target = ipv.promotion(i)
+        if target != i:
+            lines.append(f"  {i} -> {target};")
+        else:
+            lines.append(f"  {i} -> {i};")
+    lines.append(f"  insertion -> {ipv.insertion};")
+    lines.append(f"  {k - 1} -> eviction [style=bold];")
+    for a, b in sorted(ipv.transition_edges()):
+        if abs(a - b) == 1 and ipv.promotion(a) != b:
+            lines.append(f"  {a} -> {b} [style=dashed, constraint=false];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transition_text(ipv: IPV) -> str:
+    """Human-readable transition summary (one line per position)."""
+    k = ipv.k
+    out: List[str] = [f"IPV {ipv.name}: [{' '.join(map(str, ipv.entries))}]"]
+    for i in range(k):
+        target = ipv.promotion(i)
+        arrow = "stays at" if target == i else "promotes to"
+        out.append(f"  hit at position {i:2d} {arrow} {target}")
+    out.append(f"  insertion at position {ipv.insertion}")
+    out.append(f"  eviction from position {k - 1}")
+    if ipv.is_degenerate():
+        out.append("  WARNING: degenerate (no path from insertion to MRU)")
+    return "\n".join(out)

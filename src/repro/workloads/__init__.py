@@ -1,0 +1,15 @@
+"""Synthetic SPEC CPU 2006 stand-in workload suite and multi-core mixes."""
+
+from .mixes import MULTICORE_MIXES, get_mix, mix_names
+from .spec import SPEC_BENCHMARKS, Simpoint, SpecBenchmark, benchmark_names, get_benchmark
+
+__all__ = [
+    "SPEC_BENCHMARKS",
+    "Simpoint",
+    "SpecBenchmark",
+    "benchmark_names",
+    "get_benchmark",
+    "MULTICORE_MIXES",
+    "get_mix",
+    "mix_names",
+]

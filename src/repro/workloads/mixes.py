@@ -1,0 +1,55 @@
+"""Named multi-core workload mixes.
+
+Multi-core cache studies evaluate on standard benchmark *mixes* spanning
+the intensity spectrum.  These follow the usual taxonomy: all-thrash,
+thrash-vs-friendly, scan-vs-chase, and an all-friendly control.  Used by
+``repro.eval.run_multicore`` and the multi-core bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import SPEC_BENCHMARKS
+
+__all__ = ["MULTICORE_MIXES", "mix_names", "get_mix"]
+
+MULTICORE_MIXES: Dict[str, List[str]] = {
+    # Two memory hogs fighting over the LLC.
+    "thrash2": ["436.cactusADM", "482.sphinx3"],
+    # A thrasher next to a latency-sensitive friendly core.
+    "bully": ["462.libquantum", "400.perlbench"],
+    # Pointer chasing next to a tiny working set.
+    "chase-quiet": ["429.mcf", "453.povray"],
+    # Scan-heavy pair.
+    "scans2": ["483.xalancbmk", "445.gobmk"],
+    # Streaming pair (nothing to save; a sanity control).
+    "streams2": ["433.milc", "470.lbm"],
+    # All-friendly control: sharing should cost nearly nothing.
+    "friendly2": ["416.gamess", "444.namd"],
+    # Four-core capacity brawl.
+    "quad-pressure": [
+        "436.cactusADM", "462.libquantum", "429.mcf", "450.soplex",
+    ],
+    # Four cores, mixed intensity.
+    "quad-mixed": [
+        "482.sphinx3", "400.perlbench", "447.dealII", "433.milc",
+    ],
+}
+
+
+def mix_names() -> List[str]:
+    return list(MULTICORE_MIXES)
+
+
+def get_mix(name: str) -> List[str]:
+    try:
+        benchmarks = MULTICORE_MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {name!r}; known: {', '.join(MULTICORE_MIXES)}"
+        ) from None
+    for bench in benchmarks:
+        if bench not in SPEC_BENCHMARKS:
+            raise AssertionError(f"mix {name} references unknown {bench}")
+    return list(benchmarks)

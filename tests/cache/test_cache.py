@@ -1,0 +1,135 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.policies import TrueLRUPolicy
+
+
+def lru_cache(num_sets=4, assoc=4, block_size=1):
+    return SetAssociativeCache(
+        num_sets, assoc, TrueLRUPolicy(num_sets, assoc), block_size=block_size
+    )
+
+
+class TestGeometry:
+    def test_capacity(self):
+        cache = lru_cache(num_sets=8, assoc=4, block_size=64)
+        assert cache.capacity_bytes == 8 * 4 * 64
+        assert cache.capacity_blocks == 32
+
+    def test_locate_block_addresses(self):
+        cache = lru_cache(num_sets=4, assoc=2, block_size=1)
+        assert cache.locate(5) == (1, 1)  # 5 = set 1, tag 1
+        assert cache.locate(4) == (0, 1)
+
+    def test_locate_byte_addresses(self):
+        cache = lru_cache(num_sets=4, assoc=2, block_size=64)
+        set_index, tag = cache.locate(64 * 5)
+        assert (set_index, tag) == (1, 1)
+        # All bytes in the same block map identically.
+        assert cache.locate(64 * 5 + 63) == (1, 1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            lru_cache(num_sets=3)
+
+    def test_rejects_mismatched_policy(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(8, 4, TrueLRUPolicy(4, 4), block_size=1)
+
+
+class TestAccessPath:
+    def test_cold_misses_then_hits(self):
+        cache = lru_cache(num_sets=1, assoc=4)
+        assert [cache.access(a) for a in range(4)] == [False] * 4
+        assert [cache.access(a) for a in range(4)] == [True] * 4
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 4
+
+    def test_lru_eviction_order(self):
+        cache = lru_cache(num_sets=1, assoc=4)
+        for a in range(4):
+            cache.access(a)
+        cache.access(0)  # 1 is now LRU
+        cache.access(4)  # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_eviction_counts(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        for a in range(5):
+            cache.access(a)
+        assert cache.stats.evictions == 3
+        assert cache.stats.misses == 5
+
+    def test_sets_are_independent(self):
+        cache = lru_cache(num_sets=2, assoc=2)
+        # Addresses 0,2,4 map to set 0; 1,3 to set 1.
+        cache.access(0)
+        cache.access(2)
+        cache.access(1)
+        cache.access(4)  # evicts 0 from set 0
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_writeback_accounting(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        cache.access(0, is_write=True)
+        cache.access(1)
+        cache.access(2)  # evicts dirty 0
+        assert cache.stats.writebacks == 1
+        cache.access(3)  # evicts clean 1
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        cache.access(1)
+        cache.access(2)  # evicts 0, now dirty
+        assert cache.stats.writebacks == 1
+
+
+class TestInvalidationAndStats:
+    def test_invalidate(self):
+        cache = lru_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)  # already gone
+
+    def test_invalidated_way_reused_without_eviction(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        cache.access(0)
+        cache.access(1)
+        cache.invalidate(0)
+        cache.access(2)
+        assert cache.stats.evictions == 0
+        assert cache.contains(1) and cache.contains(2)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(0)  # still resident
+
+    def test_miss_rate(self):
+        cache = lru_cache(num_sets=1, assoc=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_resident_tags(self):
+        cache = lru_cache(num_sets=1, assoc=4)
+        for a in range(3):
+            cache.access(a)
+        assert sorted(cache.resident_tags(0)) == [0, 1, 2]
+
+    def test_stats_snapshot_keys(self):
+        cache = lru_cache()
+        cache.access(0)
+        snap = cache.stats.snapshot()
+        assert snap["accesses"] == 1 and snap["misses"] == 1
+        assert "mpki" in snap and "writebacks" in snap

@@ -1,0 +1,99 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.cache import CacheHierarchy, SetAssociativeCache, paper_hierarchy
+from repro.policies import TreePLRUPolicy, TrueLRUPolicy
+
+
+def small_hierarchy(inclusive=False):
+    l1 = SetAssociativeCache(2, 2, TrueLRUPolicy(2, 2), block_size=1, name="L1")
+    l2 = SetAssociativeCache(4, 2, TrueLRUPolicy(4, 2), block_size=1, name="L2")
+    llc = SetAssociativeCache(8, 4, TrueLRUPolicy(8, 4), block_size=1, name="LLC")
+    return CacheHierarchy([l1, l2, llc], inclusive_llc=inclusive)
+
+
+class TestFiltering:
+    def test_hit_levels(self):
+        h = small_hierarchy()
+        assert h.access(0) == 3  # memory
+        assert h.access(0) == 0  # L1 hit
+
+    def test_l1_filters_llc(self):
+        h = small_hierarchy()
+        for _ in range(10):
+            h.access(0)
+        assert h.levels[0].stats.accesses == 10
+        assert h.llc.stats.accesses == 1  # only the initial miss reached it
+
+    def test_all_levels_allocate_on_miss(self):
+        h = small_hierarchy()
+        h.access(7)
+        assert all(level.contains(7) for level in h.levels)
+
+    def test_llc_sees_l1_victim_stream(self):
+        h = small_hierarchy()
+        # Blocks 0, 4, 8 thrash both the 2-way L1 set and the 2-way L2 set
+        # they share, so misses keep flowing down to the LLC.
+        for _ in range(5):
+            for addr in (0, 4, 8):
+                h.access(addr)
+        # L1 misses repeatedly but the LLC absorbs them: after warmup the
+        # LLC should hit on every L1 miss (its set is big enough).
+        assert h.llc.stats.hits > 0
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+def wide_l1_hierarchy(inclusive):
+    """An L1 with more sets than the LLC, so LLC evictions happen while the
+    block is still resident in L1 — the case inclusion must clean up."""
+    l1 = SetAssociativeCache(16, 4, TrueLRUPolicy(16, 4), block_size=1, name="L1")
+    llc = SetAssociativeCache(2, 2, TrueLRUPolicy(2, 2), block_size=1, name="LLC")
+    return CacheHierarchy([l1, llc], inclusive_llc=inclusive)
+
+
+class TestInclusion:
+    def test_back_invalidation(self):
+        h = wide_l1_hierarchy(inclusive=True)
+        # Blocks 0, 2, 4 all map to LLC set 0 (2 ways) but to distinct L1
+        # sets, so L1 never evicts them on its own.
+        for addr in (0, 2, 4):
+            h.access(addr)
+        # The LLC evicted block 0; inclusion must have removed it from L1.
+        assert not h.llc.contains(0)
+        assert not h.levels[0].contains(0)
+        assert h.levels[0].contains(2) and h.levels[0].contains(4)
+
+    def test_inclusive_wrapper_preserves_policy_name(self):
+        h = wide_l1_hierarchy(inclusive=True)
+        assert h.llc.policy.name == "lru"
+
+    def test_non_inclusive_keeps_upper_copy(self):
+        h = wide_l1_hierarchy(inclusive=False)
+        for addr in (0, 2, 4):
+            h.access(addr)
+        assert not h.llc.contains(0)
+        assert h.levels[0].contains(0)  # no back-invalidation
+
+
+class TestPaperHierarchy:
+    def test_geometry(self):
+        h = paper_hierarchy(TreePLRUPolicy(4096, 16))
+        l1, l2, llc = h.levels
+        assert l1.capacity_bytes == 32 * 1024
+        assert l2.capacity_bytes == 256 * 1024
+        assert llc.capacity_bytes == 4 * 1024 * 1024
+        assert llc.assoc == 16
+
+    def test_scaled_down_llc(self):
+        h = paper_hierarchy(TreePLRUPolicy(64, 16), llc_sets=64)
+        assert h.llc.num_sets == 64
+
+    def test_runs_accesses(self):
+        h = paper_hierarchy(TreePLRUPolicy(64, 16), llc_sets=64)
+        for i in range(1000):
+            h.access(i * 64)  # one block per access, streaming
+        assert h.llc.stats.misses == 1000

@@ -1,0 +1,194 @@
+"""Tests for the IPV value type and the published paper vectors."""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ipv import (
+    IPV,
+    lip_ipv,
+    lru_ipv,
+    mru_pessimistic_ipv,
+    random_ipv,
+)
+from repro.core.vectors import (
+    DGIPPR2_WI_VECTORS,
+    DGIPPR4_WI_VECTORS,
+    GIPLR_VECTOR,
+    GIPPR_WI_VECTOR,
+    GIPPR_WN1_PERLBENCH,
+    paper_vectors,
+)
+
+
+class TestValidation:
+    def test_entries_and_k(self):
+        ipv = lru_ipv(16)
+        assert ipv.k == 16
+        assert len(ipv) == 17
+        assert ipv.insertion == 0
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(ValueError):
+            IPV([0] * 16 + [16])
+        with pytest.raises(ValueError):
+            IPV([-1] + [0] * 16)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            IPV([0, 0, 0, 0])  # implies k=3, not a power of two
+        with pytest.raises(ValueError):
+            IPV([0])
+
+    def test_immutable(self):
+        ipv = lru_ipv(4)
+        with pytest.raises(AttributeError):
+            ipv.k = 8
+
+    def test_value_semantics(self):
+        a = IPV([0] * 17)
+        b = lru_ipv(16)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != lip_ipv(16)
+
+    def test_pickle_roundtrip(self):
+        ipv = GIPLR_VECTOR
+        clone = pickle.loads(pickle.dumps(ipv))
+        assert clone == ipv
+        assert clone.name == ipv.name
+
+    def test_mutated(self):
+        ipv = lru_ipv(16)
+        changed = ipv.mutated(16, 15)
+        assert changed.insertion == 15
+        assert ipv.insertion == 0  # original untouched
+
+
+class TestClassicVectors:
+    def test_lru_vector_promotes_to_mru(self):
+        ipv = lru_ipv(16)
+        assert all(ipv.promotion(i) == 0 for i in range(16))
+        assert ipv.insertion == 0
+
+    def test_lip_vector_inserts_at_lru(self):
+        ipv = lip_ipv(16)
+        assert ipv.insertion == 15
+        assert all(ipv.promotion(i) == 0 for i in range(16))
+
+    def test_three_touch_vector_matches_section_2_4(self):
+        # V = [0,...,0, k/2, k-1]: insert at LRU, first hit to middle,
+        # second hit to MRU.
+        ipv = mru_pessimistic_ipv(16)
+        assert ipv.insertion == 15
+        assert ipv.promotion(15) == 8
+        assert ipv.promotion(8) == 0
+
+    def test_random_ipv_in_range(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            ipv = random_ipv(16, rng)
+            assert all(0 <= e < 16 for e in ipv)
+
+
+class TestPaperVectors:
+    def test_giplr_vector_entries(self):
+        # Section 2.5: insert at 13, LRU-position hit moves to 11.
+        assert list(GIPLR_VECTOR.entries) == [
+            0, 0, 1, 0, 3, 0, 1, 2, 1, 0, 5, 1, 0, 0, 1, 11, 13
+        ]
+        assert GIPLR_VECTOR.insertion == 13
+        assert GIPLR_VECTOR.promotion(15) == 11
+
+    def test_all_paper_vectors_valid_16_way(self):
+        for name, vec in paper_vectors().items():
+            assert vec.k == 16, name
+            assert len(vec) == 17, name
+
+    def test_wi2_duel_insertion_positions(self):
+        # Section 5.3.2: the 2-vector set duels PLRU vs PMRU insertion.
+        inserts = sorted(v.insertion for v in DGIPPR2_WI_VECTORS)
+        assert inserts == [0, 15]
+
+    def test_wi4_vector_count_and_names(self):
+        assert len(DGIPPR4_WI_VECTORS) == 4
+        assert len({v.name for v in DGIPPR4_WI_VECTORS}) == 4
+
+    def test_no_paper_vector_is_degenerate(self):
+        for name, vec in paper_vectors().items():
+            assert not vec.is_degenerate(), name
+
+    def test_perlbench_vector(self):
+        assert GIPPR_WN1_PERLBENCH.insertion == 11
+        assert GIPPR_WI_VECTOR.insertion == 5
+
+
+class TestTransitionAnalysis:
+    def test_lru_edges_all_point_to_mru(self):
+        edges = lru_ipv(4).transition_edges()
+        # Promotions i->0 plus downward shifts p->p+1.
+        assert (3, 0) in edges
+        assert (0, 1) in edges and (1, 2) in edges and (2, 3) in edges
+
+    def test_reachability_lru(self):
+        assert lru_ipv(16).reachable_from_insertion() == set(range(16))
+
+    def test_degenerate_vector_detected(self):
+        # Insert at LRU and promote every position to itself: a block can
+        # never leave position k-1, so MRU is unreachable.
+        k = 4
+        entries = [i for i in range(k)] + [k - 1]
+        ipv = IPV(entries)
+        assert ipv.is_degenerate()
+
+    def test_lip_not_degenerate(self):
+        assert not lip_ipv(16).is_degenerate()
+
+    def test_shift_edges_direction(self):
+        # V[3] = 1 on a 4-way: blocks at 1..2 shift down (edges 1->2, 2->3).
+        ipv = IPV([0, 0, 0, 1, 0])
+        edges = ipv.transition_edges()
+        assert (3, 1) in edges
+        assert (1, 2) in edges
+        assert (2, 3) in edges
+
+
+class TestWN1Loading:
+    def test_missing_file_returns_empty(self, tmp_path):
+        from repro.core.vectors import load_wn1_vectors
+
+        assert load_wn1_vectors(str(tmp_path / "absent.json")) == {}
+
+    def test_roundtrip(self, tmp_path):
+        import json
+
+        from repro.core.vectors import load_wn1_vectors
+
+        payload = {
+            "vectors": {
+                "429.mcf": {"1": [[0] * 17], "2": [[0] * 17, [0] * 16 + [15]]},
+                "WI": {"1": [list(GIPLR_VECTOR.entries)]},
+            }
+        }
+        path = tmp_path / "wn1.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_wn1_vectors(str(path))
+        assert set(loaded) == {"429.mcf", "WI"}
+        assert loaded["429.mcf"][2][1].insertion == 15
+        assert loaded["WI"][1][0] == GIPLR_VECTOR
+
+
+@given(
+    entries=st.lists(st.integers(0, 15), min_size=17, max_size=17),
+)
+@settings(max_examples=200)
+def test_transition_edges_within_bounds(entries):
+    ipv = IPV(entries)
+    for a, b in ipv.transition_edges():
+        assert 0 <= a < 16 and 0 <= b < 16
+    reachable = ipv.reachable_from_insertion()
+    assert ipv.insertion in reachable
+    assert reachable <= set(range(16))

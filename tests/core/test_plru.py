@@ -1,0 +1,197 @@
+"""Tests for the tree-PLRU machinery (paper Figures 5-9)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plru import (
+    PLRUTree,
+    all_positions,
+    find_plru,
+    is_power_of_two,
+    position,
+    promote,
+    set_position,
+    tree_bits,
+    way_at_position,
+)
+
+ASSOCS = [2, 4, 8, 16, 32]
+
+
+def states(k):
+    return st.integers(min_value=0, max_value=(1 << (k - 1)) - 1)
+
+
+class TestBasics:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(16)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_tree_bits(self, k):
+        assert tree_bits(k) == k - 1
+
+    def test_tree_bits_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            tree_bits(12)
+
+    def test_all_zero_state_victim_is_way_zero(self):
+        # With every plru bit 0 the victim walk goes left to way 0.
+        assert find_plru(0, 16) == 0
+
+    def test_all_ones_state_victim_is_last_way(self):
+        k = 16
+        assert find_plru((1 << (k - 1)) - 1, k) == k - 1
+
+
+class TestFigure8Example:
+    """The worked example tree from the paper's Figure 8.
+
+    The figure shows a 16-way set whose decoded positions are, per way:
+    way 0 -> 5, way 1 -> 4, way 2 -> 7, way 3 -> 6, way 4 -> 1, way 5 -> 0,
+    way 6 -> 2, way 7 -> 3, way 8 -> 11, way 9 -> 10, way 10 -> 8,
+    way 11 -> 9, way 12 -> 14, way 13 -> 15, way 14 -> 13, way 15 -> 12.
+    We reconstruct the state from the positions and verify consistency
+    rather than transcribe the bit layout (the figure's drawing order is
+    ambiguous on paper, the decoded positions are not).
+    """
+
+    PYRAMID = {0: 5, 1: 4, 2: 7, 3: 6, 4: 1, 5: 0, 6: 2, 7: 3,
+               8: 11, 9: 10, 10: 8, 11: 9, 12: 14, 13: 15, 14: 13, 15: 12}
+
+    def test_positions_reconstructible(self):
+        k = 16
+        state = 0
+        # Setting positions leaf-by-leaf must converge because the figure's
+        # assignment is a consistent PLRU permutation.
+        for way, pos in self.PYRAMID.items():
+            state = set_position(state, way, pos, k)
+        assert all_positions(state, k) == [self.PYRAMID[w] for w in range(k)]
+
+    def test_victim_is_position_fifteen(self):
+        k = 16
+        state = 0
+        for way, pos in self.PYRAMID.items():
+            state = set_position(state, way, pos, k)
+        assert find_plru(state, k) == 13  # way 13 holds position 15
+
+
+class TestPositionProperties:
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_positions_form_permutation(self, k):
+        rng = random.Random(7)
+        for _ in range(200):
+            state = rng.getrandbits(k - 1)
+            assert sorted(all_positions(state, k)) == list(range(k))
+
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_victim_has_max_position(self, k):
+        rng = random.Random(11)
+        for _ in range(200):
+            state = rng.getrandbits(k - 1)
+            victim = find_plru(state, k)
+            assert position(state, victim, k) == k - 1
+
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_promote_moves_to_position_zero(self, k):
+        rng = random.Random(13)
+        for _ in range(100):
+            state = rng.getrandbits(k - 1)
+            way = rng.randrange(k)
+            assert position(promote(state, way, k), way, k) == 0
+
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_promote_equals_set_position_zero(self, k):
+        rng = random.Random(17)
+        for _ in range(100):
+            state = rng.getrandbits(k - 1)
+            way = rng.randrange(k)
+            assert promote(state, way, k) == set_position(state, way, 0, k)
+
+    @pytest.mark.parametrize("k", ASSOCS)
+    def test_way_at_position_inverts_position(self, k):
+        rng = random.Random(19)
+        for _ in range(100):
+            state = rng.getrandbits(k - 1)
+            for pos in range(k):
+                way = way_at_position(state, pos, k)
+                assert position(state, way, k) == pos
+
+    def test_set_position_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            set_position(0, 0, 16, 16)
+        with pytest.raises(ValueError):
+            set_position(0, 0, -1, 16)
+
+    def test_way_at_position_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            way_at_position(0, 16, 16)
+
+
+class TestSetPositionHypothesis:
+    @given(state=states(16), way=st.integers(0, 15), pos=st.integers(0, 15))
+    @settings(max_examples=300)
+    def test_roundtrip(self, state, way, pos):
+        new_state = set_position(state, way, pos, 16)
+        assert position(new_state, way, 16) == pos
+
+    @given(state=states(16), way=st.integers(0, 15), pos=st.integers(0, 15))
+    @settings(max_examples=300)
+    def test_touches_only_path_bits(self, state, way, pos):
+        # Only log2(k) bits may change (the paper's complexity argument).
+        new_state = set_position(state, way, pos, 16)
+        changed = bin(state ^ new_state).count("1")
+        assert changed <= 4
+
+    @given(state=states(16), way=st.integers(0, 15), pos=st.integers(0, 15))
+    @settings(max_examples=300)
+    def test_positions_stay_a_permutation(self, state, way, pos):
+        new_state = set_position(state, way, pos, 16)
+        assert sorted(all_positions(new_state, 16)) == list(range(16))
+
+    @given(state=states(8), way=st.integers(0, 7))
+    @settings(max_examples=200)
+    def test_promoted_block_not_victim(self, state, way):
+        new_state = promote(state, way, 8)
+        assert find_plru(new_state, 8) != way
+
+
+class TestPLRUTreeWrapper:
+    def test_touch_then_victim_differs(self):
+        tree = PLRUTree(8)
+        for way in range(8):
+            tree.touch(way)
+            assert tree.victim() != way
+
+    def test_move_to_and_positions(self):
+        tree = PLRUTree(16)
+        tree.move_to(3, 15)
+        assert tree.position_of(3) == 15
+        assert tree.victim() == 3
+
+    def test_positions_permutation(self):
+        tree = PLRUTree(4)
+        tree.touch(1)
+        tree.touch(3)
+        assert sorted(tree.positions()) == [0, 1, 2, 3]
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            PLRUTree(12)
+
+    def test_plru_victim_is_not_most_recent(self):
+        """The paper: the PLRU block is guaranteed not to be the MRU block."""
+        rng = random.Random(3)
+        tree = PLRUTree(16)
+        last = None
+        for _ in range(500):
+            way = rng.randrange(16)
+            tree.touch(way)
+            last = way
+            assert tree.victim() != last

@@ -1,0 +1,135 @@
+"""Tests for the IPV-driven true-LRU recency stack (Section 2.3 semantics)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.core.recency import RecencyStack
+
+
+class TestClassicLRU:
+    def test_initial_order_is_identity(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        assert stack.order() == [0, 1, 2, 3]
+
+    def test_touch_promotes_to_mru(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        stack.touch(2)
+        assert stack.order() == [2, 0, 1, 3]
+
+    def test_victim_is_lru(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        stack.touch(3)
+        assert stack.victim() == 2
+
+    def test_sequence_matches_reference_lru(self):
+        """Cross-check against a plain move-to-front list model."""
+        rng = random.Random(1)
+        stack = RecencyStack(8, lru_ipv(8))
+        reference = list(range(8))
+        for _ in range(500):
+            way = rng.randrange(8)
+            stack.touch(way)
+            reference.remove(way)
+            reference.insert(0, way)
+            assert stack.order() == reference
+            stack.check_invariants()
+
+
+class TestIPVSemantics:
+    def test_promotion_shift_down(self):
+        """V[i] < i: blocks between V[i] and i-1 shift down one position."""
+        ipv = IPV([0, 0, 1, 0, 0])  # 4-way; hit at 2 promotes to 1
+        stack = RecencyStack(4, ipv)
+        # order [0,1,2,3]; touch way 2 (position 2) -> position 1
+        stack.touch(2)
+        assert stack.order() == [0, 2, 1, 3]
+
+    def test_promotion_shift_up(self):
+        """V[i] > i: blocks between i+1 and V[i] shift up one position."""
+        ipv = IPV([2, 1, 2, 3, 0])  # hit at 0 demotes to 2
+        stack = RecencyStack(4, ipv)
+        stack.touch(0)  # position 0 -> 2; blocks at 1,2 shift up
+        assert stack.order() == [1, 2, 0, 3]
+
+    def test_insertion_at_lru_position(self):
+        stack = RecencyStack(4, lip_ipv(4))
+        victim = stack.victim()
+        stack.insert(victim)  # incoming block placed in victim's way
+        assert stack.position_of(victim) == 3  # stays in LRU position
+
+    def test_insertion_mid_stack(self):
+        ipv = IPV([0, 0, 0, 0, 2])
+        stack = RecencyStack(4, ipv)
+        victim = stack.victim()
+        stack.insert(victim)
+        assert stack.position_of(victim) == 2
+
+    def test_three_touch_promotion_path(self):
+        """Section 2.4's example: LRU insert, then middle, then MRU."""
+        k = 16
+        entries = [0] * (k + 1)
+        entries[k] = k - 1
+        entries[k - 1] = k // 2
+        stack = RecencyStack(k, IPV(entries))
+        way = stack.victim()
+        stack.insert(way)
+        assert stack.position_of(way) == k - 1
+        stack.touch(way)
+        assert stack.position_of(way) == k // 2
+        stack.touch(way)
+        assert stack.position_of(way) == 0
+
+    def test_place_bypasses_ipv(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        stack.place(0, 3)
+        assert stack.position_of(0) == 3
+        with pytest.raises(ValueError):
+            stack.place(0, 4)
+
+    def test_set_ipv_switches_policy(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        stack.set_ipv(lip_ipv(4))
+        victim = stack.victim()
+        stack.insert(victim)
+        assert stack.position_of(victim) == 3
+
+    def test_set_ipv_rejects_wrong_k(self):
+        stack = RecencyStack(4, lru_ipv(4))
+        with pytest.raises(ValueError):
+            stack.set_ipv(lru_ipv(8))
+
+    def test_ipv_k_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RecencyStack(8, lru_ipv(4))
+
+
+@given(
+    entries=st.lists(st.integers(0, 7), min_size=9, max_size=9),
+    ops=st.lists(st.integers(0, 15), min_size=1, max_size=200),
+)
+@settings(max_examples=150)
+def test_stack_stays_a_permutation(entries, ops):
+    """Any IPV, any op sequence: the stack remains a permutation of ways."""
+    stack = RecencyStack(8, IPV(entries))
+    for op in ops:
+        if op < 8:
+            stack.touch(op)
+        else:
+            stack.insert(stack.victim())
+        stack.check_invariants()
+
+
+@given(ops=st.lists(st.integers(0, 7), min_size=1, max_size=100))
+@settings(max_examples=100)
+def test_lru_vector_equals_move_to_front(ops):
+    stack = RecencyStack(8, lru_ipv(8))
+    reference = list(range(8))
+    for way in ops:
+        stack.touch(way)
+        reference.remove(way)
+        reference.insert(0, way)
+    assert stack.order() == reference

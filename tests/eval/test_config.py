@@ -1,0 +1,66 @@
+"""Tests for experiment configuration and environment scaling."""
+
+import pytest
+
+from repro.eval.config import (
+    ExperimentConfig,
+    default_config,
+    env_scale,
+    paper_scale_config,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = default_config()
+        assert config.num_sets == 64
+        assert config.assoc == 16
+        assert config.capacity_blocks == 1024
+
+    def test_paper_scale(self):
+        config = paper_scale_config()
+        assert config.num_sets == 4096
+        assert config.capacity_blocks == 4096 * 16  # a 4MB LLC in blocks
+
+    def test_scaled_overrides(self):
+        config = default_config().scaled(trace_length=5000, seed=9)
+        assert config.trace_length == 5000
+        assert config.seed == 9
+        assert config.num_sets == 64  # untouched fields preserved
+
+    def test_warmup_accesses(self):
+        config = default_config(trace_length=10_000, warmup_fraction=0.25)
+        assert config.warmup_accesses == 2500
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(warmup_fraction=-0.1)
+
+    def test_trace_length_floor(self):
+        config = ExperimentConfig(trace_length=10, apply_env_scale=False)
+        assert config.trace_length == 1000  # floored
+
+
+class TestEnvScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+
+    def test_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert env_scale() == 2.5
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        assert env_scale() == 1.0
+
+    def test_scale_applies_to_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        config = ExperimentConfig(trace_length=10_000)
+        assert config.trace_length == 20_000
+
+    def test_scale_clamped_above_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-5")
+        assert env_scale() == 0.01

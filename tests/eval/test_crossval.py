@@ -1,0 +1,62 @@
+"""Tests for the WN1/WI evolution methodology (scaled down)."""
+
+import pytest
+
+from repro.eval import default_config
+from repro.eval.crossval import (
+    evolve_duel_vectors,
+    evolve_wn1_vectors,
+    lru_miss_rates,
+    partition_benchmarks,
+)
+
+QUICK = default_config(trace_length=3000)
+BENCHES = ["453.povray", "447.dealII", "462.libquantum", "482.sphinx3"]
+
+
+class TestMissRates:
+    def test_ordering(self):
+        rates = lru_miss_rates(BENCHES, QUICK)
+        assert rates["453.povray"] < rates["462.libquantum"]
+
+    def test_all_in_unit_interval(self):
+        rates = lru_miss_rates(BENCHES, QUICK)
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+
+class TestPartition:
+    def test_two_groups_split_friendly_thrash(self):
+        groups = partition_benchmarks(BENCHES, 2, QUICK)
+        assert len(groups) == 2
+        assert "453.povray" in groups[0]  # friendliest first
+        assert "462.libquantum" in groups[1] or "482.sphinx3" in groups[1]
+
+    def test_single_group(self):
+        groups = partition_benchmarks(BENCHES, 1, QUICK)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == sorted(BENCHES)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            partition_benchmarks(BENCHES, 0, QUICK)
+
+
+class TestEvolution:
+    def test_duel_vectors_count(self):
+        vectors = evolve_duel_vectors(
+            BENCHES, 2, config=QUICK, population_size=6, generations=1
+        )
+        assert len(vectors) == 2
+        assert all(v.k == 16 for v in vectors)
+
+    def test_wn1_holds_out_each_benchmark(self):
+        result = evolve_wn1_vectors(
+            num_vectors=1,
+            benchmarks=BENCHES[:2],
+            config=QUICK,
+            population_size=6,
+            generations=1,
+        )
+        assert set(result) == set(BENCHES[:2])
+        for vectors in result.values():
+            assert len(vectors) == 1

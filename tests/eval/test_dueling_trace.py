@@ -1,0 +1,82 @@
+"""Tests for the set-dueling instrumentation."""
+
+import pytest
+
+from repro.core.ipv import IPV
+from repro.eval.dueling_trace import DuelTrace, record_duel
+from repro.policies import DGIPPRPolicy, TreePLRUPolicy
+from repro.trace import concatenate, noisy_loop, stack_distance
+
+PHASE = 20_000
+
+
+def phased_trace():
+    friendly = stack_distance(
+        list(range(300, 800, 50)), [1.0] * 10, PHASE, cold_fraction=0.15, seed=1
+    )
+    thrash = noisy_loop(1500, PHASE, noise=0.25, seed=2)
+    return concatenate([friendly, thrash, friendly.slice(0, PHASE)], name="p")
+
+
+class TestRecordDuel:
+    def test_rejects_non_duelling_policy(self):
+        with pytest.raises(ValueError):
+            record_duel(TreePLRUPolicy(64, 16), phased_trace(), 64, 16)
+
+    def test_tracks_phase_flips(self):
+        pmru = IPV([0] * 17, name="pmru")
+        plru = IPV([0] * 16 + [15], name="plru-ins")
+        policy = DGIPPRPolicy(64, 16, ipvs=[pmru, plru], counter_bits=8)
+        duel = record_duel(policy, phased_trace(), 64, 16, sample_every=256)
+        # The duel must switch at least once into the thrash phase and the
+        # occupancies must cover both policies.
+        assert duel.switch_count >= 1
+        occupancy = duel.occupancy()
+        assert set(occupancy) <= {0, 1}
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_flip_latency(self):
+        pmru = IPV([0] * 17, name="pmru")
+        plru = IPV([0] * 16 + [15], name="plru-ins")
+        policy = DGIPPRPolicy(64, 16, ipvs=[pmru, plru], counter_bits=8)
+        duel = record_duel(policy, phased_trace(), 64, 16, sample_every=256)
+        latencies = duel.flip_latency([PHASE])
+        # The thrash phase starting at PHASE must trigger a switch within
+        # the phase (the adaptivity claim of Section 3.5).
+        assert latencies[0] is not None
+        assert latencies[0] < PHASE
+
+    def test_occupancy_static_run(self):
+        duel = DuelTrace(switches=[(0, 1)], accesses=100, final_selected=1)
+        assert duel.switch_count == 0
+        assert duel.occupancy() == {1: 1.0}
+
+    def test_flip_latency_no_switch(self):
+        duel = DuelTrace(switches=[(0, 0)], accesses=100, final_selected=0)
+        assert duel.flip_latency([50]) == [None]
+
+
+class TestMixes:
+    def test_named_mixes_resolve(self):
+        from repro.workloads.mixes import get_mix, mix_names
+
+        for name in mix_names():
+            benchmarks = get_mix(name)
+            assert len(benchmarks) in (2, 4)
+
+    def test_unknown_mix(self):
+        from repro.workloads.mixes import get_mix
+
+        with pytest.raises(ValueError):
+            get_mix("nonesuch")
+
+    def test_mix_runs_through_multicore(self):
+        from repro.eval import default_config, run_multicore
+        from repro.workloads.mixes import get_mix
+
+        result = run_multicore(
+            "lru", get_mix("friendly2"),
+            config=default_config(trace_length=4000),
+        )
+        # All-friendly control: sharing costs nearly nothing.
+        assert result.weighted_speedup > 1.9

@@ -1,0 +1,97 @@
+"""Tests for the suite driver and its paper metrics."""
+
+import pytest
+
+from repro.eval import PolicySpec, default_config, run_suite
+from repro.eval.experiments import STANDARD_POLICIES
+
+QUICK = default_config(trace_length=12_000)
+BENCHES = ["462.libquantum", "447.dealII", "453.povray", "429.mcf"]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(
+        [
+            PolicySpec("LRU", "lru"),
+            PolicySpec("DRRIP", "drrip"),
+            PolicySpec("4-DGIPPR", "dgippr"),
+        ],
+        config=QUICK,
+        benchmarks=BENCHES,
+    )
+
+
+class TestSuiteResult:
+    def test_all_cells_present(self, suite):
+        assert set(suite.labels) == {"LRU", "DRRIP", "4-DGIPPR"}
+        for label in suite.labels:
+            assert list(suite.results[label]) == BENCHES
+
+    def test_baseline_speedup_is_one(self, suite):
+        speedups = suite.speedups("LRU")
+        assert all(v == pytest.approx(1.0) for v in speedups.values())
+
+    def test_povray_unaffected(self, suite):
+        """Tiny working set: every policy equals LRU (paper Section 5.1)."""
+        for label in ("DRRIP", "4-DGIPPR"):
+            assert suite.speedups(label)["453.povray"] == pytest.approx(1.0, abs=0.01)
+
+    def test_libquantum_big_win(self, suite):
+        """Thrash-scan: both adaptive policies crush LRU."""
+        assert suite.speedups("DRRIP")["462.libquantum"] > 1.1
+        assert suite.speedups("4-DGIPPR")["462.libquantum"] > 1.1
+
+    def test_normalized_mpki_below_one_on_thrash(self, suite):
+        norm = suite.normalized_mpki("4-DGIPPR")
+        assert norm["462.libquantum"] < 0.95
+
+    def test_memory_intensive_subset(self, suite):
+        subset = suite.memory_intensive()
+        assert "462.libquantum" in subset
+        assert "453.povray" not in subset
+
+    def test_sorted_benchmarks(self, suite):
+        order = suite.sorted_benchmarks("DRRIP", metric="speedup")
+        speedups = suite.speedups("DRRIP")
+        assert [speedups[b] for b in order] == sorted(speedups.values())
+
+    def test_geomean(self, suite):
+        assert suite.geomean_speedup("4-DGIPPR") > 1.0
+
+
+class TestRunSuiteValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(
+                [PolicySpec("X", "lru"), PolicySpec("X", "plru")],
+                config=QUICK,
+                benchmarks=BENCHES[:1],
+            )
+
+    def test_baseline_required(self):
+        with pytest.raises(ValueError):
+            run_suite(
+                [PolicySpec("PLRU", "plru")],
+                config=QUICK,
+                benchmarks=BENCHES[:1],
+            )
+
+    def test_standard_lineup_has_baseline(self):
+        assert any(s.label == "LRU" for s in STANDARD_POLICIES)
+
+    def test_parallel_matches_serial(self):
+        serial = run_suite(
+            [PolicySpec("LRU", "lru"), PolicySpec("PLRU", "plru")],
+            config=QUICK,
+            benchmarks=BENCHES[:2],
+            workers=0,
+        )
+        parallel = run_suite(
+            [PolicySpec("LRU", "lru"), PolicySpec("PLRU", "plru")],
+            config=QUICK,
+            benchmarks=BENCHES[:2],
+            workers=2,
+        )
+        for label in serial.labels:
+            assert serial.misses(label) == parallel.misses(label)

@@ -1,0 +1,83 @@
+"""Tests for IPC estimation and miss-ratio-curve sweeps."""
+
+import pytest
+
+from repro.eval import default_config
+from repro.eval.ipc import estimate_ipc, ipc_speedup
+from repro.eval.sweeps import crossover_size, miss_ratio_curve
+from repro.trace import noisy_loop, looping, zipf
+
+QUICK = default_config(trace_length=12_000)
+
+
+class TestEstimateIPC:
+    def test_friendly_trace_high_ipc(self):
+        trace = zipf(300, 12_000, seed=1)
+        result = estimate_ipc("lru", trace, config=QUICK)
+        assert result.ipc > 2.0  # mostly hits on a 4-wide core
+
+    def test_thrash_trace_low_ipc_under_lru(self):
+        trace = looping(1400, 12_000, seed=2)
+        friendly = estimate_ipc("lru", zipf(300, 12_000, seed=1), config=QUICK)
+        thrash = estimate_ipc("lru", trace, config=QUICK)
+        assert thrash.ipc < friendly.ipc
+
+    def test_policy_kwargs(self):
+        from repro.core.ipv import lip_ipv
+
+        trace = looping(1400, 12_000, seed=3)
+        lipped = estimate_ipc(
+            "gippr", trace, config=QUICK, policy_kwargs={"ipv": lip_ipv(16)}
+        )
+        plain = estimate_ipc("plru", trace, config=QUICK)
+        assert lipped.ipc > plain.ipc  # LIP retains the loop
+
+    def test_ipc_speedup_direction(self):
+        trace = noisy_loop(1400, 12_000, noise=0.3, seed=4)
+        speedup = ipc_speedup("dgippr", "lru", trace, config=QUICK)
+        assert speedup > 1.0
+
+    def test_belady_supported(self):
+        trace = looping(1200, 8_000, seed=5)
+        result = estimate_ipc("belady", trace, config=QUICK)
+        assert result.ipc > estimate_ipc("lru", trace, config=QUICK).ipc
+
+
+class TestMissRatioCurve:
+    def test_loop_cliff(self):
+        """A 1,000-block loop: miss rate collapses once capacity covers it."""
+        trace = looping(1000, 20_000, seed=6)
+        curve = miss_ratio_curve("lru", trace, set_counts=(16, 32, 64, 128))
+        assert curve[16 * 16] > 0.9  # 256 blocks: thrash
+        assert curve[128 * 16] < 0.05  # 2048 blocks: fits
+
+    def test_monotone_for_lru(self):
+        """LRU's inclusion property: bigger caches never miss more."""
+        trace = zipf(2000, 20_000, seed=7)
+        curve = miss_ratio_curve("lru", trace)
+        sizes = sorted(curve)
+        for small, big in zip(sizes, sizes[1:]):
+            assert curve[big] <= curve[small] + 1e-9
+
+    def test_dgippr_cuts_the_cliff(self):
+        """Below the loop's working set, adaptive insertion beats LRU."""
+        trace = noisy_loop(1000, 25_000, noise=0.2, seed=8)
+        lru = miss_ratio_curve("lru", trace, set_counts=(16, 32))
+        dgippr = miss_ratio_curve("dgippr", trace, set_counts=(16, 32))
+        assert dgippr[32 * 16] < lru[32 * 16]
+
+
+class TestCrossover:
+    def test_no_crossover_when_dominated(self):
+        a = {256: 0.9, 512: 0.8, 1024: 0.4}
+        b = {256: 0.5, 512: 0.4, 1024: 0.1}
+        assert crossover_size(a, b) is None
+
+    def test_crossover_detected(self):
+        a = {256: 0.9, 512: 0.5, 1024: 0.1}
+        b = {256: 0.5, 512: 0.6, 1024: 0.4}
+        assert crossover_size(a, b) == 512
+
+    def test_disjoint_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_size({1: 0.1}, {2: 0.2})

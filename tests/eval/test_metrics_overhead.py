@@ -1,0 +1,103 @@
+"""Tests for metrics, overhead accounting and reporting."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    geometric_mean,
+    memory_intensive_subset,
+    normalized_map,
+    speedup_map,
+)
+from repro.eval.overhead import overhead_row, overhead_table
+from repro.eval.reporting import format_overhead, format_table
+from repro.timing import LinearCPIModel
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_identity(self):
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestMaps:
+    def test_speedup_map(self):
+        timing = LinearCPIModel(base_cpi=1.0, miss_penalty=100)
+        speedups = speedup_map(
+            {"a": 100}, {"a": 50}, {"a": 10_000}, timing
+        )
+        assert speedups["a"] > 1.0
+
+    def test_normalized_map_zero_baseline(self):
+        assert normalized_map({"a": 0.0}, {"a": 5.0})["a"] == 1.0
+
+    def test_normalized_map_ratio(self):
+        assert normalized_map({"a": 10.0}, {"a": 9.0})["a"] == pytest.approx(0.9)
+
+    def test_memory_intensive_threshold(self):
+        speedups = {"a": 1.02, "b": 1.005, "c": 0.9}
+        assert list(memory_intensive_subset(speedups)) == ["a"]
+
+
+class TestOverhead:
+    def test_paper_numbers(self):
+        """Section 3.6: 15 bits/set GIPPR (~7KB), 64 LRU (32KB), 32 DRRIP
+        (16KB), 64 PDP-4bit (32KB) at 4MB/16-way."""
+        gippr = overhead_row("gippr")
+        assert gippr["bits_per_set"] == 15
+        assert gippr["bits_per_block"] == pytest.approx(0.9375)
+        assert gippr["total_kilobytes"] == pytest.approx(7.5, abs=0.1)
+
+        lru = overhead_row("lru")
+        assert lru["bits_per_set"] == 64
+        assert lru["total_kilobytes"] == pytest.approx(32.0)
+
+        drrip = overhead_row("drrip")
+        assert drrip["bits_per_set"] == 32
+        assert drrip["total_kilobytes"] == pytest.approx(16.0, abs=0.01)
+
+        pdp = overhead_row("pdp")
+        assert pdp["bits_per_set"] == 64
+
+    def test_dgippr_counter_overhead(self):
+        row = overhead_row("dgippr")
+        assert row["global_bits"] == 33  # three 11-bit counters
+        assert row["bits_per_set"] == 15
+
+    def test_drrip_more_than_twice_dgippr(self):
+        """The paper's headline: DRRIP consumes more than twice the area."""
+        dgippr = overhead_row("dgippr")["total_kilobytes"]
+        drrip = overhead_row("drrip")["total_kilobytes"]
+        assert drrip > 2 * dgippr
+
+    def test_table_sorted(self):
+        rows = overhead_table(["lru", "gippr", "drrip"])
+        totals = [r["total_kilobytes"] for r in rows]
+        assert totals == sorted(totals)
+
+    def test_belady_reported_nan(self):
+        row = overhead_row("belady")
+        assert math.isnan(row["total_kilobytes"])
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1.5], ["bb", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in text and "2.250" in text
+
+    def test_format_overhead_runs(self):
+        text = format_overhead(overhead_table(["gippr", "lru"]))
+        assert "gippr" in text and "lru" in text

@@ -1,0 +1,74 @@
+"""Tests for the trace runner and benchmark aggregation."""
+
+import pytest
+
+from repro.eval import default_config, run_benchmark, run_trace
+from repro.eval.runner import BenchmarkResult, RunResult
+from repro.policies import BeladyPolicy, TrueLRUPolicy, make_policy
+from repro.trace import Trace, looping, streaming
+from repro.workloads import get_benchmark
+
+
+class TestRunTrace:
+    def test_streaming_misses_everything(self):
+        config = default_config(trace_length=5000, warmup_fraction=0.2)
+        trace = streaming(5000)
+        result = run_trace(TrueLRUPolicy(64, 16), trace, config)
+        assert result.misses == result.accesses == 4000
+        assert result.miss_rate == 1.0
+
+    def test_warmup_excluded_from_stats(self):
+        config = default_config(warmup_fraction=0.5)
+        trace = looping(100, 2000)  # fits in cache: misses only in warmup
+        result = run_trace(TrueLRUPolicy(64, 16), trace, config)
+        assert result.misses == 0
+        assert result.accesses == 1000
+
+    def test_mpki_scaling(self):
+        config = default_config(warmup_fraction=0.0)
+        trace = Trace(list(range(1000)), instructions=100_000)
+        result = run_trace(TrueLRUPolicy(64, 16), trace, config)
+        assert result.mpki == pytest.approx(10.0)
+
+    def test_collect_miss_positions(self):
+        config = default_config(warmup_fraction=0.0)
+        trace = Trace(list(range(100)), instructions=1000)
+        result = run_trace(
+            TrueLRUPolicy(64, 16), trace, config, collect_miss_positions=True
+        )
+        assert len(result.miss_positions) == 100
+        assert result.miss_positions == sorted(result.miss_positions)
+
+    def test_belady_annotation_automatic(self):
+        config = default_config(warmup_fraction=0.1)
+        trace = looping(1200, 6000)
+        result = run_trace(BeladyPolicy(64, 16), trace, config)
+        assert result.misses < result.accesses  # MIN retains part of the loop
+
+
+class TestRunBenchmark:
+    def test_weighted_aggregation(self):
+        config = default_config(trace_length=4000)
+        bench = get_benchmark("429.mcf")
+        result = run_benchmark("lru", bench, config)
+        assert isinstance(result, BenchmarkResult)
+        assert len(result.runs) == len(bench.simpoints)
+        expected = sum(
+            r.misses * w for r, w in zip(result.runs, bench.weights())
+        )
+        assert result.misses == pytest.approx(expected)
+
+    def test_policy_kwargs_forwarded(self):
+        from repro.core.ipv import lip_ipv
+
+        config = default_config(trace_length=3000)
+        bench = get_benchmark("462.libquantum")
+        lipped = run_benchmark(
+            "gippr", bench, config, policy_kwargs={"ipv": lip_ipv(16)}
+        )
+        default = run_benchmark("gippr", bench, config)
+        assert lipped.misses != default.misses
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkResult("x", "lru", [], [1.0])

@@ -1,0 +1,156 @@
+"""Tests for the GA fitness function and its fast simulators."""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.core.vectors import GIPPR_WI_VECTOR
+from repro.eval.config import default_config
+from repro.ga import (
+    FitnessEvaluator,
+    simulate_misses_lru_ipv,
+    simulate_misses_plru_ipv,
+)
+from repro.policies import GIPPRPolicy, IPVLRUPolicy, TrueLRUPolicy
+
+
+def cache_misses(policy, addresses, num_sets, assoc, warmup):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for a in addresses[:warmup]:
+        cache.access(a)
+    cache.reset_stats()
+    for a in addresses[warmup:]:
+        cache.access(a)
+    return cache.stats.misses
+
+
+class TestFastSimulators:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_plru_sim_matches_policy_exactly(self, seed):
+        """The inlined PLRU-IPV simulator is bit-exact with GIPPRPolicy."""
+        rng = random.Random(seed)
+        addresses = [rng.randrange(400) for _ in range(8000)]
+        for ipv in [lru_ipv(16), lip_ipv(16), GIPPR_WI_VECTOR]:
+            fast = simulate_misses_plru_ipv(
+                addresses, 8, 16, tuple(ipv.entries), warmup=1000
+            )
+            slow = cache_misses(GIPPRPolicy(8, 16, ipv=ipv), addresses, 8, 16, 1000)
+            assert fast == slow, ipv.name
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_lru_sim_matches_policy_on_lru_vector(self, seed):
+        """With the classic LRU vector both models are exactly LRU."""
+        rng = random.Random(seed)
+        addresses = [rng.randrange(300) for _ in range(8000)]
+        fast = simulate_misses_lru_ipv(
+            addresses, 8, 16, tuple(lru_ipv(16).entries), warmup=1000
+        )
+        slow = cache_misses(TrueLRUPolicy(8, 16), addresses, 8, 16, 1000)
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_lru_sim_close_to_policy_on_general_vectors(self, seed):
+        """General vectors may diverge transiently during cold fill (the
+        fast model has no invalid-way positions) but must agree closely
+        once sets are warm."""
+        rng = random.Random(seed)
+        addresses = [rng.randrange(350) for _ in range(12_000)]
+        for ipv in [lip_ipv(16), IPV([0, 0, 1, 0, 3, 0, 1, 2, 1, 0, 5, 1, 0, 0, 1, 11, 13])]:
+            fast = simulate_misses_lru_ipv(
+                addresses, 8, 16, tuple(ipv.entries), warmup=4000
+            )
+            slow = cache_misses(
+                IPVLRUPolicy(8, 16, ipv), addresses, 8, 16, 4000
+            )
+            assert abs(fast - slow) <= 0.05 * max(slow, 1), ipv.name
+
+    def test_streaming_misses_everything(self):
+        addresses = list(range(5000))
+        for sim in (simulate_misses_lru_ipv, simulate_misses_plru_ipv):
+            assert sim(addresses, 8, 16, tuple(lru_ipv(16).entries), 0) == 5000
+
+
+class TestFitnessEvaluator:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        config = default_config(trace_length=5000)
+        return FitnessEvaluator(
+            ["462.libquantum", "429.mcf", "453.povray"], config=config
+        )
+
+    def test_lru_vector_fitness_is_one_ish(self, evaluator):
+        """The LRU vector on PLRU substrate ~ PLRU ~ LRU: fitness ~ 1."""
+        fitness = evaluator.evaluate(lru_ipv(16))
+        assert 0.9 < fitness < 1.1
+
+    def test_thrash_resistant_vector_wins(self, evaluator):
+        """PLRU-insertion beats the LRU vector on this thrash-heavy mix."""
+        fitness_plru_ins = evaluator.evaluate(IPV([0] * 16 + [15]))
+        fitness_lru = evaluator.evaluate(lru_ipv(16))
+        assert fitness_plru_ins > fitness_lru
+
+    def test_rejects_wrong_length(self, evaluator):
+        with pytest.raises(ValueError):
+            evaluator.evaluate([0] * 9)
+
+    def test_per_benchmark_speedup_keys(self, evaluator):
+        speedups = evaluator.per_benchmark_speedup(lru_ipv(16))
+        assert set(speedups) == {"462.libquantum", "429.mcf", "453.povray"}
+
+    def test_substrate_validation(self):
+        with pytest.raises(ValueError):
+            FitnessEvaluator(["429.mcf"], substrate="fifo")
+
+    def test_lru_substrate(self):
+        config = default_config(trace_length=4000)
+        evaluator = FitnessEvaluator(
+            ["462.libquantum"], config=config, substrate="lru"
+        )
+        assert evaluator.evaluate(lru_ipv(16)) == pytest.approx(1.0)
+
+
+class TestMLPAwareFitness:
+    """Future work item 2: MLP in the fitness function."""
+
+    @pytest.fixture(scope="class")
+    def evaluators(self):
+        config = default_config(trace_length=5000)
+        benches = ["462.libquantum", "429.mcf"]
+        linear = FitnessEvaluator(benches, config=config)
+        mlp = FitnessEvaluator(benches, config=config, mlp_aware=True)
+        return linear, mlp
+
+    def test_lru_vector_still_parity(self, evaluators):
+        _, mlp = evaluators
+        assert mlp.evaluate(lru_ipv(16)) == pytest.approx(1.0, abs=0.02)
+
+    def test_mlp_compresses_thrash_gains(self, evaluators):
+        """Clustered misses are cheaper under the MLP model, so saving
+        them is worth less: thrash-vector fitness shrinks toward 1."""
+        linear, mlp = evaluators
+        thrash_vector = IPV([0] * 16 + [15])
+        linear_fitness = linear.evaluate(thrash_vector)
+        mlp_fitness = mlp.evaluate(thrash_vector)
+        assert linear_fitness > 1.0
+        assert 1.0 < mlp_fitness
+        assert mlp_fitness < linear_fitness
+
+    def test_miss_indices_collected(self):
+        addresses = list(range(100))
+        indices = []
+        simulate_misses_plru_ipv(
+            addresses, 4, 16, tuple(lru_ipv(16).entries), warmup=10,
+            miss_indices=indices,
+        )
+        assert indices == list(range(10, 100))
+
+    def test_burstiness_validated(self):
+        with pytest.raises(ValueError):
+            FitnessEvaluator(
+                ["429.mcf"],
+                config=default_config(trace_length=2000),
+                mlp_aware=True,
+                burstiness=1.5,
+            )

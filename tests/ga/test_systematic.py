@@ -1,0 +1,73 @@
+"""Tests for systematic (search-free) IPV derivation — future work item 3."""
+
+import pytest
+
+from repro.core.ipv import lru_ipv
+from repro.eval import default_config
+from repro.ga import FitnessEvaluator
+from repro.ga.systematic import derive_ipv, derive_ipv_for_benchmarks
+
+
+class TestDeriveFromHistogram:
+    def test_streaming_profile_inserts_at_plru(self):
+        histogram = [0] * 257  # no reuses at all
+        ipv = derive_ipv(histogram, k=16)
+        assert ipv.insertion == 15
+
+    def test_friendly_profile_inserts_at_pmru(self):
+        histogram = [0] * 257
+        histogram[2] = 1000  # every reuse almost immediate
+        ipv = derive_ipv(histogram, k=16)
+        assert ipv.insertion == 0
+        # Near-immediate reuse: promotions go (almost) to MRU.
+        assert ipv.promotion(15) <= 1
+
+    def test_distant_reuse_profile_mid_stack(self):
+        histogram = [0] * 257
+        histogram[40] = 500  # reuse beyond the associativity window
+        histogram[4] = 500   # half the reuses very near
+        ipv = derive_ipv(histogram, k=16)
+        assert 0 < ipv.insertion < 15
+
+    def test_never_degenerate(self):
+        for profile in ([0] * 257, [100] * 257):
+            ipv = derive_ipv(profile, k=16)
+            assert not ipv.is_degenerate()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            derive_ipv([0] * 10, k=1)
+
+
+class TestDeriveForBenchmarks:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return default_config(trace_length=6000)
+
+    def test_beats_lru_on_thrash_training(self, config):
+        benches = ["462.libquantum", "436.cactusADM", "482.sphinx3"]
+        ipv = derive_ipv_for_benchmarks(benches, config=config)
+        evaluator = FitnessEvaluator(benches, config=config)
+        assert evaluator.evaluate(ipv) > evaluator.evaluate(lru_ipv(16))
+
+    def test_stays_near_lru_on_friendly_training(self, config):
+        benches = ["453.povray", "416.gamess"]
+        ipv = derive_ipv_for_benchmarks(benches, config=config)
+        evaluator = FitnessEvaluator(benches, config=config)
+        assert evaluator.evaluate(ipv) == pytest.approx(1.0, abs=0.05)
+
+    def test_ga_still_wins(self, config):
+        """The closed form is a floor, not a replacement for the GA."""
+        from repro.ga import evolve_ipv
+
+        benches = ["462.libquantum", "447.dealII", "429.mcf"]
+        evaluator = FitnessEvaluator(benches, config=config)
+        systematic = derive_ipv_for_benchmarks(benches, config=config)
+        evolved = evolve_ipv(
+            evaluator,
+            population_size=12,
+            generations=3,
+            seed=2,
+            seeds=[systematic],  # GA can only improve on the seed
+        )
+        assert evolved.best_fitness >= evaluator.evaluate(systematic) - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for Belady's MIN."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.policies import BeladyPolicy, TrueLRUPolicy, make_policy, policy_names
+from repro.trace import Trace, annotate_next_use
+
+
+def run_with_future(policy, addresses, num_sets=1, assoc=2):
+    trace = Trace(addresses)
+    next_use = annotate_next_use(trace)
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    misses = 0
+    for i, addr in enumerate(addresses):
+        if not cache.access(addr, next_use=next_use[i]):
+            misses += 1
+    return misses
+
+
+def brute_force_min_misses(addresses, assoc):
+    """Exhaustive optimal misses for a single set (tiny inputs only).
+
+    Dynamic programming over (index, frozenset of resident blocks).
+    """
+    from functools import lru_cache as memo
+
+    addresses = tuple(addresses)
+
+    @memo(maxsize=None)
+    def best(i, resident):
+        if i == len(addresses):
+            return 0
+        addr = addresses[i]
+        if addr in resident:
+            return best(i + 1, resident)
+        if len(resident) < assoc:
+            return 1 + best(i + 1, resident | {addr})
+        return 1 + min(
+            best(i + 1, (resident - {victim}) | {addr}) for victim in resident
+        )
+
+    return best(0, frozenset())
+
+
+class TestBelady:
+    def test_requires_annotation(self):
+        policy = BeladyPolicy(1, 2)
+        cache = SetAssociativeCache(1, 2, policy, block_size=1)
+        with pytest.raises(RuntimeError):
+            cache.access(0)
+
+    def test_textbook_sequence(self):
+        # Classic example: with 2 ways, OPT on [0,1,2,0,1,2] misses 4 times
+        # (0,1 cold; 2 evicts whichever of 0/1 is farther; etc.).
+        addresses = [0, 1, 2, 0, 1, 2]
+        misses = run_with_future(BeladyPolicy(1, 2), addresses)
+        assert misses == brute_force_min_misses(addresses, 2)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force_optimum(self, seed):
+        rng = random.Random(seed)
+        addresses = [rng.randrange(5) for _ in range(16)]
+        misses = run_with_future(BeladyPolicy(1, 2), addresses)
+        assert misses == brute_force_min_misses(addresses, 2)
+
+    def test_never_worse_than_practical_policies(self):
+        """MIN lower-bounds every implementable policy (Figure 10's floor)."""
+        rng = random.Random(42)
+        addresses = [rng.randrange(300) for _ in range(20_000)]
+        belady_misses = run_with_future(
+            BeladyPolicy(4, 16), addresses, num_sets=4, assoc=16
+        )
+        for name in ["lru", "plru", "drrip", "pdp", "gippr", "dgippr", "dip"]:
+            policy = make_policy(name, 4, 16)
+            cache = SetAssociativeCache(4, 16, policy, block_size=1)
+            misses = sum(not cache.access(a) for a in addresses)
+            assert belady_misses <= misses, name
+
+    def test_streaming_equivalence(self):
+        """On a zero-reuse stream every policy misses everything; MIN too."""
+        addresses = list(range(5000))
+        misses = run_with_future(BeladyPolicy(4, 16), addresses, num_sets=4, assoc=16)
+        assert misses == 5000
+
+    def test_evicts_never_reused_first(self):
+        policy = BeladyPolicy(1, 2)
+        # 0 reused at the end, 1 never reused; 2 must evict 1.
+        addresses = [0, 1, 2, 0, 2]
+        misses = run_with_future(policy, addresses)
+        assert misses == 3

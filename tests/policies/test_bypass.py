@@ -1,0 +1,83 @@
+"""Tests for the DGIPPR+bypass extension (paper future work, item 1)."""
+
+import random
+
+from repro.cache import SetAssociativeCache
+from repro.policies import BypassDGIPPRPolicy, DGIPPRPolicy
+
+
+def run(policy, accesses, num_sets=16, assoc=16):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for addr, pc in accesses:
+        cache.access(addr, pc=pc)
+    return cache
+
+
+def scan_plus_hot(n, seed=0):
+    """Hot working set from one PC, dead scans from another."""
+    rng = random.Random(seed)
+    hot = list(range(200))
+    accesses = []
+    scan = 100_000
+    for _ in range(n // 10):
+        accesses.extend((rng.choice(hot), 7) for _ in range(7))
+        for _ in range(3):
+            accesses.append((scan, 0xDEAD))
+            scan += 1
+    return accesses
+
+
+class TestBypassDGIPPR:
+    def test_learns_to_bypass_dead_pc(self):
+        policy = BypassDGIPPRPolicy(16, 16)
+        cache = run(policy, scan_plus_hot(40_000))
+        assert cache.stats.bypasses > 0
+        sig = policy._signature(0xDEAD)
+        assert policy._shct[sig] == 0
+
+    def test_never_bypasses_live_pc(self):
+        policy = BypassDGIPPRPolicy(16, 16)
+        run(policy, scan_plus_hot(40_000))
+        sig = policy._signature(7)
+        assert policy._shct[sig] > 0
+
+    def test_at_least_as_good_as_plain_dgippr_on_scans(self):
+        accesses = scan_plus_hot(60_000, seed=3)
+        bypass = run(BypassDGIPPRPolicy(16, 16), accesses)
+        plain = run(DGIPPRPolicy(16, 16), accesses)
+        assert bypass.stats.hits >= plain.stats.hits
+
+    def test_bypassed_blocks_not_resident(self):
+        policy = BypassDGIPPRPolicy(4, 16)
+        cache = SetAssociativeCache(4, 16, policy, block_size=1)
+        # Train the dead signature.
+        for i in range(2000):
+            cache.access(1000 + i, pc=0xDEAD)
+        # Fill sets with live data from a different PC.
+        for i in range(64):
+            cache.access(i, pc=5)
+        before = cache.stats.bypasses
+        cache.access(999_999, pc=0xDEAD)
+        assert cache.stats.bypasses == before + 1
+        assert not cache.contains(999_999)
+
+    def test_cold_sets_always_allocate(self):
+        """Bypass only applies to full sets (free ways always fill)."""
+        policy = BypassDGIPPRPolicy(4, 16)
+        cache = SetAssociativeCache(4, 16, policy, block_size=1)
+        sig = policy._signature(0xDEAD)
+        policy._shct[sig] = 0
+        cache.access(123, pc=0xDEAD)
+        assert cache.contains(123)
+
+    def test_state_accounting_includes_predictor(self):
+        policy = BypassDGIPPRPolicy(64, 16)
+        plain = DGIPPRPolicy(64, 16)
+        assert policy.state_bits_per_set() > plain.state_bits_per_set()
+        assert policy.global_state_bits() > plain.global_state_bits()
+
+    def test_registry_name(self):
+        from repro.policies import make_policy
+
+        policy = make_policy("bypass-dgippr", 16, 16)
+        assert policy.name == "bypass-4-dgippr"

@@ -1,0 +1,63 @@
+"""Tests for counter-based (AIP-style) replacement."""
+
+import random
+
+from repro.cache import SetAssociativeCache
+from repro.policies import CounterBasedPolicy, TreePLRUPolicy
+
+
+def run(policy, accesses, num_sets=16, assoc=16):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for addr, pc in accesses:
+        cache.access(addr, pc=pc)
+    return cache
+
+
+class TestCounterBased:
+    def test_threshold_learned_from_lifetimes(self):
+        """Blocks with short access intervals teach a small threshold."""
+        policy = CounterBasedPolicy(4, 4)
+        cache = SetAssociativeCache(4, 4, policy, block_size=1)
+        # Block 0 re-touched every other access, then evicted repeatedly.
+        for i in range(2000):
+            cache.access(0, pc=9)
+            cache.access(4 + 4 * (i % 10), pc=9)
+        sig = policy._signature(9)
+        assert policy._threshold[sig] < policy.counter_max
+
+    def test_expired_blocks_preferred_victims(self):
+        rng = random.Random(1)
+        hot = list(range(100))
+        accesses = []
+        scan = 10_000
+        for _ in range(2500):
+            accesses.extend((rng.choice(hot), 3) for _ in range(6))
+            for _ in range(4):
+                accesses.append((scan, 0xD0A))
+                scan += 1
+        counter = run(CounterBasedPolicy(16, 16), accesses)
+        plru = run(TreePLRUPolicy(16, 16), accesses)
+        assert counter.stats.hits >= plru.stats.hits
+
+    def test_contract_under_random_traffic(self):
+        policy = CounterBasedPolicy(8, 8)
+        cache = SetAssociativeCache(8, 8, policy, block_size=1)
+        rng = random.Random(5)
+        for _ in range(6000):
+            cache.access(rng.randrange(400), pc=rng.randrange(64))
+        assert cache.stats.hits + cache.stats.misses == 6000
+
+    def test_counters_saturate(self):
+        policy = CounterBasedPolicy(1, 4, counter_bits=3)
+        cache = SetAssociativeCache(1, 4, policy, block_size=1)
+        for a in range(4):
+            cache.access(a, pc=1)
+        for i in range(100):
+            cache.access(i % 4, pc=1)
+        for way in range(4):
+            assert policy._count[0][way] <= policy.counter_max
+
+    def test_state_cost_reported(self):
+        policy = CounterBasedPolicy(4096, 16)
+        assert policy.state_bits_per_set() > 16  # well above DGIPPR's 15
+        assert policy.global_state_bits() > 0

@@ -1,0 +1,103 @@
+"""Tests for the IPV-on-RRIP extension (paper future work, item 5)."""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.policies import (
+    DRRIPPolicy,
+    DynamicIPVRRIPPolicy,
+    IPVRRIPPolicy,
+    SRRIPPolicy,
+    TrueLRUPolicy,
+    rrv_distant,
+    rrv_srrip,
+)
+
+
+def run(policy, addresses, num_sets=64, assoc=16):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for a in addresses:
+        cache.access(a)
+    return cache
+
+
+class TestRRVConstruction:
+    def test_srrip_rrv(self):
+        assert rrv_srrip(2) == (0, 0, 0, 0, 2)
+
+    def test_distant_rrv(self):
+        assert rrv_distant(2) == (0, 0, 0, 0, 3)
+
+    def test_validation_length(self):
+        with pytest.raises(ValueError):
+            IPVRRIPPolicy(4, 4, rrv=[0, 0, 2])
+
+    def test_validation_range(self):
+        with pytest.raises(ValueError):
+            IPVRRIPPolicy(4, 4, rrv=[0, 0, 0, 0, 4])
+
+
+class TestStaticIPVRRIP:
+    def test_srrip_rrv_matches_srrip_exactly(self):
+        rng = random.Random(1)
+        trace = [rng.randrange(1500) for _ in range(30_000)]
+        a = run(IPVRRIPPolicy(64, 16, rrv=rrv_srrip()), trace)
+        b = run(SRRIPPolicy(64, 16), trace)
+        assert a.stats.misses == b.stats.misses
+
+    def test_partial_promotion_rrv(self):
+        """A vector that promotes hits only one class (R[v] = v-1-ish)."""
+        policy = IPVRRIPPolicy(1, 4, rrv=[0, 0, 1, 2, 2])
+        cache = SetAssociativeCache(1, 4, policy, block_size=1)
+        cache.access(0)  # insert at RRPV 2
+        cache.access(0)  # hit: 2 -> 1
+        way = cache._way_of[0][0]
+        assert policy.rrpv_of(0, way) == 1
+        cache.access(0)  # hit: 1 -> 0
+        assert policy.rrpv_of(0, way) == 0
+
+    def test_distant_insertion_resists_thrash(self):
+        loop = [i % 1400 for i in range(50_000)]
+        distant = run(IPVRRIPPolicy(64, 16, rrv=rrv_distant()), loop)
+        lru = run(TrueLRUPolicy(64, 16), loop)
+        assert distant.stats.misses < lru.stats.misses
+
+
+class TestDynamicIPVRRIP:
+    def test_defaults_to_two_vectors(self):
+        policy = DynamicIPVRRIPPolicy(64, 16)
+        assert policy.name == "2-dipv-rrip"
+        assert policy.global_state_bits() == 11
+
+    def test_adapts_to_thrash(self):
+        policy = DynamicIPVRRIPPolicy(64, 16)
+        loop = [i % 1400 for i in range(50_000)]
+        run(policy, loop)
+        assert policy.active_rrv() == rrv_distant()
+
+    def test_comparable_to_drrip(self):
+        """The default duel tracks DRRIP within a few percent of misses."""
+        rng = random.Random(5)
+        for make_trace in (
+            lambda: [i % 1400 for i in range(40_000)],
+            lambda: [rng.randrange(900) for _ in range(40_000)],
+        ):
+            trace = make_trace()
+            ours = run(DynamicIPVRRIPPolicy(64, 16), trace)
+            drrip = run(DRRIPPolicy(64, 16), trace)
+            assert ours.stats.misses <= drrip.stats.misses * 1.10
+
+    def test_four_vector_duel(self):
+        rrvs = [
+            rrv_srrip(),
+            rrv_distant(),
+            (0, 0, 1, 2, 2),  # slow promotion, long insertion
+            (1, 1, 1, 3, 3),  # pessimistic promotion, distant insertion
+        ]
+        policy = DynamicIPVRRIPPolicy(64, 16, rrvs=rrvs)
+        assert policy.name == "4-dipv-rrip"
+        loop = [i % 1400 for i in range(30_000)]
+        cache = run(policy, loop)
+        assert cache.stats.misses < 30_000  # retains part of the loop

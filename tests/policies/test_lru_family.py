@@ -1,0 +1,116 @@
+"""Tests for true-LRU, IPV-LRU (GIPLR) and the simple baselines."""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.core.vectors import GIPLR_VECTOR
+from repro.policies import (
+    FIFOPolicy,
+    GIPLRPolicy,
+    IPVLRUPolicy,
+    RandomPolicy,
+    TrueLRUPolicy,
+)
+
+
+def run(policy, addresses, num_sets=1, assoc=4):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    return [cache.access(a) for a in addresses], cache
+
+
+class TestTrueLRU:
+    def test_classic_eviction(self):
+        hits, cache = run(TrueLRUPolicy(1, 4), [0, 1, 2, 3, 0, 4, 1])
+        # 4 evicts LRU block 1 (0 was refreshed), so the final 1 misses.
+        assert hits == [False] * 4 + [True, False, False]
+
+    def test_stack_property_subset(self):
+        """LRU's inclusion property: a bigger LRU cache hits a superset."""
+        rng = random.Random(5)
+        trace = [rng.randrange(64) for _ in range(2000)]
+        small_hits, _ = run(TrueLRUPolicy(1, 8), trace, assoc=8)
+        big_hits, _ = run(TrueLRUPolicy(1, 16), trace, assoc=16)
+        for small, big in zip(small_hits, big_hits):
+            if small:
+                assert big
+
+    def test_state_bits_match_paper(self):
+        # Section 2.1.2: 4 bits per block, 64 bits per 16-way set.
+        assert TrueLRUPolicy(4096, 16).state_bits_per_set() == 64
+
+
+class TestIPVLRU:
+    def test_lru_vector_is_classic_lru(self):
+        rng = random.Random(6)
+        trace = [rng.randrange(40) for _ in range(3000)]
+        hits_a, _ = run(TrueLRUPolicy(2, 8), trace, num_sets=2, assoc=8)
+        hits_b, _ = run(
+            IPVLRUPolicy(2, 8, lru_ipv(8)), trace, num_sets=2, assoc=8
+        )
+        assert hits_a == hits_b
+
+    def test_lip_vector_resists_streaming(self):
+        """LIP keeps a resident working set under a thrashing loop."""
+        loop = list(range(5)) * 200  # 5 blocks, 4-way set
+        lru_hits, _ = run(TrueLRUPolicy(1, 4), loop)
+        lip_hits, _ = run(IPVLRUPolicy(1, 4, lip_ipv(4)), loop)
+        assert sum(lru_hits) == 0  # classic LRU thrashes to zero
+        assert sum(lip_hits) > len(loop) // 2
+
+    def test_position_of_introspection(self):
+        policy = IPVLRUPolicy(1, 4, lru_ipv(4))
+        cache = SetAssociativeCache(1, 4, policy, block_size=1)
+        cache.access(0)
+        cache.access(1)
+        assert policy.position_of(0, cache._way_of[0][1]) == 0
+        assert policy.position_of(0, cache._way_of[0][0]) == 1
+
+    def test_rejects_mismatched_ipv(self):
+        with pytest.raises(ValueError):
+            IPVLRUPolicy(4, 8, lru_ipv(16))
+
+    def test_giplr_defaults_to_paper_vector(self):
+        policy = GIPLRPolicy(4, 16)
+        assert policy.ipv == GIPLR_VECTOR
+
+    def test_mid_stack_insertion_depth(self):
+        """Insertion at V[k]=2 places incoming blocks at position 2."""
+        policy = IPVLRUPolicy(1, 4, IPV([0, 0, 0, 0, 2]))
+        cache = SetAssociativeCache(1, 4, policy, block_size=1)
+        for a in range(4):
+            cache.access(a)
+        cache.access(4)
+        way = cache._way_of[0][4]
+        assert policy.position_of(0, way) == 2
+
+
+class TestRandomAndFIFO:
+    def test_random_deterministic_per_seed(self):
+        rng = random.Random(7)
+        trace = [rng.randrange(30) for _ in range(1000)]
+        hits_a, _ = run(RandomPolicy(1, 4, seed=1), trace)
+        hits_b, _ = run(RandomPolicy(1, 4, seed=1), trace)
+        assert hits_a == hits_b
+
+    def test_random_seeds_differ(self):
+        rng = random.Random(8)
+        trace = [rng.randrange(30) for _ in range(1000)]
+        hits_a, _ = run(RandomPolicy(1, 4, seed=1), trace)
+        hits_b, _ = run(RandomPolicy(1, 4, seed=2), trace)
+        assert hits_a != hits_b
+
+    def test_fifo_ignores_hits(self):
+        # FIFO evicts the oldest fill even if it was just re-referenced.
+        hits, cache = run(FIFOPolicy(1, 2), [0, 1, 0, 2, 0], assoc=2)
+        # 2 evicts 0 (oldest fill) despite 0 being hit more recently.
+        assert hits == [False, False, True, False, False]
+
+    def test_fifo_cycles_ways(self):
+        _, cache = run(FIFOPolicy(1, 2), [0, 1, 2, 3, 4], assoc=2)
+        assert cache.stats.evictions == 3
+
+    def test_random_zero_state(self):
+        assert RandomPolicy(16, 4).state_bits_per_set() == 0.0

@@ -1,0 +1,181 @@
+"""Tests for tree-PLRU, GIPPR and DGIPPR — the paper's contribution."""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core.ipv import IPV, lru_ipv
+from repro.core.vectors import (
+    DGIPPR2_WI_VECTORS,
+    DGIPPR4_WI_VECTORS,
+    GIPPR_WI_VECTOR,
+)
+from repro.policies import (
+    DGIPPRPolicy,
+    GIPPRPolicy,
+    TreePLRUPolicy,
+    TrueLRUPolicy,
+)
+
+
+def run(policy, addresses, num_sets, assoc):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for a in addresses:
+        cache.access(a)
+    return cache
+
+
+class TestTreePLRU:
+    def test_never_evicts_most_recent(self):
+        policy = TreePLRUPolicy(1, 8)
+        cache = SetAssociativeCache(1, 8, policy, block_size=1)
+        rng = random.Random(3)
+        resident = list(range(8))
+        for a in resident:
+            cache.access(a)
+        last = resident[-1]
+        for i in range(500):
+            addr = rng.choice(resident) if rng.random() < 0.7 else 100 + i
+            before = set(cache.resident_tags(0))
+            cache.access(addr)
+            after = set(cache.resident_tags(0))
+            evicted = before - after
+            if evicted:
+                assert last not in evicted  # PLRU never evicts the MRU block
+            last = addr
+            resident = list(after)
+
+    def test_miss_rate_close_to_lru(self):
+        """Section 3.1: PLRU performs almost equivalently to full LRU."""
+        rng = random.Random(9)
+        trace = [rng.randrange(3000) for _ in range(40_000)]
+        lru = run(TrueLRUPolicy(16, 16), trace, 16, 16)
+        plru = run(TreePLRUPolicy(16, 16), trace, 16, 16)
+        lru_rate = lru.stats.miss_rate
+        plru_rate = plru.stats.miss_rate
+        assert abs(lru_rate - plru_rate) < 0.03
+
+    def test_state_bits_match_paper(self):
+        # Section 3.1: 15 bits per 16-way set, a 77% saving over LRU's 64.
+        assert TreePLRUPolicy(4096, 16).state_bits_per_set() == 15
+
+
+class TestGIPPR:
+    def test_defaults_to_paper_wi_vector(self):
+        assert GIPPRPolicy(4, 16).ipv == GIPPR_WI_VECTOR
+
+    def test_lru_vector_behaves_like_plru(self):
+        """GIPPR with V=[0]*17 is exactly classic tree PLRU."""
+        rng = random.Random(11)
+        trace = [rng.randrange(500) for _ in range(20_000)]
+        a = run(GIPPRPolicy(4, 16, ipv=lru_ipv(16)), trace, 4, 16)
+        b = run(TreePLRUPolicy(4, 16), trace, 4, 16)
+        assert a.stats.misses == b.stats.misses
+
+    def test_plru_insertion_vector_resists_thrash(self):
+        """Inserting at the PLRU position retains a thrashing loop."""
+        loop = list(range(20)) * 300  # 20 blocks in a 16-way set
+        thrash_resistant = IPV([0] * 16 + [15])
+        a = run(GIPPRPolicy(1, 16, ipv=thrash_resistant), loop, 1, 16)
+        b = run(TreePLRUPolicy(1, 16), loop, 1, 16)
+        assert a.stats.hits > b.stats.hits * 2
+
+    def test_insertion_position_respected(self):
+        policy = GIPPRPolicy(1, 16, ipv=IPV([0] * 16 + [13]))
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        cache.access(0)
+        way = cache._way_of[0][0]
+        assert policy.position_of(0, way) == 13
+
+    def test_promotion_position_respected(self):
+        # Hit at position 13 promotes to V[13]=2.
+        entries = [0] * 16
+        entries[13] = 2
+        policy = GIPPRPolicy(1, 16, ipv=IPV(entries + [13]))
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        cache.access(0)
+        cache.access(0)
+        way = cache._way_of[0][0]
+        assert policy.position_of(0, way) == 2
+
+    def test_rejects_mismatched_ipv(self):
+        with pytest.raises(ValueError):
+            GIPPRPolicy(4, 8, ipv=lru_ipv(16))
+
+    def test_victim_is_position_fifteen(self):
+        policy = GIPPRPolicy(1, 16)
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        rng = random.Random(13)
+        for _ in range(200):
+            cache.access(rng.randrange(40))
+        ctx = cache._ctx
+        victim = policy.victim(0, ctx)
+        assert policy.position_of(0, victim) == 15
+
+
+class TestDGIPPR:
+    def test_default_vectors_are_wi4(self):
+        policy = DGIPPRPolicy(256, 16)
+        assert policy.ipvs == DGIPPR4_WI_VECTORS
+        assert policy.name == "4-dgippr"
+
+    def test_two_vector_name_and_counters(self):
+        policy = DGIPPRPolicy(256, 16, ipvs=DGIPPR2_WI_VECTORS)
+        assert policy.name == "2-dgippr"
+        assert policy.global_state_bits() == 11
+
+    def test_four_vector_counter_bits(self):
+        # Section 3.6: three 11-bit counters, 33 bits per cache.
+        assert DGIPPRPolicy(256, 16).global_state_bits() == 33
+
+    def test_adapts_to_thrash(self):
+        """On a thrashing loop the duel must pick a PLRU-insertion vector
+        and beat classic PLRU clearly."""
+        mru_insert = IPV([0] * 17, name="pmru")
+        plru_insert = IPV([0] * 16 + [15], name="plru-ins")
+        policy = DGIPPRPolicy(64, 16, ipvs=[mru_insert, plru_insert])
+        loop = [(i * 17) % 1400 for i in range(60_000)]  # > 1024-block cache
+        cache = SetAssociativeCache(64, 16, policy, block_size=1)
+        for a in loop:
+            cache.access(a)
+        assert policy.active_ipv().name == "plru-ins"
+        baseline = run(TreePLRUPolicy(64, 16), loop, 64, 16)
+        assert cache.stats.hits > baseline.stats.hits
+
+    def test_adapts_to_friendly(self):
+        """On a recency-friendly stream the duel must pick MRU insertion."""
+        mru_insert = IPV([0] * 17, name="pmru")
+        plru_insert = IPV([0] * 16 + [15], name="plru-ins")
+        policy = DGIPPRPolicy(64, 16, ipvs=[mru_insert, plru_insert])
+        rng = random.Random(17)
+        cache = SetAssociativeCache(64, 16, policy, block_size=1)
+        hot = list(range(600))
+        for i in range(60_000):
+            # Zipf-ish hot set within capacity plus occasional cold blocks
+            # whose single reuse happens quickly.
+            if rng.random() < 0.9:
+                cache.access(rng.choice(hot))
+            else:
+                addr = 10_000 + i
+                cache.access(addr)
+                cache.access(addr)
+        assert policy.active_ipv().name == "pmru"
+
+    def test_shared_plru_bits_across_vectors(self):
+        """Only one plru-bit array exists no matter how many vectors duel."""
+        policy = DGIPPRPolicy(64, 16)
+        assert policy.state_bits_per_set() == 15
+        assert len(policy._state) == 64
+
+    def test_rejects_mismatched_vector(self):
+        with pytest.raises(ValueError):
+            DGIPPRPolicy(64, 8, ipvs=DGIPPR4_WI_VECTORS)
+
+    def test_leader_sets_keep_their_vector(self):
+        policy = DGIPPRPolicy(256, 16)
+        selector = policy.selector
+        for s in range(256):
+            leader = selector.leader_policy(s)
+            if leader >= 0:
+                assert selector.policy_for_set(s) == leader

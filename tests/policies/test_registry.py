@@ -1,0 +1,68 @@
+"""Tests for the policy registry and shared policy-contract behaviour."""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.policies import POLICIES, make_policy, policy_names
+from repro.policies.base import ReplacementPolicy
+
+ALL_NAMES = policy_names()
+RUNNABLE = [n for n in ALL_NAMES if n not in ("belady", "ipv-lru")]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for expected in ["lru", "plru", "gippr", "dgippr", "drrip", "pdp", "belady"]:
+            assert expected in ALL_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("clairvoyant", 4, 4)
+
+    def test_kwargs_forwarded(self):
+        from repro.core.ipv import lip_ipv
+
+        policy = make_policy("gippr", 4, 16, ipv=lip_ipv(16))
+        assert policy.ipv.insertion == 15
+
+    @pytest.mark.parametrize("name", RUNNABLE)
+    def test_every_policy_respects_contract(self, name):
+        """Every policy returns valid victims and never corrupts the cache."""
+        policy = make_policy(name, 8, 16)
+        cache = SetAssociativeCache(8, 16, policy, block_size=1)
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(4000):
+            cache.access(rng.randrange(600), pc=rng.randrange(16))
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == 4000
+        # Every resident tag is found where the tag map says it is.
+        for s in range(8):
+            for tag, way in cache._way_of[s].items():
+                assert cache._tags[s][way] == tag
+
+    @pytest.mark.parametrize("name", RUNNABLE)
+    def test_state_accounting_defined(self, name):
+        policy = make_policy(name, 64, 16)
+        bits = policy.state_bits_per_set()
+        assert bits >= 0
+        assert policy.total_state_bits() >= bits * 64
+
+    def test_base_policy_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ReplacementPolicy(0, 4)
+        with pytest.raises(ValueError):
+            ReplacementPolicy(4, 0)
+
+    @pytest.mark.parametrize("name", RUNNABLE)
+    def test_deterministic_across_runs(self, name):
+        rng = random.Random(99)
+        trace = [rng.randrange(300) for _ in range(3000)]
+
+        def misses():
+            policy = make_policy(name, 8, 16)
+            cache = SetAssociativeCache(8, 16, policy, block_size=1)
+            return sum(not cache.access(a, pc=a % 8) for a in trace)
+
+        assert misses() == misses()

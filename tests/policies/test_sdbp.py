@@ -1,0 +1,99 @@
+"""Tests for sampling dead block prediction."""
+
+import random
+
+from repro.cache import SetAssociativeCache
+from repro.policies import SDBPPolicy, TreePLRUPolicy
+from repro.policies.sdbp import _SkewedPredictor
+
+
+class TestSkewedPredictor:
+    def test_initially_predicts_live(self):
+        predictor = _SkewedPredictor()
+        assert not predictor.predict_dead(0x1234)
+
+    def test_training_toward_dead(self):
+        predictor = _SkewedPredictor(threshold=6)
+        for _ in range(10):
+            predictor.train(0x1234, dead=True)
+        assert predictor.predict_dead(0x1234)
+
+    def test_training_back_to_live(self):
+        predictor = _SkewedPredictor(threshold=6)
+        for _ in range(10):
+            predictor.train(0x1234, dead=True)
+        for _ in range(10):
+            predictor.train(0x1234, dead=False)
+        assert not predictor.predict_dead(0x1234)
+
+    def test_distinct_pcs_mostly_independent(self):
+        predictor = _SkewedPredictor(threshold=6)
+        for _ in range(10):
+            predictor.train(0xAAAA, dead=True)
+        assert not predictor.predict_dead(0x5555)
+
+
+def scan_plus_hot(n, seed=0):
+    rng = random.Random(seed)
+    hot = list(range(150))
+    accesses = []
+    scan = 50_000
+    while len(accesses) < n:
+        accesses.extend((rng.choice(hot), 11) for _ in range(6))
+        for _ in range(4):
+            accesses.append((scan, 0xDEAD))
+            scan += 1
+    return accesses[:n]
+
+
+class TestSDBPPolicy:
+    def test_learns_dead_pc_via_sampler(self):
+        policy = SDBPPolicy(16, 16, sampler_stride=2)
+        cache = SetAssociativeCache(16, 16, policy, block_size=1)
+        for addr, pc in scan_plus_hot(40_000):
+            cache.access(addr, pc=pc)
+        assert policy.predictor.predict_dead(0xDEAD)
+        assert not policy.predictor.predict_dead(11)
+
+    def test_beats_plain_plru_on_scans(self):
+        accesses = scan_plus_hot(60_000, seed=2)
+        sdbp = SDBPPolicy(16, 16, sampler_stride=2)
+        a = SetAssociativeCache(16, 16, sdbp, block_size=1)
+        b = SetAssociativeCache(16, 16, TreePLRUPolicy(16, 16), block_size=1)
+        for addr, pc in accesses:
+            a.access(addr, pc=pc)
+            b.access(addr, pc=pc)
+        assert a.stats.hits > b.stats.hits
+
+    def test_victim_prefers_predicted_dead(self):
+        policy = SDBPPolicy(4, 4, sampler_stride=1)
+        cache = SetAssociativeCache(4, 4, policy, block_size=1)
+        # Train 0xDEAD dead through the sampler.
+        for i in range(5000):
+            cache.access(10_000 + i, pc=0xDEAD)
+        # Refill a set: three live blocks, one dead.
+        for addr in (0, 4, 8):
+            cache.access(addr, pc=3)
+            cache.access(addr, pc=3)
+        cache.access(12, pc=0xDEAD)
+        ctx = cache._ctx
+        victim = policy.victim(0, ctx)
+        assert cache._tags[0][victim] == cache.locate(12)[1]
+
+    def test_state_cost_far_above_dgippr(self):
+        """Section 6.3: dead-block replacement 'is costly in terms of
+        state' — the comparison the paper uses to motivate DGIPPR."""
+        from repro.policies import DGIPPRPolicy
+
+        sdbp = SDBPPolicy(4096, 16)
+        dgippr = DGIPPRPolicy(4096, 16)
+        assert sdbp.total_state_bits() > 1.5 * dgippr.total_state_bits()
+
+    def test_contract_under_random_traffic(self):
+        policy = SDBPPolicy(8, 8)
+        cache = SetAssociativeCache(8, 8, policy, block_size=1)
+        rng = random.Random(9)
+        for _ in range(5000):
+            cache.access(rng.randrange(300), pc=rng.randrange(32))
+        stats = cache.stats
+        assert stats.hits + stats.misses == 5000

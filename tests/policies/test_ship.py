@@ -1,0 +1,69 @@
+"""Tests for SHiP-PC."""
+
+import random
+
+from repro.cache import SetAssociativeCache
+from repro.policies import SHiPPolicy, SRRIPPolicy
+
+
+def run(policy, accesses, num_sets=1, assoc=16):
+    cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+    for addr, pc in accesses:
+        cache.access(addr, pc=pc)
+    return cache
+
+
+class TestSHiP:
+    def test_learns_dead_signature(self):
+        """Blocks from a never-reused PC end up inserted distant."""
+        policy = SHiPPolicy(1, 16)
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        dead_pc = 0xDEAD
+        for i in range(600):
+            cache.access(10_000 + i, pc=dead_pc)
+        sig = policy._signature(dead_pc)
+        assert policy._shct[sig] == 0
+        cache.access(99_999, pc=dead_pc)
+        way = cache._way_of[0][99_999]
+        assert policy.rrpv_of(0, way) == policy.max_rrpv
+
+    def test_learns_live_signature(self):
+        policy = SHiPPolicy(1, 16)
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        live_pc = 0xBEEF
+        for _ in range(100):
+            for a in range(8):
+                cache.access(a, pc=live_pc)
+        sig = policy._signature(live_pc)
+        assert policy._shct[sig] > 0
+
+    def test_protects_hot_set_from_dead_scans(self):
+        """SHiP should beat plain SRRIP when scans come from one dead PC."""
+        rng = random.Random(11)
+        hot = list(range(10))
+        accesses = []
+        scan_addr = 10_000
+        for _ in range(400):
+            accesses.extend((rng.choice(hot), 7) for _ in range(30))
+            for _ in range(12):
+                accesses.append((scan_addr, 0xDEAD))
+                scan_addr += 1
+        ship = run(SHiPPolicy(1, 16), accesses)
+        srrip = run(SRRIPPolicy(1, 16), accesses)
+        assert ship.stats.hits >= srrip.stats.hits
+
+    def test_outcome_bit_reset_on_fill(self):
+        policy = SHiPPolicy(1, 16)
+        cache = SetAssociativeCache(1, 16, policy, block_size=1)
+        cache.access(1, pc=3)
+        way = cache._way_of[0][1]
+        assert policy._outcome[0][way] is False
+        cache.access(1, pc=3)
+        assert policy._outcome[0][way] is True
+
+    def test_state_accounting_larger_than_drrip(self):
+        """SHiP costs signature+outcome per block plus the SHCT (Section
+        6.3 notes it uses 5 extra bits per block over the baseline)."""
+        policy = SHiPPolicy(4096, 16)
+        assert policy.state_bits_per_set() > 32
+        assert policy.global_state_bits() == 2 * (1 << 14)

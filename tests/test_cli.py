@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert "dgippr" in args.policies
+
+
+class TestCommands:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lru", "gippr", "dgippr", "drrip", "pdp", "belady"):
+            assert name in out
+
+    def test_vectors_shows_paper_ipvs(self, capsys):
+        assert main(["vectors"]) == 0
+        out = capsys.readouterr().out
+        assert "GIPLR" in out
+        assert "insertion at position 13" in out  # the GIPLR vector
+
+    def test_overhead_table(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "gippr" in out and "drrip" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare",
+            "--policies", "lru", "dgippr",
+            "--benchmarks", "462.libquantum", "453.povray",
+            "--length", "4000",
+            "--chart",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GEOMEAN" in out
+        assert "462.libquantum" in out
+        assert "baseline" in out  # the chart rendered
+
+    def test_evolve_small(self, capsys):
+        code = main([
+            "evolve",
+            "--benchmarks", "462.libquantum",
+            "--generations", "1",
+            "--population", "6",
+            "--length", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fitness (mean speedup over LRU):" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace-stats", "429.mcf", "--length", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out
+        assert "footprint" in out
+
+    def test_trace_stats_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            main(["trace-stats", "999.bogus"])
+
+    def test_simulate_roundtrip(self, tmp_path, capsys):
+        from repro.trace import save_trace, uniform_random
+
+        path = tmp_path / "t.npz"
+        save_trace(uniform_random(500, 4000, seed=1), path)
+        code = main(["simulate", str(path), "--policy", "lru", "--sets", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "misses" in out and "mpki" in out
+
+    def test_simulate_with_filter(self, tmp_path, capsys):
+        from repro.trace import save_trace, zipf
+
+        path = tmp_path / "t.npz"
+        save_trace(zipf(400, 5000, seed=2), path)
+        code = main(["simulate", str(path), "--policy", "plru",
+                     "--filter-l1l2"])
+        assert code == 0
+        assert "L1/L2 filter" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down the invariants the whole reproduction rests on:
+
+* the PLRU position algebra is a bijection that every IPV operation
+  preserves,
+* IPV-on-PLRU and IPV-on-LRU policies never corrupt cache state for *any*
+  vector and *any* access pattern,
+* the fast GA simulators agree with the policy-based cache for arbitrary
+  vectors,
+* Belady's MIN dominates arbitrary policies on arbitrary traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.core.ipv import IPV
+from repro.core.plru import all_positions, find_plru, set_position
+from repro.ga.fitness import simulate_misses_plru_ipv
+from repro.policies import (
+    BeladyPolicy,
+    GIPPRPolicy,
+    IPVLRUPolicy,
+    TrueLRUPolicy,
+)
+from repro.trace import Trace, annotate_next_use
+
+ipv16 = st.lists(st.integers(0, 15), min_size=17, max_size=17)
+ipv8 = st.lists(st.integers(0, 7), min_size=9, max_size=9)
+addresses8 = st.lists(st.integers(0, 63), min_size=1, max_size=300)
+
+
+@given(state=st.integers(0, (1 << 15) - 1), ops=st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=64))
+@settings(max_examples=200)
+def test_plru_positions_remain_bijective_under_any_ops(state, ops):
+    for way, pos in ops:
+        state = set_position(state, way, pos, 16)
+    positions = all_positions(state, 16)
+    assert sorted(positions) == list(range(16))
+    assert positions[find_plru(state, 16)] == 15
+
+
+@given(entries=ipv8, addresses=addresses8)
+@settings(max_examples=150, deadline=None)
+def test_gippr_never_corrupts_cache_for_any_vector(entries, addresses):
+    policy = GIPPRPolicy(4, 8, ipv=IPV(entries))
+    cache = SetAssociativeCache(4, 8, policy, block_size=1)
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(addresses)
+    for s in range(4):
+        tags = cache._tags[s]
+        way_of = cache._way_of[s]
+        assert len(way_of) == sum(t is not None for t in tags)
+        for tag, way in way_of.items():
+            assert tags[way] == tag
+        # The policy's positions stay a permutation.
+        positions = [policy.position_of(s, w) for w in range(8)]
+        assert sorted(positions) == list(range(8))
+
+
+@given(entries=ipv8, addresses=addresses8)
+@settings(max_examples=150, deadline=None)
+def test_ipv_lru_never_corrupts_cache_for_any_vector(entries, addresses):
+    policy = IPVLRUPolicy(4, 8, IPV(entries))
+    cache = SetAssociativeCache(4, 8, policy, block_size=1)
+    for address in addresses:
+        cache.access(address)
+    for s in range(4):
+        policy._stacks[s].check_invariants()
+
+
+@given(entries=ipv16, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_fast_plru_sim_matches_policy_for_any_vector(entries, seed):
+    import random
+
+    rng = random.Random(seed)
+    addresses = [rng.randrange(300) for _ in range(1500)]
+    ipv = IPV(entries)
+    fast = simulate_misses_plru_ipv(addresses, 4, 16, tuple(entries), warmup=0)
+    policy = GIPPRPolicy(4, 16, ipv=ipv)
+    cache = SetAssociativeCache(4, 16, policy, block_size=1)
+    slow = sum(not cache.access(a) for a in addresses)
+    assert fast == slow
+
+
+@given(addresses=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_belady_dominates_lru_on_any_trace(addresses):
+    trace = Trace(addresses)
+    next_use = annotate_next_use(trace)
+    belady = SetAssociativeCache(2, 4, BeladyPolicy(2, 4), block_size=1)
+    lru = SetAssociativeCache(2, 4, TrueLRUPolicy(2, 4), block_size=1)
+    belady_misses = sum(
+        not belady.access(a, next_use=next_use[i])
+        for i, a in enumerate(addresses)
+    )
+    lru_misses = sum(not lru.access(a) for a in addresses)
+    assert belady_misses <= lru_misses
+
+
+@given(
+    addresses=st.lists(st.integers(0, 500), min_size=1, max_size=400),
+    depth=st.integers(1, 3),
+)
+@settings(max_examples=80, deadline=None)
+def test_zcache_invariants_under_any_traffic(addresses, depth):
+    """zCache: the location map and the way arrays never diverge, and
+    occupancy never exceeds capacity."""
+    from repro.cache.zcache import ZCache
+
+    z = ZCache(16, 4, depth=depth)
+    for address in addresses:
+        z.access(address)
+    assert z.occupancy() <= z.capacity_blocks
+    found = 0
+    for way in range(z.ways):
+        for row in range(z.num_sets):
+            block = z._rows[way][row]
+            if block is not None:
+                found += 1
+                assert z._where[block] == (way, row)
+                assert z.row_of(block, way) == row  # resident in a legal row
+    assert found == z.occupancy()
+    # A just-accessed block is resident (no bypass in a zCache).
+    assert z.contains(addresses[-1])
+
+
+@given(entries=ipv8)
+@settings(max_examples=200)
+def test_every_ipv_roundtrips_through_repr_fields(entries):
+    ipv = IPV(entries, name="prop")
+    clone = IPV(list(ipv.entries), name=ipv.name)
+    assert clone == ipv
+    assert clone.insertion == entries[8]
+    for i in range(8):
+        assert clone.promotion(i) == entries[i]

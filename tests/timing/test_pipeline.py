@@ -1,0 +1,86 @@
+"""Tests for the CMP$im-like pipeline timing model."""
+
+import pytest
+
+from repro.timing.pipeline import PipelineModel, PipelineResult, simulate_ipc
+
+
+class TestPipelineModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(width=0)
+        with pytest.raises(ValueError):
+            PipelineModel(dram_latency=10, llc_hit_latency=30)
+        with pytest.raises(ValueError):
+            PipelineModel().simulate(100, 2, [True])
+        with pytest.raises(ValueError):
+            PipelineModel().simulate(1, 2, [True, True])
+
+    def test_all_hits_reach_near_peak_ipc(self):
+        model = PipelineModel(width=4)
+        result = model.simulate(100_000, 1000, [True] * 1000)
+        assert result.ipc == pytest.approx(4.0, rel=0.01)
+        assert result.stall_cycles == 0  # 30-cycle hits hide under the window
+
+    def test_isolated_miss_penalty(self):
+        """One far-apart miss costs dram_latency - window/width cycles."""
+        model = PipelineModel(width=4, window=128, dram_latency=200)
+        result = model.simulate(100_000, 100, [False] + [True] * 99)
+        assert result.stall_cycles == pytest.approx(200 - 32)
+        assert result.miss_episodes == 1
+
+    def test_more_misses_never_faster(self):
+        model = PipelineModel()
+        previous = None
+        for miss_count in (0, 100, 400, 1000):
+            outcomes = ([False] * miss_count + [True] * (1000 - miss_count))
+            ipc = model.simulate(60_000, 1000, outcomes).ipc
+            if previous is not None:
+                assert ipc <= previous + 1e-9
+            previous = ipc
+
+    def test_clustered_misses_cheaper_than_spread(self):
+        """The MLP effect: a burst of misses inside one window overlaps."""
+        model = PipelineModel()
+        n = 2000
+        instructions = 20_000  # 10 instructions between accesses
+        clustered = [False] * 200 + [True] * (n - 200)
+        spread = ([False] + [True] * 9) * 200
+        fast = model.simulate(instructions, n, clustered)
+        slow = model.simulate(instructions, n, spread)
+        assert fast.total_misses == slow.total_misses == 200
+        assert fast.cycles < slow.cycles
+        assert fast.mlp > slow.mlp
+
+    def test_mlp_bounded_by_mshrs(self):
+        model = PipelineModel(mshrs=4)
+        # Dense miss burst: overlap would be huge without the MSHR cap.
+        result = model.simulate(8000, 4000, [False] * 4000)
+        assert result.mlp <= 4 + 1e-9
+
+    def test_episode_breaks_beyond_window(self):
+        model = PipelineModel(width=4, window=128)
+        # Two misses 1000 instructions apart: two separate episodes.
+        outcomes = [False] + [True] * 9 + [False] + [True] * 9
+        result = model.simulate(2000, 20, outcomes)
+        assert result.miss_episodes == 2
+
+    def test_simulate_ipc_wrapper(self):
+        result = simulate_ipc(10_000, 100, [True] * 100)
+        assert isinstance(result, PipelineResult)
+        assert result.ipc > 0
+
+    def test_policy_ordering_preserved(self):
+        """Fewer misses -> higher IPC (same ranking as the linear model)."""
+        model = PipelineModel()
+        better = [True] * 900 + [False] * 100
+        worse = [True] * 700 + [False] * 300
+        assert (
+            model.simulate(50_000, 1000, better).ipc
+            > model.simulate(50_000, 1000, worse).ipc
+        )
+
+    def test_no_misses_no_episodes(self):
+        result = PipelineModel().simulate(1000, 10, [True] * 10)
+        assert result.miss_episodes == 0
+        assert result.mlp == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the CPI models."""
+
+import pytest
+
+from repro.timing import LinearCPIModel, MLPAwareCPIModel
+
+
+class TestLinearCPI:
+    def test_cycles(self):
+        model = LinearCPIModel(base_cpi=0.5, miss_penalty=200)
+        assert model.cycles(1000, 10) == 500 + 2000
+
+    def test_cpi(self):
+        model = LinearCPIModel(base_cpi=1.0, miss_penalty=100)
+        assert model.cpi(1000, 0) == 1.0
+        assert model.cpi(1000, 10) == 2.0
+
+    def test_speedup_direction(self):
+        model = LinearCPIModel()
+        # Fewer misses -> speedup above 1.
+        assert model.speedup(10_000, 100, 50) > 1.0
+        assert model.speedup(10_000, 50, 100) < 1.0
+
+    def test_speedup_identity(self):
+        model = LinearCPIModel()
+        assert model.speedup(10_000, 77, 77) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearCPIModel(base_cpi=0)
+        with pytest.raises(ValueError):
+            LinearCPIModel(miss_penalty=-1)
+        with pytest.raises(ValueError):
+            LinearCPIModel().cycles(0, 5)
+
+
+class TestMLPAwareCPI:
+    def test_isolated_misses_pay_full_latency(self):
+        model = MLPAwareCPIModel(miss_penalty=200, window=100)
+        # Misses 1000 instructions apart never overlap.
+        assert model.miss_cycles([0, 1000, 2000]) == 600
+
+    def test_clustered_misses_overlap(self):
+        model = MLPAwareCPIModel(
+            miss_penalty=200, window=100, serial_fraction=0.25
+        )
+        # Three misses within one window: 200 * (1 + 2*0.25) = 300.
+        assert model.miss_cycles([0, 10, 20]) == 300
+
+    def test_cluster_break(self):
+        model = MLPAwareCPIModel(miss_penalty=100, window=50, serial_fraction=0.0)
+        # Two clusters of two: each costs one latency with full overlap.
+        assert model.miss_cycles([0, 10, 500, 510]) == 200
+
+    def test_full_serialization_matches_linear(self):
+        mlp = MLPAwareCPIModel(
+            base_cpi=0.5, miss_penalty=200, window=100, serial_fraction=1.0
+        )
+        linear_total = 200 * 5
+        assert mlp.miss_cycles([0, 1, 2, 3, 4]) == linear_total
+
+    def test_mlp_rewards_clustering(self):
+        """Same miss count, clustered vs spread: clustered is cheaper —
+        the effect the paper's linear fitness cannot see."""
+        model = MLPAwareCPIModel()
+        clustered = model.cycles(10_000, [0, 10, 20, 30])
+        spread = model.cycles(10_000, [0, 2000, 4000, 6000])
+        assert clustered < spread
+
+    def test_requires_sorted_positions(self):
+        with pytest.raises(ValueError):
+            MLPAwareCPIModel().miss_cycles([100, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPAwareCPIModel(serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            MLPAwareCPIModel(window=0)
+
+    def test_speedup(self):
+        model = MLPAwareCPIModel()
+        assert model.speedup(1000, [0, 500], [0]) > 1.0

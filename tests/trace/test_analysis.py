@@ -1,0 +1,61 @@
+"""Tests for reuse/stack-distance analysis."""
+
+import pytest
+
+from repro.trace import (
+    Trace,
+    cold_miss_count,
+    per_set_reuse_histogram,
+    stack_distance_histogram,
+)
+
+
+class TestStackDistanceHistogram:
+    def test_repeating_single_block(self):
+        histogram = stack_distance_histogram(Trace([1, 1, 1, 1]))
+        assert histogram[-1] == 1  # one cold access
+        assert histogram[0] == 3  # three immediate reuses
+
+    def test_two_block_alternation(self):
+        histogram = stack_distance_histogram(Trace([1, 2, 1, 2, 1]))
+        assert histogram[-1] == 2
+        assert histogram[1] == 3  # each reuse skips one other block
+
+    def test_streaming_all_cold(self):
+        histogram = stack_distance_histogram(Trace(list(range(50))))
+        assert histogram == {-1: 50}
+
+    def test_loop_distance_equals_ws_minus_one(self):
+        ws = 8
+        trace = Trace(list(range(ws)) * 5)
+        histogram = stack_distance_histogram(trace)
+        assert histogram[ws - 1] == 4 * ws
+        assert histogram[-1] == ws
+
+    def test_cap(self):
+        trace = Trace(list(range(100)) * 2)
+        histogram = stack_distance_histogram(trace, max_distance=10)
+        assert histogram[10] == 100  # all reuses capped
+
+
+class TestPerSetReuseHistogram:
+    def test_single_set_loop(self):
+        # 4 blocks mapping to the same set of a 2-set cache: 0,2,4,6.
+        trace = Trace([0, 2, 4, 6] * 10)
+        histogram = per_set_reuse_histogram(trace, num_sets=2, max_distance=16)
+        assert histogram[4] == 4 * 9  # reuse every 4 set accesses
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            per_set_reuse_histogram(Trace([1]), num_sets=3)
+
+    def test_cold_accesses_not_counted(self):
+        trace = Trace(list(range(32)))
+        histogram = per_set_reuse_histogram(trace, num_sets=4)
+        assert sum(histogram) == 0
+
+
+class TestColdMisses:
+    def test_matches_footprint(self):
+        trace = Trace([1, 1, 2, 3])
+        assert cold_miss_count(trace) == 3

@@ -1,0 +1,82 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    load_text_trace,
+    load_trace,
+    save_trace,
+    uniform_random,
+)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        t = uniform_random(100, 500, seed=1)
+        path = tmp_path / "trace.npz"
+        save_trace(t, path)
+        back = load_trace(path)
+        assert np.array_equal(back.addresses, t.addresses)
+        assert np.array_equal(back.pcs, t.pcs)
+        assert back.instructions == t.instructions
+        assert back.name == t.name
+
+    def test_metadata_survives(self, tmp_path):
+        t = Trace([1, 2, 3], pcs=[4, 5, 6], instructions=99, name="x.sp0")
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        back = load_trace(path)
+        assert back.name == "x.sp0"
+        assert back.instructions == 99
+
+
+class TestTextImport:
+    def _write(self, tmp_path, content):
+        path = tmp_path / "trace.txt"
+        path.write_text(content)
+        return path
+
+    def test_address_only(self, tmp_path):
+        path = self._write(tmp_path, "1\n2\n3\n")
+        trace = load_text_trace(path)
+        assert list(trace.addresses) == [1, 2, 3]
+        assert list(trace.pcs) == [0, 0, 0]
+
+    def test_address_pc_hex(self, tmp_path):
+        path = self._write(tmp_path, "0x10, 0x400\n0x20, 0x404\n")
+        trace = load_text_trace(path)
+        assert list(trace.addresses) == [16, 32]
+        assert list(trace.pcs) == [0x400, 0x404]
+
+    def test_full_rows_with_positions(self, tmp_path):
+        path = self._write(tmp_path, "1,7,0\n2,7,12\n1,8,30\n")
+        trace = load_text_trace(path)
+        assert list(trace.positions) == [0, 12, 30]
+        assert trace.instructions == 31
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = self._write(tmp_path, "# header\n\n5\n# mid\n6\n")
+        trace = load_text_trace(path)
+        assert len(trace) == 2
+
+    def test_tab_separated(self, tmp_path):
+        path = self._write(tmp_path, "1\t9\n2\t9\n")
+        trace = load_text_trace(path)
+        assert list(trace.pcs) == [9, 9]
+
+    def test_inconsistent_fields_rejected(self, tmp_path):
+        path = self._write(tmp_path, "1,2,3\n4,5\n")
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_text_trace(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = self._write(tmp_path, "# nothing\n")
+        with pytest.raises(ValueError, match="no accesses"):
+            load_text_trace(path)
+
+    def test_too_many_fields_rejected(self, tmp_path):
+        path = self._write(tmp_path, "1,2,3,4\n")
+        with pytest.raises(ValueError, match="expected 1-3"):
+            load_text_trace(path)

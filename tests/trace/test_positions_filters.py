@@ -1,0 +1,138 @@
+"""Tests for instruction positions and hierarchy trace filtering."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    assign_instruction_positions,
+    concatenate,
+    filter_through_caches,
+    load_trace,
+    looping,
+    paper_l1_l2_filter,
+    save_trace,
+    streaming,
+    uniform_random,
+    zipf,
+)
+
+
+class TestPositions:
+    def test_validation_alignment(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2, 3], positions=[0, 5])
+
+    def test_validation_monotone(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], positions=[5, 3], instructions=10)
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], positions=[0, 99], instructions=10)
+
+    def test_assign_positions_monotone_and_bounded(self):
+        trace = uniform_random(100, 2000, seed=1)
+        annotated = assign_instruction_positions(trace, seed=2)
+        positions = annotated.positions
+        assert positions is not None
+        assert (np.diff(positions) >= 0).all()
+        assert positions[-1] < annotated.instructions
+        assert positions[0] >= 0
+
+    def test_burstiness_creates_gap_variance(self):
+        trace = uniform_random(100, 5000, seed=3)
+        smooth = assign_instruction_positions(trace, seed=4, burstiness=0.0)
+        bursty = assign_instruction_positions(trace, seed=4, burstiness=0.8)
+        smooth_gaps = np.diff(smooth.positions)
+        bursty_gaps = np.diff(bursty.positions)
+        assert bursty_gaps.std() > 1.5 * smooth_gaps.std()
+
+    def test_burstiness_validated(self):
+        trace = uniform_random(10, 100, seed=1)
+        with pytest.raises(ValueError):
+            assign_instruction_positions(trace, burstiness=1.0)
+
+    def test_slice_rebases_positions(self):
+        trace = assign_instruction_positions(
+            uniform_random(50, 1000, seed=5), seed=6
+        )
+        part = trace.slice(100, 200)
+        assert part.positions is not None
+        assert part.positions[0] == 0
+        assert (np.diff(part.positions) >= 0).all()
+
+    def test_concatenate_offsets_positions(self):
+        a = assign_instruction_positions(uniform_random(10, 100, seed=1), seed=1)
+        b = assign_instruction_positions(uniform_random(10, 100, seed=2), seed=2)
+        joined = concatenate([a, b])
+        assert joined.positions is not None
+        # Second part's positions start after the first part's instructions.
+        assert joined.positions[100] >= a.instructions
+
+    def test_io_roundtrip_with_positions(self, tmp_path):
+        trace = assign_instruction_positions(
+            uniform_random(20, 300, seed=7), seed=8
+        )
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert np.array_equal(back.positions, trace.positions)
+
+    def test_io_roundtrip_without_positions(self, tmp_path):
+        trace = uniform_random(20, 300, seed=9)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        assert load_trace(path).positions is None
+
+    def test_runner_uses_real_positions(self):
+        from repro.eval import default_config
+        from repro.eval.runner import run_trace
+        from repro.policies import TrueLRUPolicy
+
+        config = default_config(trace_length=2000, warmup_fraction=0.0)
+        trace = assign_instruction_positions(
+            streaming(2000, seed=1), seed=3, burstiness=0.7
+        )
+        result = run_trace(
+            TrueLRUPolicy(64, 16), trace, config, collect_miss_positions=True
+        )
+        assert result.miss_positions == sorted(result.miss_positions)
+        assert result.miss_positions == trace.position_list()
+
+
+class TestHierarchyFilter:
+    def test_hot_block_absorbed(self):
+        """A block re-touched constantly never reaches the LLC stream."""
+        trace = Trace([7] * 100 + [7])
+        filtered = filter_through_caches(trace, [(4, 2)])
+        assert len(filtered) == 1  # only the compulsory miss passes
+
+    def test_streaming_passes_through(self):
+        trace = streaming(1000, seed=1)
+        filtered = filter_through_caches(trace, [(4, 2), (16, 2)])
+        assert len(filtered) == 1000
+
+    def test_instruction_count_preserved(self):
+        trace = zipf(500, 5000, seed=2)
+        filtered = filter_through_caches(trace, [(8, 4)])
+        assert filtered.instructions == trace.instructions
+        assert len(filtered) < len(trace)
+
+    def test_positions_carried_through(self):
+        trace = assign_instruction_positions(zipf(500, 3000, seed=3), seed=4)
+        filtered = filter_through_caches(trace, [(8, 4)])
+        assert filtered.positions is not None
+        assert len(filtered.positions) == len(filtered)
+
+    def test_paper_filter_geometry(self):
+        trace = looping(6000, 14_000, seed=5)
+        filtered = paper_l1_l2_filter(trace)
+        # A 6,000-block loop exceeds the 4,096-block L2, so the loop
+        # thrashes straight through to the LLC.
+        assert len(filtered) > 0.5 * len(trace)
+
+    def test_filter_reduces_friendly_traffic(self):
+        trace = zipf(400, 8000, seed=6)
+        filtered = paper_l1_l2_filter(trace)
+        assert len(filtered) < 0.5 * len(trace)

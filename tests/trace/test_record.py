@@ -1,0 +1,71 @@
+"""Tests for the Trace record type."""
+
+import numpy as np
+import pytest
+
+from repro.trace import Trace, annotate_next_use, concatenate
+
+
+class TestTrace:
+    def test_defaults(self):
+        t = Trace([1, 2, 3])
+        assert len(t) == 3
+        assert t.instructions == 30
+        assert list(t.pcs) == [0, 0, 0]
+
+    def test_iteration_yields_address_pc_pairs(self):
+        t = Trace([1, 2], pcs=[10, 20])
+        assert list(t) == [(1, 10), (2, 20)]
+
+    def test_mismatched_pcs_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], pcs=[1])
+
+    def test_instructions_must_cover_accesses(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2, 3], instructions=2)
+
+    def test_access_intensity(self):
+        t = Trace([1] * 100, instructions=10_000)
+        assert t.accesses_per_kilo_instruction == 10.0
+
+    def test_slice_scales_instructions(self):
+        t = Trace(list(range(100)), instructions=1000)
+        half = t.slice(0, 50)
+        assert len(half) == 50
+        assert half.instructions == 500
+
+    def test_footprint(self):
+        t = Trace([1, 1, 2, 3, 3, 3])
+        assert t.footprint() == 3
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)))
+
+
+class TestAnnotateNextUse:
+    def test_simple(self):
+        t = Trace([5, 6, 5, 6, 7])
+        assert annotate_next_use(t) == [2, 3, -1, -1, -1]
+
+    def test_never_reused(self):
+        t = Trace([1, 2, 3])
+        assert annotate_next_use(t) == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        t = Trace([9, 9, 9])
+        assert annotate_next_use(t) == [1, 2, -1]
+
+
+class TestConcatenate:
+    def test_joins_addresses_and_instructions(self):
+        a = Trace([1, 2], instructions=100)
+        b = Trace([3], instructions=50)
+        joined = concatenate([a, b])
+        assert list(joined.addresses) == [1, 2, 3]
+        assert joined.instructions == 150
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])

@@ -1,0 +1,176 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    REGION,
+    looping,
+    mix,
+    noisy_loop,
+    pointer_chase,
+    scan_interleaved,
+    stack_distance,
+    streaming,
+    uniform_random,
+    zipf,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: streaming(1000, seed=s),
+            lambda s: looping(50, 1000, seed=s),
+            lambda s: uniform_random(100, 1000, seed=s),
+            lambda s: zipf(200, 1000, seed=s),
+            lambda s: pointer_chase(300, 1000, seed=s, locality=0.3),
+            lambda s: stack_distance([5, 10], [1, 1], 1000, seed=s),
+            lambda s: scan_interleaved(50, 20, 100, 1000, seed=s),
+        ],
+    )
+    def test_same_seed_same_trace(self, factory):
+        a, b = factory(7), factory(7)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.pcs, b.pcs)
+
+    def test_different_seed_differs(self):
+        a = uniform_random(100, 1000, seed=1)
+        b = uniform_random(100, 1000, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+
+class TestStreaming:
+    def test_zero_reuse(self):
+        t = streaming(5000)
+        assert t.footprint() == 5000  # every block unique
+
+    def test_region_offsets_disjoint(self):
+        a = streaming(100, region=0)
+        b = streaming(100, region=1)
+        assert set(a.addresses.tolist()).isdisjoint(b.addresses.tolist())
+        assert b.addresses.min() >= REGION
+
+
+class TestLooping:
+    def test_footprint_is_working_set(self):
+        t = looping(64, 1000)
+        assert t.footprint() == 64
+
+    def test_cyclic_order(self):
+        t = looping(4, 10, seed=0)
+        base = t.addresses[0]
+        assert list(t.addresses[:8] - base) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            looping(0, 100)
+
+
+class TestNoisyLoop:
+    def test_zero_noise_is_plain_loop(self):
+        t = noisy_loop(50, 500, noise=0.0, seed=1)
+        assert t.footprint() == 50
+
+    def test_noise_fraction_roughly_respected(self):
+        t = noisy_loop(100, 10_000, noise=0.4, seed=2)
+        noise_accesses = int((t.addresses - t.addresses.min() >= 100).sum())
+        assert 0.35 < noise_accesses / len(t) < 0.45
+
+    def test_noise_addresses_outside_loop(self):
+        t = noisy_loop(100, 5000, noise=0.3, noise_working_set=1000, seed=3)
+        base = int(t.addresses.min())
+        offsets = t.addresses - base
+        assert offsets.max() < 100 + 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noisy_loop(0, 100)
+        with pytest.raises(ValueError):
+            noisy_loop(10, 100, noise=1.0)
+        with pytest.raises(ValueError):
+            noisy_loop(10, 100, noise=-0.1)
+
+    def test_deterministic(self):
+        a = noisy_loop(64, 1000, noise=0.25, seed=9)
+        b = noisy_loop(64, 1000, noise=0.25, seed=9)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_loop_component_cyclic(self):
+        t = noisy_loop(8, 2000, noise=0.5, seed=4)
+        base = int(t.addresses.min())
+        loop_part = [a - base for a in t.addresses.tolist() if a - base < 8]
+        # The loop subsequence increments mod the working set.
+        for previous, current in zip(loop_part, loop_part[1:]):
+            assert current == (previous + 1) % 8
+
+
+class TestZipf:
+    def test_footprint_bounded(self):
+        t = zipf(500, 5000, alpha=1.3)
+        assert t.footprint() <= 500
+
+    def test_skew(self):
+        """Hot blocks dominate: top 10% of blocks get most accesses."""
+        t = zipf(1000, 20_000, alpha=1.5, seed=2)
+        values, counts = np.unique(t.addresses, return_counts=True)
+        counts.sort()
+        top = counts[-len(counts) // 10 :].sum()
+        assert top > 0.5 * counts.sum()
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            zipf(100, 100, alpha=1.0)
+
+
+class TestStackDistance:
+    def test_controls_reuse_distance(self):
+        """All reuses at stack distance 3 (plus colds)."""
+        from repro.trace import stack_distance_histogram
+
+        t = stack_distance([3], [1.0], 3000, cold_fraction=0.1, seed=4)
+        histogram = stack_distance_histogram(t)
+        reuses = {d: c for d, c in histogram.items() if d >= 0}
+        assert max(reuses, key=reuses.get) == 3
+
+    def test_cold_fraction_one_is_streaming(self):
+        t = stack_distance([3], [1.0], 500, cold_fraction=1.0, seed=1)
+        assert t.footprint() == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stack_distance([1, 2], [1.0], 100)
+        with pytest.raises(ValueError):
+            stack_distance([1], [0.0], 100)
+
+
+class TestScanInterleaved:
+    def test_contains_hot_and_scan_phases(self):
+        t = scan_interleaved(32, 16, 64, 2000, seed=3)
+        addresses = t.addresses.tolist()
+        hot = [a for a in addresses if a < 32]
+        scans = [a for a in addresses if a >= 32]
+        assert hot and scans
+        # Scan blocks never repeat.
+        assert len(scans) == len(set(scans))
+
+
+class TestMix:
+    def test_preserves_all_accesses(self):
+        a = looping(10, 300, region=0)
+        b = streaming(200, region=1)
+        m = mix([a, b], chunk=32, seed=0)
+        assert len(m) == 500
+        assert m.instructions == a.instructions + b.instructions
+
+    def test_interleaves(self):
+        a = looping(10, 300, region=0)
+        b = streaming(300, region=1)
+        m = mix([a, b], chunk=32, seed=0)
+        first_half = m.addresses[:250]
+        assert (first_half < REGION).any() and (first_half >= REGION).any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mix([])

@@ -1,0 +1,73 @@
+"""Tests asserting the paper's Section 5.3.2 vector readings."""
+
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.core.vectors import (
+    DGIPPR2_WI_VECTORS,
+    DGIPPR4_WI_VECTORS,
+    GIPPR_WI_VECTOR,
+)
+from repro.viz.vector_analysis import (
+    describe_vector,
+    duel_coverage,
+    insertion_class,
+    is_pessimistic_promotion,
+    promotion_bias,
+)
+
+
+class TestInsertionClass:
+    def test_classic_vectors(self):
+        assert insertion_class(lru_ipv(16)) == "pmru"
+        assert insertion_class(lip_ipv(16)) == "plru"
+        assert insertion_class(IPV([0] * 16 + [8])) == "middle"
+        assert insertion_class(IPV([0] * 16 + [2])) == "near-pmru"
+
+    def test_wi2_duels_plru_vs_pmru(self):
+        """Section 5.3.2: 'the WI-2-DGIPPR IPVs clearly duel between PLRU
+        and PMRU insertion, just as DIP would do.'"""
+        classes = sorted(insertion_class(v) for v in DGIPPR2_WI_VECTORS)
+        assert classes == ["plru", "pmru"]
+
+    def test_wi4_switches_across_classes(self):
+        """Section 5.3.2: 'switch between PLRU, PMRU, close to PMRU, and
+        middle insertion.'"""
+        coverage = duel_coverage(DGIPPR4_WI_VECTORS)
+        assert len(coverage) >= 3
+        assert "plru" in coverage or "middle" in coverage
+
+
+class TestPromotionBias:
+    def test_lru_maximally_optimistic(self):
+        assert promotion_bias(lru_ipv(16)) == -1.0
+        assert not is_pessimistic_promotion(lru_ipv(16))
+
+    def test_identity_vector_neutral(self):
+        identity = IPV(list(range(16)) + [0])
+        assert promotion_bias(identity) == 0.0
+
+    def test_2dg_a_pessimistic(self):
+        """Section 5.3.2: the first WI-2 vector 'seems to prefer a very
+        pessimistic promotion policy, moving most referenced blocks closer
+        to the PLRU position.'"""
+        vector_a = DGIPPR2_WI_VECTORS[0]
+        vector_b = DGIPPR2_WI_VECTORS[1]
+        assert promotion_bias(vector_a) > promotion_bias(vector_b)
+        assert is_pessimistic_promotion(vector_a)
+
+    def test_gippr_wi_between_extremes(self):
+        bias = promotion_bias(GIPPR_WI_VECTOR)
+        assert -1.0 < bias < 1.0
+
+
+class TestDescription:
+    def test_describe_mentions_class_and_style(self):
+        text = describe_vector(lip_ipv(16))
+        assert "plru insertion" in text
+        assert "optimistic" in text or "pessimistic" in text
+
+    def test_describe_all_paper_vectors(self):
+        from repro.core.vectors import paper_vectors
+
+        for vector in paper_vectors().values():
+            text = describe_vector(vector)
+            assert vector.name in text

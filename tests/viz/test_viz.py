@@ -1,0 +1,57 @@
+"""Tests for the transition-graph and chart rendering."""
+
+import pytest
+
+from repro.core.ipv import lip_ipv, lru_ipv
+from repro.core.vectors import GIPLR_VECTOR
+from repro.viz import bar_chart, transition_dot, transition_text
+
+
+class TestTransitionDot:
+    def test_valid_dot_structure(self):
+        dot = transition_dot(lru_ipv(16))
+        assert dot.startswith("digraph ipv {")
+        assert dot.rstrip().endswith("}")
+        assert "insertion -> 0;" in dot
+        assert "15 -> eviction" in dot
+
+    def test_giplr_edges(self):
+        dot = transition_dot(GIPLR_VECTOR)
+        assert "insertion -> 13;" in dot  # V[16] = 13
+        assert "15 -> 11;" in dot  # V[15] = 11
+
+    def test_title_override(self):
+        dot = transition_dot(lru_ipv(16), title="Figure 2")
+        assert 'label="Figure 2";' in dot
+
+
+class TestTransitionText:
+    def test_mentions_all_positions(self):
+        text = transition_text(lip_ipv(16))
+        for i in range(16):
+            assert f"position {i:2d}" in text
+        assert "insertion at position 15" in text
+
+    def test_degenerate_warning(self):
+        from repro.core.ipv import IPV
+
+        bad = IPV([0, 1, 2, 3, 3])
+        assert "degenerate" in transition_text(bad)
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        chart = bar_chart({"a": 1.2, "b": 0.9}, title="t")
+        assert "a" in chart and "b" in chart and "t" in chart
+        assert "baseline" in chart
+
+    def test_direction_markers(self):
+        chart = bar_chart({"up": 1.5, "down": 0.5})
+        up_line = next(l for l in chart.splitlines() if l.startswith("up"))
+        down_line = next(l for l in chart.splitlines() if l.startswith("down"))
+        assert ">" in up_line
+        assert "<" in down_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,101 @@
+"""Tests for the synthetic SPEC CPU 2006 stand-in suite."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.policies import TrueLRUPolicy
+from repro.workloads import SPEC_BENCHMARKS, benchmark_names, get_benchmark
+
+CAPACITY = 1024  # 64 sets x 16 ways
+
+
+class TestSuiteShape:
+    def test_twenty_nine_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 29
+
+    def test_names_match_spec2006(self):
+        names = benchmark_names()
+        for expected in [
+            "400.perlbench", "429.mcf", "433.milc", "436.cactusADM",
+            "447.dealII", "456.hmmer", "462.libquantum", "470.lbm",
+            "471.omnetpp", "482.sphinx3", "483.xalancbmk",
+        ]:
+            assert expected in names
+
+    def test_weights_sum_to_one(self):
+        for bench in SPEC_BENCHMARKS.values():
+            assert abs(sum(bench.weights()) - 1.0) < 1e-9
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(ValueError):
+            get_benchmark("999.nonesuch")
+
+    def test_traces_generate_with_requested_length(self):
+        bench = get_benchmark("429.mcf")
+        traces = bench.traces(2000, CAPACITY, seed=1)
+        assert len(traces) == len(bench.simpoints)
+        for trace in traces:
+            assert len(trace) == 2000
+            assert trace.instructions == int(2000 * bench.instructions_per_access)
+
+    def test_traces_deterministic(self):
+        bench = get_benchmark("483.xalancbmk")
+        a = bench.traces(1500, CAPACITY, seed=3)[0]
+        b = bench.traces(1500, CAPACITY, seed=3)[0]
+        assert (a.addresses == b.addresses).all()
+
+    def test_seeds_differ(self):
+        bench = get_benchmark("429.mcf")
+        a = bench.traces(1500, CAPACITY, seed=1)[0]
+        b = bench.traces(1500, CAPACITY, seed=2)[0]
+        assert not (a.addresses == b.addresses).all()
+
+
+def lru_miss_rate(trace, num_sets=64, assoc=16):
+    cache = SetAssociativeCache(
+        num_sets, assoc, TrueLRUPolicy(num_sets, assoc), block_size=1
+    )
+    for addr, pc in trace:
+        cache.access(addr, pc=pc)
+    return cache.stats.miss_rate
+
+
+class TestArchetypeBehaviour:
+    """The stand-ins must show the qualitative LLC behaviour their SPEC
+    namesakes are known for (the basis of the substitution argument)."""
+
+    def test_streaming_benchmarks_thrash_lru(self):
+        for name in ["433.milc", "470.lbm"]:
+            trace = get_benchmark(name).traces(20_000, CAPACITY, seed=0)[0]
+            assert lru_miss_rate(trace) > 0.9, name
+
+    def test_friendly_benchmarks_mostly_hit(self):
+        for name in ["416.gamess", "453.povray", "444.namd"]:
+            trace = get_benchmark(name).traces(20_000, CAPACITY, seed=0)[0]
+            assert lru_miss_rate(trace) < 0.15, name
+
+    def test_thrash_benchmarks_miss_heavily_under_lru(self):
+        for name in ["436.cactusADM", "462.libquantum", "482.sphinx3"]:
+            trace = get_benchmark(name).traces(30_000, CAPACITY, seed=0)[0]
+            assert lru_miss_rate(trace) > 0.8, name
+
+    def test_dealii_is_lru_friendly(self):
+        trace = get_benchmark("447.dealII").traces(30_000, CAPACITY, seed=0)[0]
+        rate = lru_miss_rate(trace)
+        assert rate < 0.35  # LRU captures the reuse band
+
+    def test_memory_intensities_ordered(self):
+        """mcf-style benchmarks access the LLC far more often than povray."""
+        mcf = get_benchmark("429.mcf").instructions_per_access
+        povray = get_benchmark("453.povray").instructions_per_access
+        assert mcf * 20 < povray
+
+    def test_hmmer_has_phases(self):
+        """The phase-alternating archetype mixes low and high miss phases."""
+        trace = get_benchmark("456.hmmer").traces(40_000, CAPACITY, seed=0)[0]
+        quarter = len(trace) // 4
+        rates = [
+            lru_miss_rate(trace.slice(i * quarter, (i + 1) * quarter))
+            for i in range(4)
+        ]
+        assert max(rates) > 2 * min(rates) + 0.05
