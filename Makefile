@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick figures wn-vectors examples clean
+.PHONY: install test bench bench-quick smoke-parallel figures wn-vectors examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,11 @@ bench:
 
 bench-quick:
 	REPRO_SCALE=0.4 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast check that the parallel runner matches the serial path bit-for-bit
+# and that a warm cache rerun performs zero simulations.
+smoke-parallel:
+	$(PYTHON) scripts/smoke_parallel.py
 
 figures:
 	$(PYTHON) scripts/export_results.py --outdir results

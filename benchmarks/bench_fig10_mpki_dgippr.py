@@ -14,8 +14,8 @@ from repro.core.vectors import DGIPPR2_WI_VECTORS, DGIPPR4_WI_VECTORS
 from repro.eval import PolicySpec, normalized_mpki_table, run_suite
 
 
-def run_experiment(config, workers):
-    return run_suite(
+def run_experiment(config, workers, cache=None):
+    suite = run_suite(
         [
             PolicySpec("LRU", "lru"),
             PolicySpec("GIPPR", "gippr"),
@@ -25,13 +25,18 @@ def run_experiment(config, workers):
         ],
         config=config,
         workers=workers,
+        cache=cache,
     )
+    print(f"\n[repro-eval] {suite.metrics.summary()}")
+    return suite
 
 
-def test_fig10_normalized_mpki(benchmark, bench_config, workers):
+def test_fig10_normalized_mpki(benchmark, bench_config, workers, cache):
     suite = benchmark.pedantic(
-        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+        run_experiment, args=(bench_config, workers, cache),
+        rounds=1, iterations=1,
     )
+    benchmark.extra_info["runner_metrics"] = suite.metrics.as_dict()
     print_header("Figure 10: MPKI normalized to LRU")
     print(normalized_mpki_table(suite, sort_by="4-DGIPPR"))
     gippr = suite.geomean_normalized_mpki("GIPPR")
@@ -48,10 +53,11 @@ def test_fig10_normalized_mpki(benchmark, bench_config, workers):
     assert optimal < min(gippr, two, four)  # MIN dominates everything
 
 
-def test_fig10_min_dominates_per_benchmark(benchmark, bench_config, workers):
+def test_fig10_min_dominates_per_benchmark(benchmark, bench_config, workers, cache):
     """MIN must lower-bound every policy on every single benchmark."""
     suite = benchmark.pedantic(
-        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+        run_experiment, args=(bench_config, workers, cache),
+        rounds=1, iterations=1,
     )
     min_misses = suite.misses("MIN")
     for label in suite.labels:

@@ -15,37 +15,44 @@ import pytest
 from conftest import print_header
 
 from repro.core.vectors import load_wn1_vectors
-from repro.eval import geometric_mean
-from repro.eval.runner import run_benchmark
-from repro.workloads import SPEC_BENCHMARKS, benchmark_names
+from repro.eval import ParallelRunner, geometric_mean
+from repro.workloads import benchmark_names
 
 VECTOR_COUNTS = (1, 2, 4)
 
 
-def run_experiment(config, wn1):
+def run_experiment(config, wn1, workers=0, cache=None):
+    """Held-out per-benchmark evaluation via the cached parallel runner.
+
+    Every (benchmark, vector set) cell goes through
+    :meth:`ParallelRunner.run_benchmark`, so repeated figure builds hit
+    the on-disk result cache and the LRU baselines are shared with the
+    other figure benches.
+    """
+    runner = ParallelRunner(workers=workers, cache=cache, progress=False)
     norm = {count: {} for count in VECTOR_COUNTS}
     for bench_name in benchmark_names():
-        benchmark = SPEC_BENCHMARKS[bench_name]
-        lru = run_benchmark("lru", benchmark, config)
+        lru = runner.run_benchmark("lru", bench_name, config)
         for count in VECTOR_COUNTS:
             vectors = wn1[bench_name][count]
             if count == 1:
-                result = run_benchmark(
-                    "gippr", benchmark, config,
+                result = runner.run_benchmark(
+                    "gippr", bench_name, config,
                     policy_kwargs={"ipv": vectors[0]},
                 )
             else:
-                result = run_benchmark(
-                    "dgippr", benchmark, config,
+                result = runner.run_benchmark(
+                    "dgippr", bench_name, config,
                     policy_kwargs={"ipvs": vectors},
                 )
             norm[count][bench_name] = (
                 result.mpki / lru.mpki if lru.mpki > 1e-9 else 1.0
             )
+    print(f"\n[repro-eval] {runner.metrics.summary()}")
     return norm
 
 
-def test_fig10_wn1_honest(benchmark, bench_config):
+def test_fig10_wn1_honest(benchmark, bench_config, workers, cache):
     wn1 = load_wn1_vectors()
     missing = [b for b in benchmark_names() if b not in wn1]
     if not wn1 or missing:
@@ -53,7 +60,8 @@ def test_fig10_wn1_honest(benchmark, bench_config):
             "no WN1 vector data; run scripts/evolve_wn1_vectors.py first"
         )
     norm = benchmark.pedantic(
-        run_experiment, args=(bench_config, wn1), rounds=1, iterations=1
+        run_experiment, args=(bench_config, wn1, workers, cache),
+        rounds=1, iterations=1,
     )
     print_header("Figure 10 (honest WN1): MPKI normalized to LRU")
     geo = {}

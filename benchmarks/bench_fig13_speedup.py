@@ -14,8 +14,8 @@ from conftest import print_header
 from repro.eval import PolicySpec, run_suite, speedup_table
 
 
-def run_experiment(config, workers):
-    return run_suite(
+def run_experiment(config, workers, cache=None):
+    suite = run_suite(
         [
             PolicySpec("LRU", "lru"),
             PolicySpec("DRRIP", "drrip"),
@@ -24,13 +24,18 @@ def run_experiment(config, workers):
         ],
         config=config,
         workers=workers,
+        cache=cache,
     )
+    print(f"\n[repro-eval] {suite.metrics.summary()}")
+    return suite
 
 
-def test_fig13_speedup(benchmark, bench_config, workers):
+def test_fig13_speedup(benchmark, bench_config, workers, cache):
     suite = benchmark.pedantic(
-        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+        run_experiment, args=(bench_config, workers, cache),
+        rounds=1, iterations=1,
     )
+    benchmark.extra_info["runner_metrics"] = suite.metrics.as_dict()
     print_header("Figure 13: speedup over LRU (sorted by DRRIP, per paper)")
     print(speedup_table(suite))
     drrip = suite.geomean_speedup("DRRIP")
@@ -40,11 +45,13 @@ def test_fig13_speedup(benchmark, bench_config, workers):
           f"DRRIP {drrip:.4f} (paper 1.0541), PDP {pdp:.4f} (paper 1.0569)")
 
     subset = suite.memory_intensive()
-    print(f"\n  memory-intensive subset ({len(subset)} benchmarks):")
-    for label in ("DRRIP", "PDP", "4-DGIPPR"):
-        value = suite.geomean_speedup(label, benchmarks=subset)
-        print(f"    {label:<9} {value:.4f}  (paper: DRRIP 1.156, PDP 1.164, "
-              "DGIPPR 1.156)")
+    from repro.eval import memory_intensive_summary
+
+    print()
+    print("  " + memory_intensive_summary(
+        suite, labels=("DRRIP", "PDP", "4-DGIPPR")
+    ).replace("\n", "\n  "))
+    print("    (paper: DRRIP 1.156, PDP 1.164, DGIPPR 1.156)")
     benchmark.extra_info.update(
         drrip=drrip, pdp=pdp, dgippr4=dgippr,
         subset=[str(b) for b in subset],
@@ -56,11 +63,12 @@ def test_fig13_speedup(benchmark, bench_config, workers):
     assert suite.geomean_speedup("4-DGIPPR", benchmarks=subset) > dgippr
 
 
-def test_fig13_consistency(benchmark, bench_config, workers):
+def test_fig13_consistency(benchmark, bench_config, workers, cache):
     """Section 5.2.2: DGIPPR's worst-case benchmark stays close to LRU
     (>99% for everything but dealII in the paper)."""
     suite = benchmark.pedantic(
-        run_experiment, args=(bench_config, workers), rounds=1, iterations=1
+        run_experiment, args=(bench_config, workers, cache),
+        rounds=1, iterations=1,
     )
     speedups = suite.speedups("4-DGIPPR")
     below = sorted(

@@ -7,7 +7,9 @@ per-experiment index) and prints the corresponding rows; run with
 
 ``REPRO_SCALE`` scales trace lengths (e.g. REPRO_SCALE=0.25 for a smoke
 run, =4 for tighter statistics); ``REPRO_WORKERS`` parallelises the suite
-grid.
+grid.  Figure benches use the on-disk result cache by default
+(``~/.cache/repro-eval`` or ``$REPRO_CACHE_DIR``) so repeated figure
+builds resimulate nothing; set ``REPRO_CACHE=0`` to disable.
 """
 
 from __future__ import annotations
@@ -26,6 +28,16 @@ def _default_workers() -> int:
     return min(8, (os.cpu_count() or 1))
 
 
+def _default_cache():
+    """Cache setting for ``run_suite``/``run_matrix`` (see REPRO_CACHE)."""
+    env = os.environ.get("REPRO_CACHE", "1").strip().lower()
+    if env in ("0", "off", "false", "no", ""):
+        return None
+    if env in ("1", "on", "true", "yes"):
+        return True
+    return env  # an explicit directory
+
+
 @pytest.fixture(scope="session")
 def bench_config():
     """The standard bench geometry: 64 sets x 16 ways, 20k-access traces."""
@@ -35,6 +47,12 @@ def bench_config():
 @pytest.fixture(scope="session")
 def workers():
     return _default_workers()
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """Result-cache setting (None disabled, True default dir, or a path)."""
+    return _default_cache()
 
 
 @pytest.fixture(scope="session")

@@ -61,8 +61,9 @@ FIGURES = {
 }
 
 
-def export_figure(name, specs, metric, config, outdir, workers):
-    suite = run_suite(specs, config=config, workers=workers)
+def export_figure(name, specs, metric, config, outdir, workers, cache=None):
+    suite = run_suite(specs, config=config, workers=workers, cache=cache)
+    print(f"[repro-eval] {name}: {suite.metrics.summary()}", file=sys.stderr)
     labels = [s.label for s in specs if s.label != "LRU"]
     path = os.path.join(outdir, f"{name}.csv")
     with open(path, "w", newline="") as handle:
@@ -88,6 +89,11 @@ def main():
     parser.add_argument("--outdir", default="results")
     parser.add_argument("--length", type=int, default=20_000)
     parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: ~/.cache/repro-eval)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     parser.add_argument(
         "--figures", nargs="+", choices=sorted(FIGURES), default=sorted(FIGURES)
     )
@@ -95,9 +101,12 @@ def main():
 
     os.makedirs(args.outdir, exist_ok=True)
     config = default_config(trace_length=args.length)
+    cache = None if args.no_cache else (args.cache_dir or True)
     for name in args.figures:
         specs, metric = FIGURES[name]
-        export_figure(name, specs, metric, config, args.outdir, args.workers)
+        export_figure(
+            name, specs, metric, config, args.outdir, args.workers, cache
+        )
 
 
 if __name__ == "__main__":

@@ -5,10 +5,17 @@ Runs the Figure 4/10/11/13 experiments plus the overhead table and writes a
 self-contained report (default ``results/REPORT.md``) with per-benchmark
 tables — the regenerable counterpart to the hand-annotated EXPERIMENTS.md.
 
-Run:  python scripts/make_report.py [--length N] [--out PATH]
+Simulation fans out over ``--workers`` processes and hits the on-disk
+result cache (``~/.cache/repro-eval`` or ``--cache-dir``), so a rebuild
+with unchanged code and config performs zero simulations.  Runner metrics
+(jobs, cache hit rate, sims/sec, per-job wall times) land on stderr and in
+``--metrics-json`` (default ``results/metrics.json``).
+
+Run:  python scripts/make_report.py [--length N] [--out PATH] [--workers N]
 """
 
 import argparse
+import json
 import os
 import sys
 from datetime import datetime, timezone
@@ -20,6 +27,7 @@ from repro.eval import (  # noqa: E402
     PolicySpec,
     default_config,
     format_overhead,
+    memory_intensive_summary,
     normalized_mpki_table,
     overhead_table,
     run_suite,
@@ -39,10 +47,19 @@ def main():
     parser.add_argument("--length", type=int, default=20_000)
     parser.add_argument("--out", default="results/REPORT.md")
     parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: ~/.cache/repro-eval)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--metrics-json", default="results/metrics.json",
+                        help="where to write runner metrics as JSON")
     args = parser.parse_args()
 
     config = default_config(trace_length=args.length)
+    cache = None if args.no_cache else (args.cache_dir or True)
     sections = []
+    all_metrics = {}
 
     fig4 = run_suite(
         [
@@ -53,7 +70,10 @@ def main():
         ],
         config=config,
         workers=args.workers,
+        cache=cache,
     )
+    all_metrics["fig4"] = fig4.metrics.as_dict()
+    print(f"[repro-eval] fig4: {fig4.metrics.summary()}", file=sys.stderr)
     sections.append(
         "## Figure 4 — GIPLR speedup over LRU\n\n```\n"
         + speedup_table(fig4, sort_by="GIPLR")
@@ -72,7 +92,10 @@ def main():
         ],
         config=config,
         workers=args.workers,
+        cache=cache,
     )
+    all_metrics["main"] = main_suite.metrics.as_dict()
+    print(f"[repro-eval] main: {main_suite.metrics.summary()}", file=sys.stderr)
     sections.append(
         "## Figures 10/11 — MPKI normalized to LRU\n\n```\n"
         + normalized_mpki_table(main_suite)
@@ -86,14 +109,15 @@ def main():
         )
         + "\n```\n"
     )
-    subset = main_suite.memory_intensive()
-    lines = [f"## Memory-intensive subset ({len(subset)} benchmarks)\n"]
-    for label in ("DRRIP", "PDP", "4-DGIPPR"):
-        lines.append(
-            f"* {label}: geomean speedup "
-            f"{main_suite.geomean_speedup(label, benchmarks=subset):.4f}"
+    # memory_intensive_summary handles the legitimately-empty subset
+    # (short configs) instead of crashing on an empty geometric mean.
+    sections.append(
+        "## Memory-intensive subset\n\n```\n"
+        + memory_intensive_summary(
+            main_suite, labels=("DRRIP", "PDP", "4-DGIPPR")
         )
-    sections.append("\n".join(lines) + "\n")
+        + "\n```\n"
+    )
 
     sections.append(
         "## Section 3.6 — replacement-state overhead (4MB/16-way)\n\n```\n"
@@ -113,6 +137,13 @@ def main():
     with open(args.out, "w") as handle:
         handle.write(report)
     print(f"wrote {args.out}")
+    if args.metrics_json:
+        os.makedirs(
+            os.path.dirname(os.path.abspath(args.metrics_json)), exist_ok=True
+        )
+        with open(args.metrics_json, "w") as handle:
+            json.dump(all_metrics, handle, indent=2)
+        print(f"wrote {args.metrics_json}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fast parallel-runner smoke check (the ``make smoke-parallel`` target).
+
+Runs a 2-benchmark x 2-policy matrix three ways and asserts:
+
+1. ``--workers 2`` is bit-identical to the serial (``workers=1``) path —
+   every aggregate and every per-simpoint statistic;
+2. a warm-cache rerun of the same matrix performs **zero** simulations
+   (cache hit rate 100 % in the emitted metrics) and still returns
+   bit-identical results.
+
+Uses a throwaway cache directory so it never touches (or is fooled by)
+``~/.cache/repro-eval``.  Exits non-zero on any mismatch.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.eval import default_config, run_matrix  # noqa: E402
+
+BENCHMARKS = ["429.mcf", "462.libquantum"]
+POLICIES = [("LRU", "lru"), ("4-DGIPPR", "dgippr")]
+
+
+def assert_identical(a, b, context):
+    for label, _, _ in [(p[0], None, None) for p in POLICIES]:
+        for bench in BENCHMARKS:
+            x, y = a.get(label, bench), b.get(label, bench)
+            assert (x.misses, x.instructions, x.mpki) == (
+                y.misses, y.instructions, y.mpki
+            ), f"{context}: aggregate mismatch for {label}/{bench}"
+            assert [
+                (r.accesses, r.misses, r.instructions) for r in x.runs
+            ] == [
+                (r.accesses, r.misses, r.instructions) for r in y.runs
+            ], f"{context}: per-simpoint mismatch for {label}/{bench}"
+
+
+def main():
+    config = default_config(trace_length=8_000)
+    serial = run_matrix(
+        POLICIES, config=config, benchmarks=BENCHMARKS,
+        workers=1, cache=None, progress=False,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as cache:
+        cold = run_matrix(
+            POLICIES, config=config, benchmarks=BENCHMARKS,
+            workers=2, cache=cache, progress=False,
+        )
+        assert_identical(serial, cold, "parallel vs serial")
+        print(f"parallel == serial OK   [{cold.metrics.summary()}]")
+        assert cold.metrics.simulated == cold.metrics.jobs_total
+
+        warm = run_matrix(
+            POLICIES, config=config, benchmarks=BENCHMARKS,
+            workers=2, cache=cache, progress=False,
+        )
+        assert_identical(serial, warm, "warm cache vs serial")
+        assert warm.metrics.simulated == 0, "warm rerun resimulated jobs"
+        assert warm.metrics.cache_hit_rate == 1.0, (
+            f"warm hit rate {warm.metrics.cache_hit_rate:.0%} != 100%"
+        )
+        print(f"warm cache OK           [{warm.metrics.summary()}]")
+    print("smoke-parallel: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,8 +62,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sets", type=int, default=64, help="LLC sets")
     compare.add_argument("--workers", type=int, default=0,
                          help="parallel worker processes")
+    compare.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: ~/.cache/repro-eval or "
+             "$REPRO_CACHE_DIR)",
+    )
+    compare.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    compare.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write runner metrics (jobs, cache hit rate, sims/sec) as JSON",
+    )
     compare.add_argument("--chart", action="store_true",
                          help="also print an ASCII bar chart")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: ~/.cache/repro-eval)")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every cached result")
 
     evolve = sub.add_parser("evolve", help="evolve an IPV with the GA")
     evolve.add_argument("--benchmarks", nargs="+", default=None)
@@ -117,9 +136,20 @@ def _cmd_compare(args) -> int:
     if "LRU" not in labels:
         specs.insert(0, PolicySpec("LRU", "lru"))
     config = default_config(trace_length=args.length, num_sets=args.sets)
+    cache = None if args.no_cache else (args.cache_dir or True)
     suite = run_suite(
-        specs, config=config, benchmarks=args.benchmarks, workers=args.workers
+        specs, config=config, benchmarks=args.benchmarks,
+        workers=args.workers, cache=cache,
     )
+    if suite.metrics is not None:
+        print(f"[repro-eval] {suite.metrics.summary()}", file=sys.stderr)
+        if args.metrics_json:
+            import json
+
+            with open(args.metrics_json, "w") as handle:
+                json.dump(suite.metrics.as_dict(), handle, indent=2)
+            print(f"[repro-eval] metrics written to {args.metrics_json}",
+                  file=sys.stderr)
     print(speedup_table(suite, sort_by=specs[-1].label))
     if args.chart:
         print()
@@ -154,6 +184,19 @@ def _cmd_evolve(args) -> int:
 
 def _cmd_overhead() -> int:
     print(format_overhead(overhead_table()))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .eval.parallel import ResultCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    cache = ResultCache(root)
+    if args.clear:
+        removed = cache.clear()
+        print(f"{root}: removed {removed} cached results")
+    else:
+        print(f"{root}: {len(cache)} cached results")
     return 0
 
 
@@ -224,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_evolve(args)
     if args.command == "overhead":
         return _cmd_overhead()
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "trace-stats":

@@ -64,9 +64,16 @@ def default_leaders_per_policy(num_sets: int, num_policies: int) -> int:
     The paper (and DIP/DRRIP) use 32 leaders per policy on a 4096-set LLC;
     for scaled-down caches this keeps the leader fraction per policy around
     1.5–12 % so dueling still samples representatively without dominating
-    the cache.
+    the cache.  On tiny geometries where even one leader per policy would
+    not fit (``num_sets < num_policies``) this degrades to zero leaders —
+    every set follows the counters' initial winner — rather than forcing an
+    impossible assignment.
     """
-    return max(1, min(32, num_sets // (8 * num_policies), num_sets // num_policies))
+    return min(
+        32,
+        max(1, num_sets // (8 * num_policies)),
+        num_sets // num_policies,
+    )
 
 
 def assign_leader_sets(
@@ -81,15 +88,18 @@ def assign_leader_sets(
     become leaders for policy 0, the next block for policy 1, and so on.
     This spreads each policy's leaders uniformly across the index space, the
     property constituency-based selection is designed for.
+
+    Requests that do not fit the geometry are clamped rather than rejected:
+    a cache with fewer sets than ``num_policies * leaders_per_policy`` gets
+    ``num_sets // num_policies`` leaders per policy (possibly zero, in
+    which case every set is a follower).  This lets the paper's 32-leader
+    default degrade gracefully on scaled-down caches instead of raising.
     """
     if leaders_per_policy is None:
         leaders_per_policy = default_leaders_per_policy(num_sets, num_policies)
-    needed = num_policies * leaders_per_policy
-    if needed > num_sets:
-        raise ValueError(
-            f"{num_policies} policies x {leaders_per_policy} leaders "
-            f"exceed {num_sets} sets"
-        )
+    if leaders_per_policy < 0:
+        raise ValueError("leaders_per_policy cannot be negative")
+    leaders_per_policy = min(leaders_per_policy, num_sets // num_policies)
     order = list(range(num_sets))
     random.Random(seed).shuffle(order)
     assignment = [-1] * num_sets

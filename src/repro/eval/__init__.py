@@ -8,6 +8,15 @@ from .crossval import (
     partition_benchmarks,
 )
 from .experiments import STANDARD_POLICIES, PolicySpec, SuiteResult, run_suite
+from .parallel import (
+    MatrixResult,
+    ParallelRunner,
+    ResultCache,
+    RunnerMetrics,
+    cache_key,
+    default_cache_dir,
+    run_matrix,
+)
 from .dueling_trace import DuelTrace, record_duel
 from .ipc import estimate_ipc, ipc_speedup
 from .multicore import CoreResult, MulticoreResult, run_multicore
@@ -22,6 +31,7 @@ from .overhead import overhead_row, overhead_table
 from .reporting import (
     format_overhead,
     format_table,
+    memory_intensive_summary,
     normalized_mpki_table,
     speedup_table,
 )
@@ -35,6 +45,13 @@ __all__ = [
     "SuiteResult",
     "run_suite",
     "STANDARD_POLICIES",
+    "MatrixResult",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerMetrics",
+    "cache_key",
+    "default_cache_dir",
+    "run_matrix",
     "CoreResult",
     "MulticoreResult",
     "run_multicore",
@@ -56,6 +73,7 @@ __all__ = [
     "overhead_table",
     "format_table",
     "format_overhead",
+    "memory_intensive_summary",
     "speedup_table",
     "normalized_mpki_table",
     "lru_miss_rates",

@@ -13,17 +13,18 @@ see DESIGN.md's per-experiment index.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Union
 
-from ..workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, benchmark_names
+from ..workloads.spec import benchmark_names
 from .config import ExperimentConfig, default_config
 from .metrics import (
     geometric_mean,
     memory_intensive_subset,
     normalized_map,
 )
-from .runner import BenchmarkResult, run_benchmark
+from .parallel import RunnerMetrics, run_matrix
+from .runner import BenchmarkResult
 
 __all__ = ["PolicySpec", "SuiteResult", "run_suite", "STANDARD_POLICIES"]
 
@@ -54,6 +55,7 @@ class SuiteResult:
         config: ExperimentConfig,
         results: Dict[str, Dict[str, BenchmarkResult]],
         baseline_label: str = "LRU",
+        metrics: Optional[RunnerMetrics] = None,
     ):
         self.config = config
         self.results = results
@@ -61,6 +63,9 @@ class SuiteResult:
         self.labels = list(results)
         first = next(iter(results.values()))
         self.benchmarks = list(first)
+        #: Runner metrics (jobs, cache hit rate, sims/sec) when the suite
+        #: came from :func:`run_suite`; ``None`` for hand-built suites.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Accessors.
@@ -91,9 +96,19 @@ class SuiteResult:
         }
 
     def geomean_speedup(self, label: str, benchmarks: Optional[Sequence[str]] = None) -> float:
+        """Geomean speedup over the baseline, optionally over a subset.
+
+        An explicitly empty ``benchmarks`` sequence (e.g. an empty
+        memory-intensive subset on a short config) yields ``nan`` — it
+        must NOT silently fall back to the full suite, which would report
+        a number for the wrong benchmark population.
+        """
         speedups = self.speedups(label)
-        benchmarks = benchmarks or self.benchmarks
-        return geometric_mean(speedups[b] for b in benchmarks)
+        if benchmarks is None:
+            benchmarks = self.benchmarks
+        return geometric_mean(
+            (speedups[b] for b in benchmarks), empty=float("nan")
+        )
 
     def normalized_mpki(self, label: str) -> Dict[str, float]:
         """MPKI normalized to the LRU baseline (Figures 10 and 11)."""
@@ -125,52 +140,26 @@ class SuiteResult:
         return sorted(self.benchmarks, key=lambda b: key[b])
 
 
-def _run_one(args):
-    """Worker task: run one (benchmark, policy) cell.
-
-    Per-process trace caching keeps multiprocess fan-out from regenerating
-    traces for every policy.
-    """
-    bench_name, spec, config = args
-    benchmark = SPEC_BENCHMARKS[bench_name]
-    traces = _trace_cache(benchmark, config)
-    result = run_benchmark(
-        spec.policy, benchmark, config, policy_kwargs=spec.kwargs, traces=traces
-    )
-    return bench_name, spec.label, result
-
-
-_TRACES: dict = {}
-
-
-def _trace_cache(benchmark: SpecBenchmark, config: ExperimentConfig):
-    key = (
-        benchmark.name,
-        config.trace_length,
-        config.capacity_blocks,
-        config.seed,
-    )
-    traces = _TRACES.get(key)
-    if traces is None:
-        traces = benchmark.traces(
-            config.trace_length, config.capacity_blocks, seed=config.seed
-        )
-        _TRACES[key] = traces
-    return traces
-
-
 def run_suite(
     policies: Sequence[PolicySpec] = None,
     config: Optional[ExperimentConfig] = None,
     benchmarks: Optional[Sequence[str]] = None,
     baseline_label: str = "LRU",
     workers: Optional[int] = None,
+    cache: Union[None, bool, str, Path] = None,
+    progress: Optional[bool] = None,
 ) -> SuiteResult:
     """Run every policy over every benchmark.
 
-    ``workers`` defaults to the ``REPRO_WORKERS`` environment variable (0 or
-    unset = serial).  Results are identical either way; parallelism only
-    fans the (benchmark, policy) grid over processes.
+    ``workers`` defaults to the ``REPRO_WORKERS`` environment variable (0
+    or unset = serial).  Results are bit-identical for every worker count;
+    parallelism only fans the (benchmark, policy, simpoint) grid over
+    processes — see :mod:`repro.eval.parallel`.
+
+    ``cache`` enables the on-disk result cache (``True`` for the default
+    directory, or a path); ``progress`` forces the stderr progress line on
+    or off (default: only on a TTY).  The returned suite carries the
+    runner metrics (jobs, cache hit rate, sims/sec) as ``suite.metrics``.
     """
     policies = list(policies or STANDARD_POLICIES)
     config = config or default_config()
@@ -180,26 +169,22 @@ def run_suite(
         raise ValueError("policy labels must be unique")
     if baseline_label not in labels:
         raise ValueError(f"baseline {baseline_label!r} must be among the policies")
-
-    tasks = [
-        (bench, spec, config) for bench in benchmarks for spec in policies
-    ]
     if workers is None:
         workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
 
-    results: Dict[str, Dict[str, BenchmarkResult]] = {
-        label: {} for label in labels
-    }
-    if workers and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for bench, label, result in pool.map(_run_one, tasks, chunksize=1):
-                results[label][bench] = result
-    else:
-        for task in tasks:
-            bench, label, result = _run_one(task)
-            results[label][bench] = result
+    matrix = run_matrix(
+        policies,
+        config=config,
+        benchmarks=benchmarks,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+    )
     # Keep benchmark insertion order stable per label.
     ordered = {
-        label: {b: results[label][b] for b in benchmarks} for label in labels
+        label: {b: matrix.results[label][b] for b in benchmarks}
+        for label in labels
     }
-    return SuiteResult(config, ordered, baseline_label=baseline_label)
+    return SuiteResult(
+        config, ordered, baseline_label=baseline_label, metrics=matrix.metrics
+    )

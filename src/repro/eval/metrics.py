@@ -13,11 +13,23 @@ __all__ = [
 ]
 
 
-def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean; raises on non-positive inputs (they are bugs here)."""
+_RAISE = object()
+
+
+def geometric_mean(values: Iterable[float], empty: float = _RAISE) -> float:
+    """Geometric mean; raises on non-positive inputs (they are bugs here).
+
+    An empty input raises by default.  Reporting paths that can
+    legitimately see an empty set (e.g. the memory-intensive subset on a
+    short config, see :func:`memory_intensive_subset`) pass ``empty=`` a
+    sentinel value — typically ``float("nan")`` — to get that back instead
+    of crashing.
+    """
     values = list(values)
     if not values:
-        raise ValueError("geometric mean of nothing")
+        if empty is _RAISE:
+            raise ValueError("geometric mean of nothing")
+        return empty
     log_sum = 0.0
     for v in values:
         if v <= 0:

@@ -1,0 +1,689 @@
+"""Parallel, cached experiment runner.
+
+The full paper reproduction sweeps 29 benchmarks x ~10 policies x multiple
+simpoints through a pure-Python trace simulator; re-simulating everything
+serially for every figure build is the single biggest wall-clock cost in
+the repo.  This module provides:
+
+* :func:`run_matrix` / :class:`ParallelRunner` — fan ``(benchmark, policy,
+  simpoint)`` jobs out over a spawn-safe :mod:`multiprocessing` pool.
+  Workers never receive pickled megabyte trace objects; they regenerate
+  each simpoint's trace deterministically from ``(benchmark name, simpoint
+  index, config.seed)`` using the exact derivation of
+  :meth:`repro.workloads.spec.SpecBenchmark.trace`, so a parallel run is
+  bit-identical to the serial :func:`repro.eval.runner.run_benchmark` path.
+* An on-disk result cache (``~/.cache/repro-eval`` by default, overridable
+  with ``--cache-dir`` / ``REPRO_CACHE_DIR``) keyed by a stable hash of the
+  full :class:`ExperimentConfig`, the policy name and kwargs, the trace
+  seed derivation, and a hash of the simulator source (*code version*), so
+  repeated figure builds hit the cache instead of resimulating and any
+  code or config change invalidates cleanly.
+* A progress/metrics layer (:class:`RunnerMetrics`): jobs done, cache hit
+  rate, simulations per second and per-job wall time, surfaced on stderr
+  and exportable as JSON.
+
+Determinism guarantees
+----------------------
+``run_matrix(..., workers=N)`` returns bit-identical
+:class:`BenchmarkResult` objects for every ``N`` (including the serial
+``workers<=1`` path) because each job is a pure function of its key:
+traces are regenerated from the config seed, a fresh policy instance is
+built per simpoint, and aggregation happens in the parent in a fixed
+order.  Cached results store the raw integer statistics, from which the
+derived floats are recomputed by the :class:`RunResult` constructor, so a
+cache hit is also bit-identical to a fresh simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..policies.registry import make_policy
+from ..workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, benchmark_names
+from .config import ExperimentConfig, default_config
+from .runner import BenchmarkResult, RunResult, run_trace
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "MatrixResult",
+    "ParallelRunner",
+    "ResultCache",
+    "RunnerMetrics",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+    "resolve_cache_dir",
+    "run_matrix",
+]
+
+#: Bump when the cached payload layout changes (invalidates old entries).
+CACHE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Stable cache keys.
+# ----------------------------------------------------------------------
+def _canonical(value):
+    """A JSON-serializable canonical form of ``value`` for hashing.
+
+    Dicts are key-sorted, tuples become lists, numpy scalars collapse to
+    Python numbers, and arbitrary objects are expanded into their class
+    name plus their (sorted) ``__dict__``/``__slots__`` fields — which
+    covers :class:`ExperimentConfig`, :class:`LinearCPIModel` and
+    :class:`repro.core.ipv.IPV` without special cases.  Any field change
+    therefore changes the hash.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    # Numpy scalars (seeds, lengths) without importing numpy eagerly.
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return _canonical(value.item())
+        except (TypeError, ValueError):
+            pass
+    if callable(value) and hasattr(value, "__qualname__"):
+        return {"__callable__": f"{value.__module__}.{value.__qualname__}"}
+    fields = {}
+    if hasattr(value, "__dict__"):
+        fields = dict(vars(value))
+    else:
+        for slot in getattr(type(value), "__slots__", ()) or ():
+            if hasattr(value, slot):
+                fields[slot] = getattr(value, slot)
+    return {
+        "__class__": type(value).__name__,
+        "fields": {k: _canonical(v) for k, v in sorted(fields.items())},
+    }
+
+
+#: Source trees whose content determines simulation results.  ``eval`` is
+#: represented only by the runner/config modules on purpose: reporting or
+#: orchestration changes must not invalidate simulated results.
+_CODE_VERSION_PARTS = (
+    "cache",
+    "core",
+    "policies",
+    "trace",
+    "workloads",
+    "eval/runner.py",
+    "eval/config.py",
+)
+
+_code_version_memo: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the simulator source files that determine results.
+
+    Any edit to the cache model, policies, trace generators, workloads or
+    the runner/config modules changes this hash and therefore invalidates
+    every cached result.  Memoized per process.
+    """
+    global _code_version_memo
+    if _code_version_memo is not None:
+        return _code_version_memo
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    for part in _CODE_VERSION_PARTS:
+        path = root / part
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            try:
+                blob = file.read_bytes()
+            except OSError:  # pragma: no cover - racing file removal
+                continue
+            digest.update(str(file.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(blob)
+            digest.update(b"\0")
+    _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+def cache_key(
+    config: ExperimentConfig,
+    policy_name: str,
+    policy_kwargs: Optional[dict],
+    benchmark: str,
+    simpoint: int,
+    collect_miss_positions: bool = False,
+) -> str:
+    """Stable hex key for one ``(benchmark, policy, simpoint)`` job.
+
+    Identical inputs produce identical keys in any process on any machine
+    (the payload is canonical JSON, not :func:`hash`); changing any
+    :class:`ExperimentConfig` field, the policy name, any policy kwarg,
+    the seed, or the simulator source changes the key.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_version(),
+        "config": _canonical(config),
+        "benchmark": benchmark,
+        "simpoint": int(simpoint),
+        "policy": policy_name,
+        "policy_kwargs": _canonical(dict(policy_kwargs or {})),
+        "miss_positions": bool(collect_miss_positions),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache.
+# ----------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-eval``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-eval").expanduser()
+
+
+def resolve_cache_dir(cache: Union[None, bool, str, Path]) -> Optional[Path]:
+    """Normalize a user-facing cache setting to a directory (or None).
+
+    ``None``/``False`` disable caching, ``True`` selects the default
+    directory, and a string/path selects an explicit directory.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return default_cache_dir()
+    return Path(cache).expanduser()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` payloads.
+
+    One JSON file per key under ``root/<key[:2]>/<key>.json``; writes are
+    atomic (temp file + ``os.replace``) so concurrent runs sharing a cache
+    directory never observe torn entries.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).expanduser()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        return _result_from_dict(payload["result"])
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA, "key": key, "result": _result_to_dict(result)}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - cache dir unwritable
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover
+                pass
+        return removed
+
+
+def _result_to_dict(result: RunResult) -> dict:
+    return {
+        "trace_name": result.trace_name,
+        "policy_name": result.policy_name,
+        "accesses": result.accesses,
+        "misses": result.misses,
+        "instructions": result.instructions,
+        "miss_positions": result.miss_positions,
+    }
+
+
+def _result_from_dict(payload: dict) -> RunResult:
+    return RunResult(
+        payload["trace_name"],
+        payload["policy_name"],
+        accesses=payload["accesses"],
+        misses=payload["misses"],
+        instructions=payload["instructions"],
+        miss_positions=payload["miss_positions"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Metrics and progress.
+# ----------------------------------------------------------------------
+class RunnerMetrics:
+    """Counters for one or more matrix runs (cumulative on a runner)."""
+
+    def __init__(self):
+        self.jobs_total = 0
+        self.jobs_done = 0
+        self.cache_hits = 0
+        self.simulated = 0
+        self.wall_time = 0.0
+        self.job_seconds: List[float] = []
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.jobs_done if self.jobs_done else 0.0
+
+    @property
+    def sims_per_sec(self) -> float:
+        return self.simulated / self.wall_time if self.wall_time > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-exportable snapshot (per-job wall times included)."""
+        return {
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "cache_hit_rate": self.cache_hit_rate,
+            "sims_per_sec": self.sims_per_sec,
+            "wall_time_sec": self.wall_time,
+            "job_seconds": list(self.job_seconds),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_done}/{self.jobs_total} jobs, "
+            f"{self.cache_hits} cached ({self.cache_hit_rate:.0%}), "
+            f"{self.simulated} simulated, "
+            f"{self.sims_per_sec:.1f} sims/s, "
+            f"{self.wall_time:.1f}s wall"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunnerMetrics({self.summary()})"
+
+
+class _Progress:
+    """Throttled single-line progress reporting on stderr."""
+
+    def __init__(self, enabled: bool, stream=None, min_interval: float = 0.2):
+        self.enabled = enabled
+        self.stream = stream or sys.stderr
+        self.min_interval = min_interval
+        self._last = 0.0
+
+    def update(self, metrics: RunnerMetrics, final: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not final and now - self._last < self.min_interval:
+            return
+        self._last = now
+        end = "\n" if final else "\r"
+        print(f"[repro-eval] {metrics.summary()}", end=end, file=self.stream, flush=True)
+
+
+# ----------------------------------------------------------------------
+# Job execution (shared by the serial path and the worker processes).
+# ----------------------------------------------------------------------
+def _config_fields(config: ExperimentConfig) -> dict:
+    """The picklable primitives a worker needs to rebuild the config.
+
+    The timing model is deliberately omitted: it never influences
+    simulation (only post-hoc CPI estimates in the parent).
+    """
+    return {
+        "num_sets": config.num_sets,
+        "assoc": config.assoc,
+        "trace_length": config.trace_length,
+        "warmup_fraction": config.warmup_fraction,
+        "seed": config.seed,
+    }
+
+
+#: Worker-local trace memo so consecutive jobs for the same simpoint (one
+#: per policy) do not regenerate the trace.  Bounded to keep memory flat.
+_TRACE_MEMO: Dict[tuple, object] = {}
+_TRACE_MEMO_LIMIT = 32
+
+
+def _simpoint_trace(bench_name: str, simpoint: int, config: ExperimentConfig):
+    key = (
+        bench_name,
+        simpoint,
+        config.trace_length,
+        config.capacity_blocks,
+        config.seed,
+    )
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        benchmark = SPEC_BENCHMARKS[bench_name]
+        trace = benchmark.trace(
+            simpoint, config.trace_length, config.capacity_blocks, seed=config.seed
+        )
+        while len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
+
+
+def _execute_job(payload: tuple) -> Tuple[int, dict, float]:
+    """Run one ``(benchmark, policy, simpoint)`` job; top-level for spawn.
+
+    Returns ``(job index, RunResult payload, wall seconds)``.  Traces are
+    regenerated from the config seed — never unpickled — so results match
+    the serial path bit for bit.
+    """
+    (index, bench_name, simpoint, policy_name, policy_kwargs, fields, collect) = payload
+    started = time.perf_counter()
+    config = ExperimentConfig(apply_env_scale=False, **fields)
+    trace = _simpoint_trace(bench_name, simpoint, config)
+    policy = make_policy(
+        policy_name, config.num_sets, config.assoc, **(policy_kwargs or {})
+    )
+    result = run_trace(policy, trace, config, collect_miss_positions=collect)
+    return index, _result_to_dict(result), time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# The runner.
+# ----------------------------------------------------------------------
+class _Job:
+    __slots__ = ("index", "label", "bench", "simpoint", "policy", "kwargs", "key")
+
+    def __init__(self, index, label, bench, simpoint, policy, kwargs, key):
+        self.index = index
+        self.label = label
+        self.bench = bench
+        self.simpoint = simpoint
+        self.policy = policy
+        self.kwargs = kwargs
+        self.key = key
+
+
+class MatrixResult:
+    """Output of :func:`run_matrix`: result grid plus run metrics."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        results: Dict[str, Dict[str, BenchmarkResult]],
+        metrics: RunnerMetrics,
+    ):
+        self.config = config
+        self.results = results
+        self.metrics = metrics
+
+    def get(self, label: str, benchmark: str) -> BenchmarkResult:
+        return self.results[label][benchmark]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MatrixResult(labels={list(self.results)}, {self.metrics.summary()})"
+
+
+def _normalize_spec(spec) -> Tuple[str, str, dict]:
+    """Accept ``PolicySpec``, ``(label, policy[, kwargs])`` or a bare name."""
+    if isinstance(spec, str):
+        return spec, spec, {}
+    label, policy = spec[0], spec[1]
+    kwargs = dict(spec[2]) if len(spec) > 2 and spec[2] else {}
+    return label, policy, kwargs
+
+
+class ParallelRunner:
+    """Reusable experiment runner: worker pool + result cache + metrics.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``0``/``1`` run serially in-process (the
+        bit-identical reference path); ``N > 1`` fans jobs over a
+        spawn-context :class:`ProcessPoolExecutor`.
+    cache:
+        ``None``/``False`` — no caching; ``True`` — the default directory
+        (:func:`default_cache_dir`); a path — that directory.
+    progress:
+        ``True``/``False`` to force progress lines on stderr; ``None``
+        (default) enables them only when stderr is a TTY.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[None, bool, str, Path] = None,
+        progress: Optional[bool] = None,
+    ):
+        self.workers = int(workers or 0)
+        cache_dir = resolve_cache_dir(cache)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if progress is None:
+            progress = bool(getattr(sys.stderr, "isatty", lambda: False)())
+        self.progress = _Progress(progress)
+        self.metrics = RunnerMetrics()
+
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        policies: Sequence,
+        config: Optional[ExperimentConfig] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        collect_miss_positions: bool = False,
+    ) -> MatrixResult:
+        """Run every policy over every benchmark's every simpoint.
+
+        Returns a :class:`MatrixResult` whose ``results[label][bench]``
+        are bit-identical to serial :func:`run_benchmark` output for any
+        worker count.
+        """
+        config = config or default_config()
+        bench_names = list(benchmarks or benchmark_names())
+        specs = [_normalize_spec(spec) for spec in policies]
+        labels = [label for label, _, _ in specs]
+        if len(set(labels)) != len(labels):
+            raise ValueError("policy labels must be unique")
+        for name in bench_names:
+            if name not in SPEC_BENCHMARKS:
+                raise ValueError(f"unknown benchmark {name!r}")
+
+        jobs: List[_Job] = []
+        for bench_name in bench_names:
+            benchmark = SPEC_BENCHMARKS[bench_name]
+            for label, policy, kwargs in specs:
+                for simpoint in range(len(benchmark.simpoints)):
+                    jobs.append(
+                        _Job(
+                            len(jobs),
+                            label,
+                            bench_name,
+                            simpoint,
+                            policy,
+                            kwargs,
+                            cache_key(
+                                config, policy, kwargs, bench_name, simpoint,
+                                collect_miss_positions,
+                            ),
+                        )
+                    )
+
+        run_results = self._execute(jobs, config, collect_miss_positions)
+
+        # Deterministic aggregation, independent of completion order.
+        results: Dict[str, Dict[str, BenchmarkResult]] = {l: {} for l in labels}
+        by_cell: Dict[Tuple[str, str], List[RunResult]] = {}
+        for job in jobs:
+            by_cell.setdefault((job.label, job.bench), []).append(
+                run_results[job.index]
+            )
+        for bench_name in bench_names:
+            benchmark = SPEC_BENCHMARKS[bench_name]
+            for label, policy, _ in specs:
+                results[label][bench_name] = BenchmarkResult(
+                    bench_name, policy, by_cell[(label, bench_name)],
+                    benchmark.weights(),
+                )
+        return MatrixResult(config, results, self.metrics)
+
+    # ------------------------------------------------------------------
+    def run_benchmark(
+        self,
+        policy_name: str,
+        benchmark: Union[str, SpecBenchmark],
+        config: Optional[ExperimentConfig] = None,
+        policy_kwargs: Optional[dict] = None,
+        collect_miss_positions: bool = False,
+    ) -> BenchmarkResult:
+        """Cached drop-in for :func:`repro.eval.runner.run_benchmark`.
+
+        Accepts a registry benchmark (name or object).  Non-registry
+        benchmark objects fall back to the serial uncached runner, since
+        workers could not regenerate their traces.
+        """
+        config = config or default_config()
+        if isinstance(benchmark, SpecBenchmark):
+            registered = SPEC_BENCHMARKS.get(benchmark.name)
+            if registered is not benchmark:
+                from .runner import run_benchmark as serial_run_benchmark
+
+                return serial_run_benchmark(
+                    policy_name, benchmark, config,
+                    policy_kwargs=policy_kwargs,
+                    collect_miss_positions=collect_miss_positions,
+                )
+            name = benchmark.name
+        else:
+            name = benchmark
+        matrix = self.run_matrix(
+            [(policy_name, policy_name, policy_kwargs or {})],
+            config=config,
+            benchmarks=[name],
+            collect_miss_positions=collect_miss_positions,
+        )
+        return matrix.get(policy_name, name)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        jobs: Sequence[_Job],
+        config: ExperimentConfig,
+        collect_miss_positions: bool,
+    ) -> Dict[int, RunResult]:
+        metrics = self.metrics
+        metrics.jobs_total += len(jobs)
+        base_wall = metrics.wall_time
+        started = time.monotonic()
+        results: Dict[int, RunResult] = {}
+
+        def account(seconds: float) -> None:
+            metrics.simulated += 1
+            metrics.job_seconds.append(seconds)
+
+        pending: List[_Job] = []
+        for job in jobs:
+            cached = self.cache.get(job.key) if self.cache is not None else None
+            if cached is not None:
+                results[job.index] = cached
+                metrics.jobs_done += 1
+                metrics.cache_hits += 1
+                self.progress.update(metrics)
+            else:
+                pending.append(job)
+
+        fields = _config_fields(config)
+        payloads = [
+            (j.index, j.bench, j.simpoint, j.policy, j.kwargs, fields,
+             collect_miss_positions)
+            for j in pending
+        ]
+        by_index = {j.index: j for j in pending}
+
+        if self.workers > 1 and len(pending) > 1:
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+            max_workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            ) as pool:
+                futures = {pool.submit(_execute_job, p) for p in payloads}
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, payload, seconds = future.result()
+                        result = _result_from_dict(payload)
+                        results[index] = result
+                        metrics.jobs_done += 1
+                        account(seconds)
+                        if self.cache is not None:
+                            self.cache.put(by_index[index].key, result)
+                        metrics.wall_time = base_wall + (time.monotonic() - started)
+                        self.progress.update(metrics)
+        else:
+            for payload in payloads:
+                index, result_dict, seconds = _execute_job(payload)
+                result = _result_from_dict(result_dict)
+                results[index] = result
+                metrics.jobs_done += 1
+                account(seconds)
+                if self.cache is not None:
+                    self.cache.put(by_index[index].key, result)
+                metrics.wall_time = base_wall + (time.monotonic() - started)
+                self.progress.update(metrics)
+
+        metrics.wall_time = base_wall + (time.monotonic() - started)
+        self.progress.update(metrics, final=True)
+        return results
+
+
+def run_matrix(
+    policies: Sequence,
+    config: Optional[ExperimentConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    cache: Union[None, bool, str, Path] = None,
+    progress: Optional[bool] = None,
+    collect_miss_positions: bool = False,
+) -> MatrixResult:
+    """One-shot convenience wrapper around :class:`ParallelRunner`.
+
+    ``policies`` accepts :class:`repro.eval.experiments.PolicySpec`
+    instances, ``(label, policy_name[, kwargs])`` tuples, or bare policy
+    names.  See :class:`ParallelRunner` for ``workers`` / ``cache`` /
+    ``progress`` semantics.
+    """
+    runner = ParallelRunner(workers=workers, cache=cache, progress=progress)
+    return runner.run_matrix(
+        policies,
+        config=config,
+        benchmarks=benchmarks,
+        collect_miss_positions=collect_miss_positions,
+    )

@@ -12,7 +12,13 @@ from typing import Dict, List, Optional, Sequence
 from .experiments import SuiteResult
 from .metrics import geometric_mean
 
-__all__ = ["format_table", "speedup_table", "normalized_mpki_table", "format_overhead"]
+__all__ = [
+    "format_table",
+    "speedup_table",
+    "normalized_mpki_table",
+    "memory_intensive_summary",
+    "format_overhead",
+]
 
 
 def format_table(
@@ -54,7 +60,11 @@ def speedup_table(
     speedups = {label: suite.speedups(label) for label in labels}
     rows = [[b] + [speedups[l][b] for l in labels] for b in order]
     rows.append(
-        ["GEOMEAN"] + [geometric_mean(speedups[l].values()) for l in labels]
+        ["GEOMEAN"]
+        + [
+            geometric_mean(speedups[l].values(), empty=float("nan"))
+            for l in labels
+        ]
     )
     return format_table(["benchmark"] + list(labels), rows)
 
@@ -72,9 +82,45 @@ def normalized_mpki_table(
     rows = [[b] + [norm[l][b] for l in labels] for b in order]
     rows.append(
         ["GEOMEAN"]
-        + [geometric_mean(max(v, 1e-6) for v in norm[l].values()) for l in labels]
+        + [
+            geometric_mean(
+                (max(v, 1e-6) for v in norm[l].values()), empty=float("nan")
+            )
+            for l in labels
+        ]
     )
     return format_table(["benchmark"] + list(labels), rows)
+
+
+def memory_intensive_summary(
+    suite: SuiteResult,
+    labels: Optional[Sequence[str]] = None,
+    drrip_label: str = "DRRIP",
+) -> str:
+    """Per-policy geomean speedup on the memory-intensive subset.
+
+    The subset (benchmarks where DRRIP beats LRU by > 1 %) can
+    legitimately be *empty* on short/scaled-down configs; this renders an
+    explanatory note instead of crashing on an empty geometric mean —
+    every reporting path should use this rather than recomputing the
+    subset by hand.
+    """
+    labels = list(
+        labels or [l for l in suite.labels if l != suite.baseline_label]
+    )
+    subset = suite.memory_intensive(drrip_label=drrip_label)
+    lines = [f"memory-intensive subset ({len(subset)} benchmarks)"]
+    if not subset:
+        lines.append(
+            "  (empty: no benchmark gains >1% under "
+            f"{drrip_label} at this config — lengthen traces or raise "
+            "REPRO_SCALE)"
+        )
+        return "\n".join(lines)
+    for label in labels:
+        value = suite.geomean_speedup(label, benchmarks=subset)
+        lines.append(f"  {label:<12} geomean speedup {value:.4f}")
+    return "\n".join(lines)
 
 
 def format_overhead(rows: Sequence[Dict[str, float]]) -> str:

@@ -79,12 +79,19 @@ class BenchmarkResult:
         self.policy_name = policy_name
         self.runs = list(runs)
         self.weights = list(weights)
-        # Weighted miss count and MPKI: the weights are fractions of total
-        # executed instructions each simpoint represents.
+        # The weights are the fractions of total executed instructions each
+        # simpoint represents, so misses and instructions are weighted sums.
+        # MPKI is then defined as *weighted misses over weighted
+        # instructions* — a single consistent ratio.  (Averaging per-run
+        # MPKIs by weight is NOT equivalent when simpoints have different
+        # instruction counts: it double-weights short simpoints and breaks
+        # the ``1000 * misses / instructions == mpki`` invariant.)
         self.misses = sum(r.misses * w for r, w in zip(runs, weights))
-        self.mpki = sum(r.mpki * w for r, w in zip(runs, weights))
         self.instructions = sum(
             r.instructions * w for r, w in zip(runs, weights)
+        )
+        self.mpki = (
+            1000.0 * self.misses / self.instructions if self.instructions else 0.0
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -124,12 +131,20 @@ def run_trace(
             access(addresses[i], pcs[i])
     cache.reset_stats()
 
-    measured_instructions = max(
-        1, int(trace.instructions * (1.0 - config.warmup_fraction))
-    )
     # Real instruction positions when the trace is annotated (see
     # repro.trace.assign_instruction_positions); uniform spacing otherwise.
     positions = trace.position_list()
+    if positions is not None and warmup < len(addresses):
+        # The measured window starts at the instruction position of the
+        # first measured access and runs to the end of the trace.  Using
+        # the uniform estimate here would make the MPKI denominator
+        # disagree with the ``miss_positions`` timeline whenever the
+        # annotation is non-uniform (bursty traces).
+        measured_instructions = max(1, trace.instructions - positions[warmup])
+    else:
+        measured_instructions = max(
+            1, int(trace.instructions * (1.0 - config.warmup_fraction))
+        )
     instructions_per_access = trace.instructions / max(1, len(addresses))
     miss_positions: Optional[List[int]] = [] if collect_miss_positions else None
 

@@ -70,6 +70,24 @@ class SpecBenchmark:
         self.instructions_per_access = instructions_per_access
         self.archetype = archetype
 
+    def trace(self, index: int, length: int, capacity: int, seed: int = 0) -> Trace:
+        """Generate the trace of one simpoint.
+
+        The per-simpoint seed derivation (``seed * 1009 + index * 31 + 7``)
+        is the single source of truth here: parallel workers regenerate
+        exactly this trace from ``(benchmark name, index, seed)`` instead
+        of receiving a pickled copy, which is what makes parallel runs
+        bit-identical to serial ones.
+        """
+        sp = self.simpoints[index]
+        trace = sp.build(length, capacity, seed * 1009 + index * 31 + 7)
+        return Trace(
+            trace.addresses,
+            trace.pcs,
+            instructions=int(length * self.instructions_per_access),
+            name=f"{self.name}.sp{index}",
+        )
+
     def traces(self, length: int, capacity: int, seed: int = 0) -> List[Trace]:
         """Generate one trace per simpoint.
 
@@ -77,18 +95,10 @@ class SpecBenchmark:
         simpoint.  The benchmark's intensity is applied to every simpoint's
         instruction count.
         """
-        out = []
-        for index, sp in enumerate(self.simpoints):
-            trace = sp.build(length, capacity, seed * 1009 + index * 31 + 7)
-            out.append(
-                Trace(
-                    trace.addresses,
-                    trace.pcs,
-                    instructions=int(length * self.instructions_per_access),
-                    name=f"{self.name}.sp{index}",
-                )
-            )
-        return out
+        return [
+            self.trace(index, length, capacity, seed)
+            for index in range(len(self.simpoints))
+        ]
 
     def weights(self) -> List[float]:
         return [sp.weight for sp in self.simpoints]

@@ -62,15 +62,49 @@ class TestLeaderAssignment:
         b = assign_leader_sets(256, 2, 8, seed=2)
         assert a != b
 
-    def test_too_many_leaders_rejected(self):
+    def test_too_many_leaders_clamped(self):
+        # An oversized request degrades to num_sets // num_policies leaders
+        # per policy instead of raising (tiny scaled-down geometries).
+        leaders = assign_leader_sets(16, 4, 32)
+        for policy in range(4):
+            assert leaders.count(policy) == 4
+        assert leaders.count(-1) == 0
+
+    def test_tiny_geometry_degrades_to_followers(self):
+        # num_sets=2 with 4 policies cannot give every policy a leader;
+        # the auto default degrades to zero leaders (all followers).
+        leaders = assign_leader_sets(2, 4)
+        assert leaders == [-1, -1]
+        # An explicit request is clamped the same way.
+        assert assign_leader_sets(2, 4, 1) == [-1, -1]
+        # Three sets, two policies: one leader each, one follower.
+        leaders = assign_leader_sets(3, 2, 5)
+        assert sorted(leaders) == [-1, 0, 1]
+
+    def test_negative_leaders_rejected(self):
         with pytest.raises(ValueError):
-            assign_leader_sets(16, 4, 32)
+            assign_leader_sets(16, 4, -1)
 
     def test_default_scaling(self):
         assert default_leaders_per_policy(4096, 2) == 32
         assert default_leaders_per_policy(4096, 4) == 32
         assert default_leaders_per_policy(64, 4) == 2
         assert default_leaders_per_policy(256, 4) == 8
+        # Tiny geometries: never force a leader count that cannot fit.
+        assert default_leaders_per_policy(2, 4) == 0
+        assert default_leaders_per_policy(4, 4) == 1
+        assert default_leaders_per_policy(1, 2) == 0
+
+    def test_tiny_geometry_selectors_construct(self):
+        # Seed code raised here (max(1, ...) forced 1 leader/policy while
+        # needed=4 > num_sets=2); now all sets become followers.
+        sel = TournamentSelector(2)
+        assert [sel.leader_policy(s) for s in range(2)] == [-1, -1]
+        sel.record_miss(0)  # follower miss: counters must not move
+        assert (sel.pair01.value, sel.pair23.value, sel.meta.value) == (0, 0, 0)
+        assert sel.policy_for_set(0) == sel.selected()
+        duel = DuelSelector(1)
+        assert duel.policy_for_set(0) == duel.selected()
 
 
 class TestDuelSelector:

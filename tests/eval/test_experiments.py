@@ -1,5 +1,7 @@
 """Tests for the suite driver and its paper metrics."""
 
+import math
+
 import pytest
 
 from repro.eval import PolicySpec, default_config, run_suite
@@ -58,6 +60,46 @@ class TestSuiteResult:
 
     def test_geomean(self, suite):
         assert suite.geomean_speedup("4-DGIPPR") > 1.0
+
+    def test_metrics_attached(self, suite):
+        assert suite.metrics is not None
+        assert suite.metrics.jobs_done == suite.metrics.jobs_total
+
+
+class TestEmptySubset:
+    """Satellite: reporting must survive an empty memory-intensive subset
+    instead of crashing on an empty geometric mean."""
+
+    def test_geomean_over_explicit_empty_list_is_nan(self, suite):
+        # Regression guard: the seed silently fell back to the full suite
+        # when passed an empty benchmark list.
+        value = suite.geomean_speedup("DRRIP", benchmarks=[])
+        assert math.isnan(value)
+
+    def test_geomean_none_means_full_suite(self, suite):
+        assert suite.geomean_speedup("DRRIP", benchmarks=None) == (
+            suite.geomean_speedup("DRRIP")
+        )
+
+    def test_memory_intensive_summary_empty(self):
+        from repro.eval import memory_intensive_summary
+
+        small = run_suite(
+            [PolicySpec("LRU", "lru"), PolicySpec("DRRIP", "drrip")],
+            config=QUICK,
+            benchmarks=["453.povray"],  # tiny working set: no >1% gain
+        )
+        assert small.memory_intensive() == []
+        text = memory_intensive_summary(small)
+        assert "empty" in text
+        assert "geomean" not in text  # no numbers rendered from nothing
+
+    def test_memory_intensive_summary_nonempty(self, suite):
+        from repro.eval import memory_intensive_summary
+
+        text = memory_intensive_summary(suite, labels=("DRRIP", "4-DGIPPR"))
+        assert "DRRIP" in text and "4-DGIPPR" in text
+        assert "geomean" in text
 
 
 class TestRunSuiteValidation:

@@ -26,6 +26,15 @@ class TestGeometricMean:
         with pytest.raises(ValueError):
             geometric_mean([])
 
+    def test_empty_sentinel_returned(self):
+        """Satellite: callers may opt into a default instead of a crash."""
+        assert math.isnan(geometric_mean([], empty=float("nan")))
+        assert geometric_mean([], empty=1.0) == 1.0
+        assert geometric_mean(iter(()), empty=None) is None
+
+    def test_sentinel_ignored_when_nonempty(self):
+        assert geometric_mean([2, 8], empty=123.0) == pytest.approx(4.0)
+
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])

@@ -46,6 +46,74 @@ class TestRunTrace:
         assert result.misses < result.accesses  # MIN retains part of the loop
 
 
+class TestMeasuredInstructions:
+    """Satellite: position-annotated traces use the *real* measured-window
+    instruction count, not the uniform estimate."""
+
+    def test_positions_drive_instruction_count(self):
+        config = default_config(warmup_fraction=0.5)
+        # 100 accesses over 10k instructions, but bunched: the first 50
+        # land in instructions 0-49, the measured 50 in 9000-9049.  The
+        # uniform estimate would claim 5000 measured instructions; the
+        # annotation says 1000.
+        positions = list(range(50)) + list(range(9000, 9050))
+        trace = Trace(
+            list(range(100)), instructions=10_000, positions=positions
+        )
+        result = run_trace(TrueLRUPolicy(64, 16), trace, config)
+        assert result.instructions == 10_000 - positions[50]
+        assert result.instructions == 1000
+
+    def test_unannotated_trace_keeps_uniform_estimate(self):
+        config = default_config(warmup_fraction=0.5)
+        trace = Trace(list(range(100)), instructions=10_000)
+        result = run_trace(TrueLRUPolicy(64, 16), trace, config)
+        assert result.instructions == 5000
+
+    def test_mpki_denominator_matches_miss_positions_window(self):
+        config = default_config(warmup_fraction=0.5)
+        positions = list(range(50)) + list(range(9000, 9050))
+        trace = Trace(
+            list(range(100)), instructions=10_000, positions=positions
+        )
+        result = run_trace(
+            TrueLRUPolicy(64, 16), trace, config,
+            collect_miss_positions=True,
+        )
+        # Every miss position (absolute instruction coordinates) sits
+        # inside the measured window the denominator describes.
+        window = 10_000 - positions[50]
+        assert all(
+            positions[50] <= p < 10_000 for p in result.miss_positions
+        )
+        assert result.mpki == pytest.approx(
+            1000.0 * result.misses / window
+        )
+
+
+class TestTinyGeometry:
+    """Satellite: set-dueling policies degrade gracefully on tiny caches
+    instead of raising from leader-set assignment."""
+
+    def test_dgippr_runs_on_two_set_cache(self):
+        config = default_config(trace_length=2000).scaled(num_sets=2)
+        policy = make_policy("dgippr", config.num_sets, config.assoc)
+        result = run_trace(policy, streaming(2000), config)
+        assert result.accesses > 0
+        assert 0 <= result.misses <= result.accesses
+
+    def test_drrip_runs_on_two_set_cache(self):
+        config = default_config(trace_length=2000).scaled(num_sets=2)
+        policy = make_policy("drrip", config.num_sets, config.assoc)
+        result = run_trace(policy, streaming(2000), config)
+        assert result.accesses > 0
+
+    def test_tiny_benchmark_sweep(self):
+        config = default_config(trace_length=2000).scaled(num_sets=2)
+        result = run_benchmark("dgippr", get_benchmark("429.mcf"), config)
+        assert result.misses >= 0
+
+
 class TestRunBenchmark:
     def test_weighted_aggregation(self):
         config = default_config(trace_length=4000)
@@ -72,3 +140,42 @@ class TestRunBenchmark:
     def test_mismatched_weights_rejected(self):
         with pytest.raises(ValueError):
             BenchmarkResult("x", "lru", [], [1.0])
+
+
+class TestWeightedMpki:
+    """Satellite: aggregate MPKI must be weighted misses over weighted
+    instructions — not a weighted average of per-run MPKIs, which
+    disagrees whenever simpoints have unequal instruction counts."""
+
+    def test_unequal_simpoint_lengths(self):
+        runs = [
+            RunResult("a", "lru", accesses=100, misses=10,
+                      instructions=1_000),
+            RunResult("b", "lru", accesses=100, misses=50,
+                      instructions=100_000),
+        ]
+        agg = BenchmarkResult("x", "lru", runs, [0.5, 0.5])
+        assert agg.mpki == pytest.approx(
+            1000.0 * agg.misses / agg.instructions
+        )
+        # Regression guard: the buggy definition averaged per-run MPKIs.
+        buggy = 0.5 * runs[0].mpki + 0.5 * runs[1].mpki
+        assert abs(agg.mpki - buggy) > 1.0
+
+    def test_equal_lengths_unchanged(self):
+        """With equal instruction counts both definitions coincide, so the
+        fix is value-neutral for the registry benchmarks."""
+        runs = [
+            RunResult("a", "lru", accesses=100, misses=10,
+                      instructions=10_000),
+            RunResult("b", "lru", accesses=100, misses=50,
+                      instructions=10_000),
+        ]
+        agg = BenchmarkResult("x", "lru", runs, [0.25, 0.75])
+        averaged = 0.25 * runs[0].mpki + 0.75 * runs[1].mpki
+        assert agg.mpki == pytest.approx(averaged)
+
+    def test_zero_instructions_gives_zero_mpki(self):
+        runs = [RunResult("a", "lru", accesses=0, misses=0, instructions=0)]
+        agg = BenchmarkResult("x", "lru", runs, [1.0])
+        assert agg.mpki == 0.0
