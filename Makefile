@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick smoke-parallel figures wn-vectors examples clean
+.PHONY: install test bench bench-quick smoke-parallel smoke-obs figures wn-vectors examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,13 @@ bench-quick:
 # and that a warm cache rerun performs zero simulations.
 smoke-parallel:
 	$(PYTHON) scripts/smoke_parallel.py
+
+# End-to-end observability check: a traced run's JSONL validates against
+# the event schema and replays to the untraced counts, the Prometheus
+# export parses, a provenance manifest is written, and disabled tracing
+# stays within its 5% hot-path overhead budget.
+smoke-obs:
+	$(PYTHON) scripts/smoke_obs.py
 
 figures:
 	$(PYTHON) scripts/export_results.py --outdir results

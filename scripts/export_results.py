@@ -17,6 +17,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.core.vectors import DGIPPR2_WI_VECTORS, DGIPPR4_WI_VECTORS  # noqa: E402
 from repro.eval import PolicySpec, default_config, run_suite  # noqa: E402
+from repro.obs import build_manifest, write_manifest  # noqa: E402
 
 
 FIGURES = {
@@ -81,7 +82,12 @@ def export_figure(name, specs, metric, config, outdir, workers, cache=None):
             writer.writerow(
                 [bench] + [f"{values[label][bench]:.6f}" for label in labels]
             )
-    print(f"wrote {path}")
+    write_manifest(path, build_manifest(
+        config=config,
+        extra={"figure": name, "metric": metric,
+               "policies": [s.label for s in specs]},
+    ))
+    print(f"wrote {path} (+ manifest)")
 
 
 def main():

@@ -33,6 +33,7 @@ from repro.eval import (  # noqa: E402
     run_suite,
     speedup_table,
 )
+from repro.obs import build_manifest, write_manifest  # noqa: E402
 
 PAPER_NUMBERS = """\
 Paper reference points (4MB/16-way, SPEC CPU 2006): 4-DGIPPR +5.61%,
@@ -136,7 +137,14 @@ def main():
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w") as handle:
         handle.write(report)
-    print(f"wrote {args.out}")
+    # Provenance sidecar: every number in the report traces back to the
+    # exact config/code that produced it.
+    manifest = build_manifest(
+        config=config, extra={"report": os.path.abspath(args.out),
+                              "workers": args.workers},
+    )
+    write_manifest(args.out, manifest)
+    print(f"wrote {args.out} (+ manifest)")
     if args.metrics_json:
         os.makedirs(
             os.path.dirname(os.path.abspath(args.metrics_json)), exist_ok=True

@@ -5,6 +5,13 @@ delegated to a :class:`~repro.policies.base.ReplacementPolicy`.  Addresses
 are byte addresses by default; pass ``block_size=1`` to feed pre-blocked
 trace addresses directly (the usual mode for LLC trace experiments, matching
 the paper's trace-driven fitness simulator).
+
+Observability: :meth:`SetAssociativeCache.attach_tracer` attaches a
+:class:`repro.obs.tracer.Tracer`; the traced access path emits
+hit/promotion/miss/eviction/insertion/bypass/duel-flip events with recency
+positions before/after and the set-dueling selection.  With no tracer
+attached the hot path pays a single ``is not None`` test (budget enforced
+by :mod:`repro.obs.overhead` and ``make smoke-obs``).
 """
 
 from __future__ import annotations
@@ -67,6 +74,32 @@ class SetAssociativeCache:
         self._way_of = [dict() for _ in range(num_sets)]
         self.stats = CacheStats()
         self._ctx = AccessContext()
+        # Observability (attach_tracer); None keeps the hot path untouched
+        # beyond a single identity test per access.
+        self._tracer = None
+        self._position_of = None
+        self._selector = None
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer):
+        """Route this cache's accesses through ``tracer`` (obs layer).
+
+        Returns the tracer for chaining.  Policy introspection handles —
+        ``position_of`` (recency positions for the position-before/after
+        fields) and ``selector`` (set-dueling state for duel-flip and PSEL
+        events) — are resolved once here, never on the hot path.
+        """
+        self._tracer = tracer
+        self._position_of = getattr(self.policy, "position_of", None)
+        self._selector = getattr(self.policy, "selector", None)
+        return tracer
+
+    def detach_tracer(self):
+        """Stop tracing; returns the previously attached tracer (or None)."""
+        tracer, self._tracer = self._tracer, None
+        return tracer
 
     # ------------------------------------------------------------------
     # Geometry helpers.
@@ -99,6 +132,8 @@ class SetAssociativeCache:
         On a miss the block is always allocated (write-allocate); the paper's
         policies (PDP without bypass included) never bypass the cache.
         """
+        if self._tracer is not None:
+            return self._traced_access(address, pc, is_write, next_use)
         set_index, tag = self.locate(address)
         ctx = self._ctx
         ctx.pc = pc
@@ -141,6 +176,107 @@ class SetAssociativeCache:
         way_of[tag] = way
         self._dirty[set_index][way] = is_write
         self.policy.on_fill(set_index, way, ctx)
+        return False
+
+    def _traced_access(
+        self,
+        address: int,
+        pc: int = 0,
+        is_write: bool = False,
+        next_use: Optional[int] = None,
+    ) -> bool:
+        """The instrumented twin of :meth:`access`.
+
+        Must perform *exactly* the same state transitions in the same
+        order (a regression test asserts traced and untraced runs produce
+        identical statistics); the only additions are read-only probes
+        (``position_of``, ``selector.selected``) and event emission.
+        """
+        set_index, tag = self.locate(address)
+        ctx = self._ctx
+        ctx.pc = pc
+        ctx.is_write = is_write
+        ctx.next_use = next_use
+        ctx.access_index += 1
+        ctx.block = address >> self._offset_bits
+
+        tracer = self._tracer
+        policy = self.policy
+        position_of = self._position_of
+        selector = self._selector
+        access_index = ctx.access_index
+        block = ctx.block
+        selected = (
+            selector.policy_for_set(set_index) if selector is not None else None
+        )
+
+        stats = self.stats
+        stats.accesses += 1
+        way_of = self._way_of[set_index]
+        way = way_of.get(tag)
+        if way is not None:
+            stats.hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            pos_before = (
+                position_of(set_index, way) if position_of is not None else None
+            )
+            policy.on_hit(set_index, way, ctx)
+            pos_after = (
+                position_of(set_index, way) if position_of is not None else None
+            )
+            tracer.hit(
+                access_index, set_index, way, pos_before, pos_after,
+                selected, block,
+            )
+            tracer.psel_tick(access_index, selector)
+            return True
+
+        stats.misses += 1
+        duel_before = selector.selected() if selector is not None else None
+        policy.on_miss(set_index, ctx)
+        if selector is not None:
+            duel_after = selector.selected()
+            if duel_after != duel_before:
+                tracer.duel_flip(access_index, set_index, duel_before, duel_after)
+        tracer.miss(access_index, set_index, selected, block)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(None)
+        except ValueError:
+            if policy.should_bypass(set_index, ctx):
+                stats.bypasses += 1
+                tracer.bypass(access_index, set_index, selected, block)
+                tracer.psel_tick(access_index, selector)
+                return False
+            way = policy.victim(set_index, ctx)
+            if not 0 <= way < self.assoc:
+                raise RuntimeError(
+                    f"{policy.name} returned invalid victim way {way}"
+                )
+            victim_pos = (
+                position_of(set_index, way) if position_of is not None else None
+            )
+            policy.on_evict(set_index, way, ctx)
+            stats.evictions += 1
+            dirty = self._dirty[set_index][way]
+            if dirty:
+                stats.writebacks += 1
+            tracer.eviction(
+                access_index, set_index, way, victim_pos, dirty, selected
+            )
+            del way_of[tags[way]]
+        tags[way] = tag
+        way_of[tag] = way
+        self._dirty[set_index][way] = is_write
+        policy.on_fill(set_index, way, ctx)
+        fill_pos = (
+            position_of(set_index, way) if position_of is not None else None
+        )
+        tracer.insertion(
+            access_index, set_index, way, fill_pos, selected, block
+        )
+        tracer.psel_tick(access_index, selector)
         return False
 
     # ------------------------------------------------------------------

@@ -45,12 +45,55 @@ class CacheStats:
 
     @property
     def mpki(self) -> float:
-        """Misses per kilo-instruction; requires ``instructions`` to be set."""
+        """Misses per kilo-instruction; requires ``instructions`` to be set.
+
+        With ``instructions == 0`` the quantity is *undefined*, so this
+        returns ``nan`` — a ``0.0`` here used to read as "a perfect cache"
+        in reports when the driver simply had not filled in the
+        instruction count.
+        """
         if not self.instructions:
-            return 0.0
+            return float("nan")
         return 1000.0 * self.misses / self.instructions
 
+    def sanity_check(self) -> None:
+        """Raise ``ValueError`` when the counters are inconsistent.
+
+        The invariants every access path must maintain:
+
+        * ``hits + misses == accesses``
+        * ``evictions <= misses`` (each eviction is caused by a miss)
+        * ``bypasses <= misses`` and ``writebacks <= evictions``
+
+        A violation means an accounting bug in a cache model, not a bad
+        workload, so it is an error rather than a report footnote.
+        """
+        if self.hits + self.misses != self.accesses:
+            raise ValueError(
+                f"hits ({self.hits}) + misses ({self.misses}) != "
+                f"accesses ({self.accesses})"
+            )
+        if self.evictions > self.misses:
+            raise ValueError(
+                f"evictions ({self.evictions}) exceed misses ({self.misses})"
+            )
+        if self.bypasses > self.misses:
+            raise ValueError(
+                f"bypasses ({self.bypasses}) exceed misses ({self.misses})"
+            )
+        if self.writebacks > self.evictions:
+            raise ValueError(
+                f"writebacks ({self.writebacks}) exceed evictions "
+                f"({self.evictions})"
+            )
+
     def snapshot(self) -> dict:
+        """Consistent point-in-time view of every counter and derived rate.
+
+        Validates the counters first (see :meth:`sanity_check`); ``mpki``
+        is ``nan`` when no instruction count was provided.
+        """
+        self.sanity_check()
         return {
             "accesses": self.accesses,
             "hits": self.hits,
@@ -60,6 +103,7 @@ class CacheStats:
             "bypasses": self.bypasses,
             "instructions": self.instructions,
             "miss_rate": self.miss_rate,
+            "hit_rate": self.hit_rate,
             "mpki": self.mpki,
         }
 

@@ -8,6 +8,12 @@ Installed as the ``repro`` console script::
     repro evolve --generations 8 --population 24
     repro overhead                       # the Section 3.6 table
     repro trace-stats 462.libquantum     # reuse profile of a stand-in
+    repro trace 429.mcf --out t.jsonl    # traced run -> JSONL event stream
+    repro obs summary t.jsonl            # inspect / validate / re-metric it
+
+Global flags: ``-v`` raises log verbosity to DEBUG, ``--log-level`` sets an
+explicit level (library modules log through ``logging.getLogger(__name__)``;
+see :mod:`repro.obs.logconfig`).
 
 Each subcommand is a thin wrapper over the library API, so everything the
 CLI does can be scripted directly against :mod:`repro`.
@@ -16,6 +22,7 @@ CLI does can be scripted directly against :mod:`repro`.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -28,11 +35,14 @@ from .eval import (
     run_suite,
     speedup_table,
 )
+from .obs.logconfig import configure_logging
 from .policies import policy_names
 from .viz import bar_chart, transition_text
 from .workloads import get_benchmark
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_COMPARE = ["lru", "plru", "drrip", "pdp", "dgippr"]
 
@@ -41,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tree-PseudoLRU insertion/promotion (MICRO 2013) reproduction",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (default INFO; -v = DEBUG)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="explicit log level (DEBUG, INFO, WARNING, ERROR); "
+             "overrides -v",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -113,6 +132,59 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("benchmark", help="benchmark name (e.g. 429.mcf)")
     stats.add_argument("--length", type=int, default=20_000)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one simpoint with event tracing to a JSONL file",
+        description="Simulate one (benchmark, policy, simpoint) with the "
+                    "repro.obs event tracer attached after warmup, stream "
+                    "hit/miss/insertion/promotion/eviction/duel events to "
+                    "JSONL, and verify the trace replays to the untraced "
+                    "counts.",
+    )
+    trace.add_argument("benchmark", help="benchmark name (e.g. 429.mcf)")
+    trace.add_argument("--policy", default="dgippr")
+    trace.add_argument("--simpoint", type=int, default=0)
+    trace.add_argument("--length", type=int, default=20_000)
+    trace.add_argument("--sets", type=int, default=64)
+    trace.add_argument("--assoc", type=int, default=16)
+    trace.add_argument("--warmup", type=float, default=0.25,
+                       help="warmup fraction (events cover the measured "
+                            "window only)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="events.jsonl", metavar="PATH",
+                       help="JSONL event file (default: events.jsonl)")
+    trace.add_argument("--sample-sets", type=int, nargs="+", default=None,
+                       metavar="SET", help="trace only these set indices")
+    trace.add_argument("--sample-every", type=int, default=1, metavar="N",
+                       help="keep only every Nth access's events")
+    trace.add_argument("--psel-every", type=int, default=0, metavar="N",
+                       help="sample set-dueling counters every N accesses")
+    trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="also export tracer metrics (.json -> JSON, "
+                            "anything else -> Prometheus text)")
+    trace.add_argument("--no-verify", action="store_true",
+                       help="skip the untraced reference run / replay check")
+    trace.add_argument("--no-manifest", action="store_true",
+                       help="skip writing the provenance manifest sidecar")
+
+    obs = sub.add_parser(
+        "obs", help="inspect repro.obs artifacts (JSONL traces, metrics)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("summary", "per-kind event counts and access span"),
+        ("validate", "strict schema validation of every event line"),
+        ("replay", "replay the trace into hit/miss/eviction counts"),
+    ):
+        p = obs_sub.add_parser(name, help=help_text)
+        p.add_argument("events", help="JSONL trace file")
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="rebuild the metrics registry from a trace and export"
+    )
+    obs_metrics.add_argument("events", help="JSONL trace file")
+    obs_metrics.add_argument("--format", choices=["prometheus", "json"],
+                             default="prometheus")
+
     return parser
 
 
@@ -142,14 +214,13 @@ def _cmd_compare(args) -> int:
         workers=args.workers, cache=cache,
     )
     if suite.metrics is not None:
-        print(f"[repro-eval] {suite.metrics.summary()}", file=sys.stderr)
+        logger.info("%s", suite.metrics.summary())
         if args.metrics_json:
             import json
 
             with open(args.metrics_json, "w") as handle:
                 json.dump(suite.metrics.as_dict(), handle, indent=2)
-            print(f"[repro-eval] metrics written to {args.metrics_json}",
-                  file=sys.stderr)
+            logger.info("metrics written to %s", args.metrics_json)
     print(speedup_table(suite, sort_by=specs[-1].label))
     if args.chart:
         print()
@@ -173,8 +244,8 @@ def _cmd_evolve(args) -> int:
         generations=args.generations,
         seed=args.seed,
         workers=args.workers,
-        on_generation=lambda g, f: print(
-            f"generation {g}: best fitness {f:.4f}", file=sys.stderr
+        on_generation=lambda g, f: logger.info(
+            "generation %d: best fitness %.4f", g, f
         ),
     )
     print(transition_text(result.best))
@@ -255,8 +326,169 @@ def _cmd_trace_stats(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import time
+
+    from .eval.config import ExperimentConfig
+    from .eval.runner import run_trace
+    from .obs import JSONLSink, Tracer, build_manifest, read_jsonl, \
+        replay_counts, write_manifest
+    from .policies import make_policy
+
+    benchmark = get_benchmark(args.benchmark)
+    if not 0 <= args.simpoint < len(benchmark.simpoints):
+        raise ValueError(
+            f"{benchmark.name} has {len(benchmark.simpoints)} simpoints; "
+            f"--simpoint {args.simpoint} is out of range"
+        )
+    config = ExperimentConfig(
+        num_sets=args.sets,
+        assoc=args.assoc,
+        trace_length=args.length,
+        warmup_fraction=args.warmup,
+        seed=args.seed,
+        apply_env_scale=False,
+    )
+    trace = benchmark.trace(
+        args.simpoint, config.trace_length, config.capacity_blocks,
+        seed=config.seed,
+    )
+    sampled = args.sample_sets is not None or args.sample_every != 1
+
+    started = time.perf_counter()
+    tracer = Tracer(
+        sink=JSONLSink(args.out),
+        sample_sets=args.sample_sets,
+        sample_every=args.sample_every,
+        psel_every=args.psel_every,
+    )
+    policy = make_policy(args.policy, args.sets, args.assoc)
+    result = run_trace(policy, trace, config, tracer=tracer)
+    tracer.close()
+    wall = time.perf_counter() - started
+
+    print(
+        f"{policy.name} @ {trace.name}: {result.misses:,}/{result.accesses:,} "
+        f"misses (rate {result.miss_rate:.4f}), "
+        f"{tracer.events_emitted:,} events -> {args.out}"
+    )
+
+    code = 0
+    if args.no_verify:
+        logger.info("replay verification skipped (--no-verify)")
+    elif sampled:
+        logger.info("replay verification skipped: trace is sampled")
+    else:
+        reference_stats: dict = {}
+        reference = run_trace(
+            make_policy(args.policy, args.sets, args.assoc), trace, config,
+            stats_sink=reference_stats,
+        )
+        replayed = replay_counts(read_jsonl(args.out))
+        checks = {
+            "hits": reference_stats["hits"],
+            "misses": reference_stats["misses"],
+            "evictions": reference_stats["evictions"],
+            "accesses": reference_stats["accesses"],
+            "bypasses": reference_stats["bypasses"],
+        }
+        mismatches = {
+            k: (replayed[k], v) for k, v in checks.items() if replayed[k] != v
+        }
+        if mismatches:
+            print(f"replay MISMATCH vs untraced run: {mismatches}",
+                  file=sys.stderr)
+            code = 1
+        else:
+            print(
+                "replay OK: JSONL reproduces the untraced run exactly "
+                f"(hits={checks['hits']:,}, misses={checks['misses']:,}, "
+                f"evictions={checks['evictions']:,})"
+            )
+        assert reference.misses == result.misses  # traced == untraced sim
+
+    if args.metrics_out:
+        if args.metrics_out.endswith(".json"):
+            payload = tracer.registry.dump_json()
+        else:
+            payload = tracer.registry.to_prometheus()
+        with open(args.metrics_out, "w") as handle:
+            handle.write(payload)
+        logger.info("metrics written to %s", args.metrics_out)
+
+    if not args.no_manifest:
+        manifest = build_manifest(
+            config=config,
+            policy=args.policy,
+            seed=args.seed,
+            wall_time_sec=wall,
+            extra={
+                "benchmark": benchmark.name,
+                "simpoint": args.simpoint,
+                "events_path": str(args.out),
+                "events_emitted": tracer.events_emitted,
+                "sampled": sampled,
+                "psel_every": args.psel_every,
+            },
+        )
+        path = write_manifest(args.out, manifest)
+        logger.info("manifest written to %s", path)
+    return code
+
+
+def _cmd_obs(args) -> int:
+    import json
+    from collections import Counter as _Counter
+
+    from .obs import read_jsonl, registry_from_events, replay_counts
+
+    if args.obs_command == "validate":
+        count = 0
+        try:
+            for _ in read_jsonl(args.events, validate=True):
+                count += 1
+        except ValueError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.events}: {count:,} events, all valid")
+        return 0
+
+    if args.obs_command == "summary":
+        kinds: _Counter = _Counter()
+        first = last = None
+        for event in read_jsonl(args.events, validate=True):
+            kinds[event.kind] += 1
+            if first is None:
+                first = event.access
+            last = event.access
+        total = sum(kinds.values())
+        print(f"{args.events}: {total:,} events "
+              f"(accesses {first}..{last})" if total else
+              f"{args.events}: empty trace")
+        for kind, count in sorted(kinds.items(), key=lambda kv: -kv[1]):
+            print(f"  {kind:<12} {count:>10,}")
+        return 0
+
+    if args.obs_command == "replay":
+        counts = replay_counts(read_jsonl(args.events, validate=True))
+        for key, value in counts.items():
+            print(f"{key:<13} {value:>10,}")
+        return 0
+
+    if args.obs_command == "metrics":
+        registry = registry_from_events(read_jsonl(args.events, validate=True))
+        if args.format == "json":
+            print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(registry.to_prometheus())
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.obs_command}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, verbose=args.verbose)
     if args.command == "policies":
         return _cmd_policies()
     if args.command == "vectors":
@@ -273,6 +505,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace-stats":
         return _cmd_trace_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

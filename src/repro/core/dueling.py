@@ -37,11 +37,19 @@ class SaturatingCounter:
     __slots__ = ("bits", "lo", "hi", "value")
 
     def __init__(self, bits: int = 11, init: int = 0):
+        # Reject degenerate widths *and* non-integral widths: a float or
+        # bool ``bits`` would silently build a counter with nonsensical
+        # saturation bounds (``1 << (2.0 - 1)`` raises much later, deep in
+        # an experiment; ``bits=True`` used to mean a 1-bit counter).
+        if isinstance(bits, bool) or not isinstance(bits, int):
+            raise TypeError(f"bits must be an int, got {type(bits).__name__}")
         if bits < 1:
             raise ValueError("counter needs at least 1 bit")
         self.bits = bits
         self.lo = -(1 << (bits - 1))
         self.hi = (1 << (bits - 1)) - 1
+        if not isinstance(init, int) or isinstance(init, bool):
+            raise TypeError(f"init must be an int, got {type(init).__name__}")
         if not self.lo <= init <= self.hi:
             raise ValueError(f"init {init} outside {bits}-bit range")
         self.value = init
@@ -53,6 +61,18 @@ class SaturatingCounter:
     def decrement(self) -> None:
         if self.value > self.lo:
             self.value -= 1
+
+    def normalized(self) -> float:
+        """The counter value scaled into ``[-1.0, 1.0]``.
+
+        Exactly ``-1.0`` / ``+1.0`` at the saturation rails and ``0.0`` at
+        the neutral point, independent of the bit width — so PSEL
+        timelines from counters of different widths (the paper's 11-bit
+        vs. the 10-bit DIP convention) plot on one axis.
+        """
+        if self.value >= 0:
+            return self.value / self.hi if self.hi else 0.0
+        return -(self.value / self.lo)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SaturatingCounter(bits={self.bits}, value={self.value})"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import sys
 import time
@@ -45,10 +46,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.metrics import MetricsRegistry
 from ..policies.registry import make_policy
 from ..workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, benchmark_names
 from .config import ExperimentConfig, default_config
 from .runner import BenchmarkResult, RunResult, run_trace
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -229,7 +233,16 @@ class ResultCache:
             return None
         return _result_from_dict(payload["result"])
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(
+        self, key: str, result: RunResult, manifest: Optional[dict] = None
+    ) -> None:
+        """Store a result (atomically) plus an optional provenance sidecar.
+
+        ``manifest`` (see :func:`repro.obs.provenance.build_manifest`) is
+        written next to the entry as ``<key>.manifest.json`` so every
+        cached number can be traced to the code, config and host that
+        produced it.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": CACHE_SCHEMA, "key": key, "result": _result_to_dict(result)}
@@ -243,21 +256,41 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+            return
+        if manifest is not None:
+            from ..obs.provenance import write_manifest
+
+            write_manifest(path, manifest)
+
+    def manifest_for(self, key: str) -> Optional[dict]:
+        """Load the provenance sidecar of a cached entry, if present."""
+        path = self._path(key)
+        manifest_path = path.with_name(f"{path.stem}.manifest.json")
+        try:
+            with open(manifest_path, "r") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
 
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return sum(
+            1 for p in self.root.glob("??/*.json")
+            if not p.name.endswith(".manifest.json")
+        )
 
     def clear(self) -> int:
-        """Remove every cached entry; returns the number removed."""
+        """Remove every cached entry (and manifest); returns entries removed."""
         removed = 0
         if not self.root.is_dir():
             return removed
         for path in self.root.glob("??/*.json"):
+            is_manifest = path.name.endswith(".manifest.json")
             try:
                 path.unlink()
-                removed += 1
+                if not is_manifest:
+                    removed += 1
             except OSError:  # pragma: no cover
                 pass
         return removed
@@ -288,16 +321,89 @@ def _result_from_dict(payload: dict) -> RunResult:
 # ----------------------------------------------------------------------
 # Metrics and progress.
 # ----------------------------------------------------------------------
-class RunnerMetrics:
-    """Counters for one or more matrix runs (cumulative on a runner)."""
+#: Bucket bounds (seconds) for the per-job wall-time histogram.
+_JOB_SECONDS_BOUNDS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0
+)
 
-    def __init__(self):
-        self.jobs_total = 0
-        self.jobs_done = 0
-        self.cache_hits = 0
-        self.simulated = 0
-        self.wall_time = 0.0
+
+class RunnerMetrics:
+    """Counters for one or more matrix runs (cumulative on a runner).
+
+    Built on the shared :class:`repro.obs.metrics.MetricsRegistry`: every
+    quantity lives in a named counter/gauge/histogram, so runner metrics
+    export as Prometheus text or JSON through the same pipe as trace
+    metrics.  The attribute API (``jobs_done``, ``cache_hit_rate``,
+    ``as_dict()``, ``summary()``) is unchanged from the pre-registry
+    implementation.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._jobs_total = reg.counter(
+            "repro_eval_jobs_total", "Jobs submitted to the experiment runner"
+        )
+        self._jobs_done = reg.counter(
+            "repro_eval_jobs_done_total", "Jobs completed (cached or simulated)"
+        )
+        self._cache_hits = reg.counter(
+            "repro_eval_cache_hits_total", "Jobs satisfied by the result cache"
+        )
+        self._simulated = reg.counter(
+            "repro_eval_simulated_total", "Jobs that ran a fresh simulation"
+        )
+        self._wall = reg.gauge(
+            "repro_eval_wall_seconds", "Cumulative matrix wall time"
+        )
+        self._job_hist = reg.histogram(
+            "repro_eval_job_seconds", bounds=_JOB_SECONDS_BOUNDS,
+            help="Per-job simulation wall time",
+        )
         self.job_seconds: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Mutation API (used by ParallelRunner).
+    # ------------------------------------------------------------------
+    def add_jobs(self, count: int) -> None:
+        self._jobs_total.inc(count)
+
+    def record_cache_hit(self) -> None:
+        self._jobs_done.inc()
+        self._cache_hits.inc()
+
+    def record_simulated(self, seconds: float) -> None:
+        self._jobs_done.inc()
+        self._simulated.inc()
+        self._job_hist.observe(seconds)
+        self.job_seconds.append(seconds)
+
+    # ------------------------------------------------------------------
+    # Read API (stable across the registry refactor).
+    # ------------------------------------------------------------------
+    @property
+    def jobs_total(self) -> int:
+        return self._jobs_total.value
+
+    @property
+    def jobs_done(self) -> int:
+        return self._jobs_done.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def simulated(self) -> int:
+        return self._simulated.value
+
+    @property
+    def wall_time(self) -> float:
+        return self._wall.value
+
+    @wall_time.setter
+    def wall_time(self, seconds: float) -> None:
+        self._wall.set(seconds)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -320,6 +426,10 @@ class RunnerMetrics:
             "job_seconds": list(self.job_seconds),
         }
 
+    def to_prometheus(self) -> str:
+        """Prometheus text export of the backing registry."""
+        return self.registry.to_prometheus()
+
     def summary(self) -> str:
         return (
             f"{self.jobs_done}/{self.jobs_total} jobs, "
@@ -334,7 +444,11 @@ class RunnerMetrics:
 
 
 class _Progress:
-    """Throttled single-line progress reporting on stderr."""
+    """Throttled single-line progress display on a TTY.
+
+    This is interactive display (carriage-return rewriting), not logging;
+    diagnostics go through the module logger instead.
+    """
 
     def __init__(self, enabled: bool, stream=None, min_interval: float = 0.2):
         self.enabled = enabled
@@ -350,7 +464,8 @@ class _Progress:
             return
         self._last = now
         end = "\n" if final else "\r"
-        print(f"[repro-eval] {metrics.summary()}", end=end, file=self.stream, flush=True)
+        self.stream.write(f"[repro-eval] {metrics.summary()}{end}")
+        self.stream.flush()
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +528,24 @@ def _execute_job(payload: tuple) -> Tuple[int, dict, float]:
     )
     result = run_trace(policy, trace, config, collect_miss_positions=collect)
     return index, _result_to_dict(result), time.perf_counter() - started
+
+
+def _job_manifest(job: "_Job", config: ExperimentConfig, seconds: float) -> dict:
+    """Provenance sidecar payload for one freshly simulated cache entry."""
+    from ..obs.provenance import build_manifest
+
+    return build_manifest(
+        config=config,
+        policy=job.policy,
+        policy_kwargs=job.kwargs,
+        wall_time_sec=seconds,
+        extra={
+            "benchmark": job.bench,
+            "simpoint": job.simpoint,
+            "label": job.label,
+            "cache_key": job.key,
+        },
+    )
 
 
 # ----------------------------------------------------------------------
@@ -598,25 +731,24 @@ class ParallelRunner:
         collect_miss_positions: bool,
     ) -> Dict[int, RunResult]:
         metrics = self.metrics
-        metrics.jobs_total += len(jobs)
+        metrics.add_jobs(len(jobs))
         base_wall = metrics.wall_time
         started = time.monotonic()
         results: Dict[int, RunResult] = {}
-
-        def account(seconds: float) -> None:
-            metrics.simulated += 1
-            metrics.job_seconds.append(seconds)
 
         pending: List[_Job] = []
         for job in jobs:
             cached = self.cache.get(job.key) if self.cache is not None else None
             if cached is not None:
                 results[job.index] = cached
-                metrics.jobs_done += 1
-                metrics.cache_hits += 1
+                metrics.record_cache_hit()
                 self.progress.update(metrics)
             else:
                 pending.append(job)
+        logger.debug(
+            "matrix: %d jobs (%d cached, %d to simulate, workers=%d)",
+            len(jobs), len(jobs) - len(pending), len(pending), self.workers,
+        )
 
         fields = _config_fields(config)
         payloads = [
@@ -641,10 +773,13 @@ class ParallelRunner:
                         index, payload, seconds = future.result()
                         result = _result_from_dict(payload)
                         results[index] = result
-                        metrics.jobs_done += 1
-                        account(seconds)
+                        metrics.record_simulated(seconds)
                         if self.cache is not None:
-                            self.cache.put(by_index[index].key, result)
+                            job = by_index[index]
+                            self.cache.put(
+                                job.key, result,
+                                manifest=_job_manifest(job, config, seconds),
+                            )
                         metrics.wall_time = base_wall + (time.monotonic() - started)
                         self.progress.update(metrics)
         else:
@@ -652,15 +787,19 @@ class ParallelRunner:
                 index, result_dict, seconds = _execute_job(payload)
                 result = _result_from_dict(result_dict)
                 results[index] = result
-                metrics.jobs_done += 1
-                account(seconds)
+                metrics.record_simulated(seconds)
                 if self.cache is not None:
-                    self.cache.put(by_index[index].key, result)
+                    job = by_index[index]
+                    self.cache.put(
+                        job.key, result,
+                        manifest=_job_manifest(job, config, seconds),
+                    )
                 metrics.wall_time = base_wall + (time.monotonic() - started)
                 self.progress.update(metrics)
 
         metrics.wall_time = base_wall + (time.monotonic() - started)
         self.progress.update(metrics, final=True)
+        logger.info("matrix done: %s", metrics.summary())
         return results
 
 

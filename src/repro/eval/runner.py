@@ -106,12 +106,25 @@ def run_trace(
     trace: Trace,
     config: ExperimentConfig,
     collect_miss_positions: bool = False,
+    tracer=None,
+    stats_sink: Optional[Dict] = None,
 ) -> RunResult:
     """Run one trace through a fresh cache built around ``policy``.
 
     The first ``config.warmup_fraction`` of accesses warm the cache
     (statistics are discarded), the rest are measured — the 500M-warm /
     1B-measure split of the paper, proportionally.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) is attached *after*
+    warmup, so the event stream covers exactly the measured window: a
+    full, unsampled trace replays to the same hit/miss/eviction counts as
+    the returned :class:`RunResult` (see
+    :func:`repro.obs.tracer.replay_counts`).
+
+    ``stats_sink``, when given a dict, receives the full
+    :meth:`~repro.cache.stats.CacheStats.snapshot` of the measured window
+    (hits, evictions, writebacks, ... — more than :class:`RunResult`
+    carries), which is what the trace-replay verification compares against.
     """
     cache = SetAssociativeCache(
         config.num_sets, config.assoc, policy, block_size=1, name=trace.name
@@ -130,6 +143,8 @@ def run_trace(
         for i in range(warmup):
             access(addresses[i], pcs[i])
     cache.reset_stats()
+    if tracer is not None:
+        cache.attach_tracer(tracer)
 
     # Real instruction positions when the trace is annotated (see
     # repro.trace.assign_instruction_positions); uniform spacing otherwise.
@@ -167,6 +182,9 @@ def run_trace(
             access(addresses[i], pcs[i])
 
     stats = cache.stats
+    if stats_sink is not None:
+        stats.instructions = measured_instructions
+        stats_sink.update(stats.snapshot())
     return RunResult(
         trace.name,
         policy.name,

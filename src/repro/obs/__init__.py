@@ -1,0 +1,79 @@
+"""Observability layer: event tracing, metrics and run provenance.
+
+The simulator's end-of-run counters say *what* happened; this package
+records *why*.  It has three legs, all dependency-free (stdlib only) and
+all zero-overhead when disabled:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.tracer` / :mod:`repro.obs.sinks`
+  — a structured event trace of the replacement-policy dynamics the paper's
+  figures are built on: hits, misses, insertions (with the chosen PLRU
+  position), promotions (position before/after), evictions, bypasses,
+  set-dueling flips and sampled PSEL values.  Events flow through a
+  :class:`~repro.obs.tracer.Tracer` into pluggable sinks (in-memory ring
+  buffer, JSONL file) with optional per-set and per-interval sampling.
+* :mod:`repro.obs.metrics` — a process-wide-capable metrics registry
+  (counters, gauges, histograms) with Prometheus-text and JSON exporters;
+  :class:`repro.eval.parallel.RunnerMetrics` is built on top of it.
+* :mod:`repro.obs.provenance` — run manifests (config hash, policy kwargs,
+  seed, code digest, git revision, host, wall time) written next to cached
+  results and generated reports, so any number in a figure can be traced
+  back to the exact code and configuration that produced it.
+
+The hot path (:meth:`repro.cache.cache.SetAssociativeCache.access`) pays a
+single ``is not None`` check when tracing is off; the budget is enforced by
+:func:`repro.obs.overhead.disabled_overhead_ratio` and ``make smoke-obs``.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    TraceEvent,
+    event_from_dict,
+    validate_event_dict,
+)
+from .logconfig import configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .overhead import disabled_overhead_ratio
+from .provenance import (
+    build_manifest,
+    config_hash,
+    git_revision,
+    manifest_path_for,
+    write_manifest,
+)
+from .sinks import JSONLSink, ListSink, RingBufferSink, SamplingFilter, read_jsonl
+from .tracer import Tracer, registry_from_events, replay_counts
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "TraceEvent",
+    "event_from_dict",
+    "validate_event_dict",
+    "configure_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "disabled_overhead_ratio",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+    "manifest_path_for",
+    "write_manifest",
+    "JSONLSink",
+    "ListSink",
+    "RingBufferSink",
+    "SamplingFilter",
+    "read_jsonl",
+    "Tracer",
+    "registry_from_events",
+    "replay_counts",
+]

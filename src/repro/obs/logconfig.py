@@ -1,0 +1,59 @@
+"""Central logging configuration for the ``repro`` CLI and library.
+
+Library modules follow the standard recipe — module-level
+``logging.getLogger(__name__)`` and no handlers — so embedding
+applications keep full control.  The CLI calls :func:`configure_logging`
+once at startup; the default level is ``INFO`` so the informational lines
+the tools always printed (runner metrics, cache summaries) keep appearing,
+while ``-v`` raises verbosity to ``DEBUG`` and ``--log-level`` sets any
+explicit level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+__all__ = ["configure_logging", "verbosity_to_level"]
+
+_FORMAT = "[%(levelname).1s %(name)s] %(message)s"
+_DEBUG_FORMAT = "[%(levelname).1s %(asctime)s %(name)s] %(message)s"
+
+
+def verbosity_to_level(verbose: int) -> int:
+    """Map ``-v`` counts onto logging levels (0 → INFO, 1+ → DEBUG)."""
+    return logging.DEBUG if verbose >= 1 else logging.INFO
+
+
+def configure_logging(
+    level: Union[int, str, None] = None,
+    verbose: int = 0,
+    stream=None,
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking duplicates.  Returns the configured package logger.
+    """
+    if level is None:
+        resolved = verbosity_to_level(verbose)
+    elif isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        resolved = level
+
+    logger = logging.getLogger("repro")
+    for handler in [h for h in logger.handlers
+                    if getattr(h, "_repro_cli", False)]:
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    fmt = _DEBUG_FORMAT if resolved <= logging.DEBUG else _FORMAT
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,301 @@
+"""Metrics registry: counters, gauges, histograms, and exporters.
+
+A deliberately small, stdlib-only re-implementation of the Prometheus
+client model: a :class:`MetricsRegistry` owns named instruments, each
+optionally distinguished by a frozen label set, and renders itself as
+Prometheus text exposition format or JSON.  The parallel experiment
+runner's :class:`repro.eval.parallel.RunnerMetrics` and the event
+:class:`~repro.obs.tracer.Tracer` both feed instruments from one of these
+registries, so every layer of the stack reports through the same pipe.
+
+Instrument names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (the Prometheus
+rule); label values are arbitrary strings.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_json(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_json(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus ``le`` semantics).
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; an
+    implicit ``+Inf`` bucket catches the rest.  ``bucket_counts[i]`` is the
+    *non-cumulative* count of observations in bucket ``i`` (the exporter
+    cumulates, as the exposition format requires).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float]):
+        bounds = sorted(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be distinct")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        # Linear scan: bucket lists here are tiny (positions, distances).
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def as_json(self):
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    twice with the same name and labels returns the same instrument, so
+    library code never needs to coordinate registration.  Asking for an
+    existing name with a different instrument type raises.
+    """
+
+    def __init__(self, namespace: str = ""):
+        if namespace and not _NAME_RE.match(namespace):
+            raise ValueError(f"invalid metrics namespace {namespace!r}")
+        self.namespace = namespace
+        self._help: Dict[str, str] = {}
+        self._kind: Dict[str, str] = {}
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _full_name(self, name: str) -> str:
+        full = f"{self.namespace}_{name}" if self.namespace else name
+        if not _NAME_RE.match(full):
+            raise ValueError(f"invalid metric name {full!r}")
+        return full
+
+    def _get_or_create(self, factory, kind: str, name: str,
+                       help: str, labels, *args):
+        full = self._full_name(name)
+        frozen = _freeze_labels(labels)
+        with self._lock:
+            existing_kind = self._kind.get(full)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {full!r} already registered as {existing_kind}"
+                )
+            key = (full, frozen)
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(*args)
+                self._instruments[key] = instrument
+                self._kind[full] = kind
+                if help:
+                    self._help[full] = help
+            return instrument
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get_or_create(Counter, "counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get_or_create(Gauge, "gauge", name, help, labels)
+
+    def histogram(self, name: str, bounds: Sequence[float], help: str = "",
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        return self._get_or_create(
+            Histogram, "histogram", name, help, labels, bounds
+        )
+
+    # ------------------------------------------------------------------
+    def instruments(self) -> Iterable[Tuple[str, LabelPairs, object]]:
+        """(name, labels, instrument) triples in registration order."""
+        return [(n, l, i) for (n, l), i in self._instruments.items()]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Exporters.
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        by_name: Dict[str, List[Tuple[LabelPairs, object]]] = {}
+        for (name, labels), instrument in self._instruments.items():
+            by_name.setdefault(name, []).append((labels, instrument))
+        for name, entries in by_name.items():
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._kind[name]}")
+            for labels, instrument in entries:
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    for bound, bucket in zip(
+                        instrument.bounds, instrument.bucket_counts
+                    ):
+                        cumulative += bucket
+                        le = _render_labels(labels + (("le", _fmt(bound)),))
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _render_labels(labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {instrument.count}")
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} {_fmt(instrument.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} {instrument.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} {_fmt(instrument.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """JSON-ready nested snapshot of every instrument."""
+        out: Dict[str, dict] = {}
+        for (name, labels), instrument in self._instruments.items():
+            entry = out.setdefault(
+                name, {"type": self._kind[name], "help": self._help.get(name, ""),
+                       "series": []}
+            )
+            entry["series"].append(
+                {"labels": dict(labels), "value": instrument.as_json()}
+            )
+        return out
+
+    def dump_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _fmt(value: float) -> str:
+    """Render a number the way Prometheus expects (ints without '.0')."""
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+"
+    r"(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, LabelPairs], float]:
+    """Parse Prometheus text format back into ``{(name, labels): value}``.
+
+    Used by the smoke checks to prove exports are well-formed; raises
+    ``ValueError`` on any line that is neither a comment nor a sample.
+    """
+    out: Dict[Tuple[str, LabelPairs], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a prometheus sample: {line!r}")
+        labels = tuple(_LABEL_RE.findall(match.group("labels") or ""))
+        raw = match.group("value")
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        elif raw == "NaN":
+            value = math.nan
+        else:
+            value = float(raw)
+        out[(match.group("name"), labels)] = value
+    return out

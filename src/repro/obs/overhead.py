@@ -1,0 +1,168 @@
+"""Disabled-tracing overhead budget.
+
+The observability layer's contract is that a cache with **no tracer
+attached** pays only one ``is not None`` test per access.  This module
+measures that cost empirically: :class:`_UninstrumentedCache` overrides
+``access`` with a copy of the pre-observability hot path (no tracer test
+at all), and :func:`disabled_overhead_ratio` times both against the same
+trace, returning ``instrumented / uninstrumented`` wall time (min over
+repeats, which is robust to scheduler noise).
+
+``make smoke-obs`` asserts the ratio stays within the 5 % budget; a unit
+test additionally asserts both paths produce identical statistics, so the
+reference copy cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..cache.cache import SetAssociativeCache
+
+__all__ = ["disabled_overhead_ratio", "measure_overhead"]
+
+
+class _UninstrumentedCache(SetAssociativeCache):
+    """Reference cache whose ``access`` predates the tracer hook.
+
+    Byte-for-byte the original hot path: no ``self._tracer`` test.  Kept
+    here (not in tests) so the smoke target and the unit tests share one
+    ground truth.
+    """
+
+    def access(
+        self,
+        address: int,
+        pc: int = 0,
+        is_write: bool = False,
+        next_use: Optional[int] = None,
+    ) -> bool:
+        set_index, tag = self.locate(address)
+        ctx = self._ctx
+        ctx.pc = pc
+        ctx.is_write = is_write
+        ctx.next_use = next_use
+        ctx.access_index += 1
+        ctx.block = address >> self._offset_bits
+
+        stats = self.stats
+        stats.accesses += 1
+        way_of = self._way_of[set_index]
+        way = way_of.get(tag)
+        if way is not None:
+            stats.hits += 1
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.policy.on_hit(set_index, way, ctx)
+            return True
+
+        stats.misses += 1
+        self.policy.on_miss(set_index, ctx)
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(None)
+        except ValueError:
+            if self.policy.should_bypass(set_index, ctx):
+                stats.bypasses += 1
+                return False
+            way = self.policy.victim(set_index, ctx)
+            if not 0 <= way < self.assoc:
+                raise RuntimeError(
+                    f"{self.policy.name} returned invalid victim way {way}"
+                )
+            self.policy.on_evict(set_index, way, ctx)
+            stats.evictions += 1
+            if self._dirty[set_index][way]:
+                stats.writebacks += 1
+            del way_of[tags[way]]
+        tags[way] = tag
+        way_of[tag] = way
+        self._dirty[set_index][way] = is_write
+        self.policy.on_fill(set_index, way, ctx)
+        return False
+
+
+def _build(kind, num_sets: int, assoc: int, policy_name: str):
+    from ..policies.registry import make_policy
+
+    policy = make_policy(policy_name, num_sets, assoc)
+    return kind(num_sets, assoc, policy, block_size=1, name="overhead-probe")
+
+
+def _addresses(n: int, num_sets: int, assoc: int, seed: int = 7):
+    """A deterministic mixed hit/miss address stream (no numpy needed)."""
+    footprint = num_sets * assoc * 2  # ~50% capacity pressure
+    out = []
+    state = seed or 1
+    for _ in range(n):
+        # xorshift32: cheap, deterministic, good enough spread.
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        out.append(state % footprint)
+    return out
+
+
+def _time_run(cache, addresses) -> float:
+    access = cache.access
+    started = time.perf_counter()
+    for address in addresses:
+        access(address)
+    return time.perf_counter() - started
+
+
+def measure_overhead(
+    accesses: int = 120_000,
+    num_sets: int = 64,
+    assoc: int = 16,
+    repeats: int = 5,
+    policy: str = "plru",
+):
+    """Return ``(instrumented_sec, uninstrumented_sec, ratio, stats_match)``.
+
+    Runs are interleaved (A/B per repeat) and the minimum per variant is
+    taken, which cancels most machine noise.  ``stats_match`` confirms the
+    instrumented tracer-disabled path and the reference path simulated the
+    exact same run.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    addresses = _addresses(accesses, num_sets, assoc)
+    best_inst = float("inf")
+    best_ref = float("inf")
+    inst_snapshot = ref_snapshot = None
+
+    def counters(cache):
+        s = cache.stats
+        return (s.accesses, s.hits, s.misses, s.evictions, s.writebacks,
+                s.bypasses)
+
+    for _ in range(repeats):
+        inst = _build(SetAssociativeCache, num_sets, assoc, policy)
+        ref = _build(_UninstrumentedCache, num_sets, assoc, policy)
+        best_inst = min(best_inst, _time_run(inst, addresses))
+        best_ref = min(best_ref, _time_run(ref, addresses))
+        inst_snapshot = counters(inst)
+        ref_snapshot = counters(ref)
+    ratio = best_inst / best_ref if best_ref > 0 else float("inf")
+    return best_inst, best_ref, ratio, inst_snapshot == ref_snapshot
+
+
+def disabled_overhead_ratio(
+    accesses: int = 120_000,
+    num_sets: int = 64,
+    assoc: int = 16,
+    repeats: int = 5,
+    policy: str = "plru",
+) -> float:
+    """Tracing-disabled slowdown factor (1.0 = free; budget is 1.05)."""
+    _, _, ratio, stats_match = measure_overhead(
+        accesses, num_sets, assoc, repeats, policy
+    )
+    if not stats_match:
+        raise AssertionError(
+            "instrumented and reference caches diverged — the "
+            "_UninstrumentedCache copy of the hot path is stale"
+        )
+    return ratio

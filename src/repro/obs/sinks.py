@@ -1,0 +1,186 @@
+"""Event sinks: where :class:`~repro.obs.tracer.Tracer` events go.
+
+All sinks implement ``write(event)`` and ``close()``; sinks are composable
+via :class:`SamplingFilter`, which drops events before they reach the
+wrapped sink.  The JSONL format is one ``event.to_dict()`` JSON object per
+line — append-only, streamable, and grep-able.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from .events import TraceEvent, event_from_dict, validate_event_dict
+
+__all__ = [
+    "ListSink",
+    "RingBufferSink",
+    "JSONLSink",
+    "SamplingFilter",
+    "read_jsonl",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class ListSink:
+    """Unbounded in-memory sink; ``events`` is a plain list."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self.write = self.events.append  # bound method: no wrapper frame
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class RingBufferSink:
+    """Keeps only the most recent ``capacity`` events (flight recorder).
+
+    Useful for long runs where only the events leading up to an anomaly
+    matter; memory stays bounded regardless of trace length.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self._written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self._written += 1
+
+    @property
+    def written(self) -> int:
+        """Total events ever written (including since-dropped ones)."""
+        return self._written
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+class JSONLSink:
+    """Streams events to a JSON-lines file.
+
+    Usable as a context manager; ``flush_every`` bounds how many events can
+    be lost on a crash (the underlying file object buffers anyway, so the
+    default favors throughput).
+    """
+
+    def __init__(self, path: Union[str, Path], flush_every: int = 0):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._dumps = json.dumps
+        self.flush_every = flush_every
+        self.written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._handle.write(self._dumps(event.to_dict(), separators=(",", ":")))
+        self._handle.write("\n")
+        self.written += 1
+        if self.flush_every and self.written % self.flush_every == 0:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+            logger.debug("wrote %d events to %s", self.written, self.path)
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SamplingFilter:
+    """Drops events before they reach the wrapped sink.
+
+    Parameters
+    ----------
+    sink:
+        The downstream sink receiving surviving events.
+    sets:
+        ``None`` keeps every set; otherwise only events whose ``set`` field
+        is in this collection survive.  Events without a ``set`` field
+        (``psel_sample``) always survive.
+    every:
+        Keep only events whose access index is a multiple of ``every``
+        (1 keeps everything).  ``duel_flip`` events always survive — they
+        are rare and each one matters.
+    """
+
+    def __init__(
+        self,
+        sink,
+        sets: Optional[Iterable[int]] = None,
+        every: int = 1,
+    ):
+        if every < 1:
+            raise ValueError("sampling interval must be >= 1")
+        self.sink = sink
+        self.sets = frozenset(sets) if sets is not None else None
+        self.every = every
+        self.dropped = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if event.kind not in ("duel_flip", "psel_sample"):
+            if self.every != 1 and event.access % self.every:
+                self.dropped += 1
+                return
+            if self.sets is not None and event.set is not None \
+                    and event.set not in self.sets:
+                self.dropped += 1
+                return
+        self.sink.write(event)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def read_jsonl(
+    path: Union[str, Path], validate: bool = True
+) -> Iterator[TraceEvent]:
+    """Yield :class:`TraceEvent` objects from a JSONL trace file.
+
+    With ``validate`` (default) each line is checked against
+    :data:`~repro.obs.events.EVENT_SCHEMA` and malformed lines raise
+    ``ValueError`` with the offending line number.
+    """
+    with open(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from None
+            if validate:
+                try:
+                    validate_event_dict(payload)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+            yield event_from_dict(payload)

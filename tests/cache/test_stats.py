@@ -1,0 +1,78 @@
+"""CacheStats derived rates, NaN mpki semantics, sanity checking."""
+
+import math
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+def _stats(**kwargs):
+    stats = CacheStats()
+    for key, value in kwargs.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestRates:
+    def test_hit_and_miss_rates(self):
+        stats = _stats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == 0.7
+        assert stats.miss_rate == 0.3
+
+    def test_idle_cache_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_mpki_with_instructions(self):
+        stats = _stats(accesses=4, hits=2, misses=2, instructions=1000)
+        assert stats.mpki == 2.0
+
+    def test_mpki_undefined_without_instructions(self):
+        """0.0 used to masquerade as a perfect cache; nan is honest."""
+        stats = _stats(accesses=4, hits=2, misses=2)
+        assert math.isnan(stats.mpki)
+
+
+class TestSanity:
+    def test_consistent_counters_pass(self):
+        _stats(accesses=5, hits=3, misses=2, evictions=1,
+               writebacks=1).sanity_check()
+
+    def test_hits_plus_misses_must_equal_accesses(self):
+        with pytest.raises(ValueError, match="accesses"):
+            _stats(accesses=5, hits=3, misses=1).sanity_check()
+
+    def test_evictions_cannot_exceed_misses(self):
+        with pytest.raises(ValueError, match="evictions"):
+            _stats(accesses=3, hits=1, misses=2, evictions=5).sanity_check()
+
+    def test_writebacks_cannot_exceed_evictions(self):
+        with pytest.raises(ValueError, match="writebacks"):
+            _stats(accesses=3, hits=1, misses=2, evictions=1,
+                   writebacks=2).sanity_check()
+
+    def test_bypasses_cannot_exceed_misses(self):
+        with pytest.raises(ValueError, match="bypasses"):
+            _stats(accesses=3, hits=1, misses=2, bypasses=3).sanity_check()
+
+
+class TestSnapshot:
+    def test_snapshot_includes_rates_and_validates(self):
+        stats = _stats(accesses=8, hits=6, misses=2, evictions=2,
+                       instructions=4000)
+        snap = stats.snapshot()
+        assert snap["hit_rate"] == 0.75
+        assert snap["miss_rate"] == 0.25
+        assert snap["mpki"] == 0.5
+        assert snap["evictions"] == 2
+
+    def test_snapshot_rejects_corrupt_counters(self):
+        with pytest.raises(ValueError):
+            _stats(accesses=1, hits=1, misses=1).snapshot()
+
+    def test_reset_clears_everything(self):
+        stats = _stats(accesses=8, hits=6, misses=2, instructions=100)
+        stats.reset()
+        assert stats.snapshot()["accesses"] == 0

@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, exporters, round-trips."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("jobs_total", "jobs")
+        b = registry.counter("jobs_total")
+        assert a is b
+        a.inc()
+        a.inc(4)
+        assert b.value == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("events_total", labels={"kind": "hit"})
+        misses = registry.counter("events_total", labels={"kind": "miss"})
+        assert hits is not misses
+        hits.inc(2)
+        assert misses.value == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 4.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("9starts-with-digit")
+
+    def test_histogram_buckets(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 2, 4])
+        for value in (0, 1, 2, 3, 10):
+            hist.observe(value)
+        # buckets: <=1 gets 0 and 1; <=2 gets 2; <=4 gets 3; +Inf gets 10.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == 16
+
+    def test_histogram_rejects_bad_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("empty", bounds=[])
+        with pytest.raises(ValueError):
+            registry.histogram("dupes", bounds=[1, 1])
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "jobs run").inc(3)
+        registry.gauge("repro_wall_seconds").set(1.5)
+        hist = registry.histogram("repro_job_seconds", bounds=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        registry.counter(
+            "repro_events_total", labels={"kind": "hit"}
+        ).inc(7)
+        return registry
+
+    def test_prometheus_round_trip(self):
+        registry = self._populated()
+        text = registry.to_prometheus()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# HELP repro_jobs_total jobs run" in text
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_jobs_total", ())] == 3
+        assert parsed[("repro_wall_seconds", ())] == 1.5
+        assert parsed[("repro_events_total", (("kind", "hit"),))] == 7
+        # Histogram buckets are cumulative in the exposition format.
+        assert parsed[("repro_job_seconds_bucket", (("le", "0.1"),))] == 1
+        assert parsed[("repro_job_seconds_bucket", (("le", "1"),))] == 2
+        assert parsed[("repro_job_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert parsed[("repro_job_seconds_count", ())] == 3
+        assert parsed[("repro_job_seconds_sum", ())] == pytest.approx(5.55)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_parse_handles_special_values(self):
+        parsed = parse_prometheus("a 1\nb +Inf\nc NaN\n")
+        assert parsed[("a", ())] == 1.0
+        assert math.isinf(parsed[("b", ())])
+        assert math.isnan(parsed[("c", ())])
+
+    def test_json_export(self):
+        registry = self._populated()
+        out = registry.to_json()
+        assert out["repro_jobs_total"]["type"] == "counter"
+        assert out["repro_jobs_total"]["series"][0]["value"] == 3
+        hist = out["repro_job_seconds"]["series"][0]["value"]
+        assert hist["count"] == 3
+        series = out["repro_events_total"]["series"][0]
+        assert series["labels"] == {"kind": "hit"}
+
+    def test_namespace_prefixes_names(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("jobs").inc()
+        assert ("repro_jobs", ()) in parse_prometheus(
+            registry.to_prometheus()
+        )

@@ -1,0 +1,38 @@
+"""Disabled-tracing overhead budget and reference-path freshness.
+
+The strict 5% budget is enforced by ``make smoke-obs`` on a quiet
+machine; the unit test uses a generous ceiling so CI noise cannot flake
+it, while still catching anything structurally expensive sneaking into
+the hot path (the regression this guards against costs 2x, not 1.1x).
+"""
+
+from repro.obs import disabled_overhead_ratio
+from repro.obs.overhead import measure_overhead
+
+import pytest
+
+# Generous: the hot-path regression this catches (extra work per access)
+# costs tens of percent; scheduler noise on shared CI does not.
+CI_BUDGET = 1.25
+
+
+class TestOverhead:
+    def test_reference_and_instrumented_paths_agree(self):
+        inst, ref, ratio, stats_match = measure_overhead(
+            accesses=20_000, repeats=2
+        )
+        assert stats_match, (
+            "the _UninstrumentedCache copy of the hot path has rotted"
+        )
+        assert inst > 0 and ref > 0 and ratio > 0
+
+    def test_disabled_tracing_within_budget(self):
+        ratio = disabled_overhead_ratio(accesses=60_000, repeats=3)
+        assert ratio <= CI_BUDGET, (
+            f"tracing-disabled hot path is {ratio:.2f}x the reference; "
+            f"budget {CI_BUDGET}x (strict 1.05x enforced by make smoke-obs)"
+        )
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure_overhead(accesses=10, repeats=0)

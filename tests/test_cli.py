@@ -89,3 +89,74 @@ class TestCommands:
                      "--filter-l1l2"])
         assert code == 0
         assert "L1/L2 filter" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def _traced(self, tmp_path, *extra):
+        out = tmp_path / "events.jsonl"
+        code = main([
+            "trace", "462.libquantum",
+            "--length", "3000", "--sets", "16",
+            "--out", str(out), *extra,
+        ])
+        return code, out
+
+    def test_trace_writes_and_verifies(self, tmp_path, capsys):
+        code, out = self._traced(tmp_path)
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "events ->" in printed
+        assert "replay OK" in printed
+        assert out.exists()
+        # Provenance sidecar rides along by default.
+        assert (tmp_path / "events.manifest.json").exists()
+
+    def test_trace_sampled_skips_verification(self, tmp_path, capsys):
+        code, out = self._traced(tmp_path, "--sample-every", "4")
+        assert code == 0
+        assert "replay OK" not in capsys.readouterr().out
+
+    def test_trace_metrics_export(self, tmp_path):
+        from repro.obs import parse_prometheus
+
+        metrics = tmp_path / "metrics.prom"
+        code, _ = self._traced(tmp_path, "--metrics-out", str(metrics))
+        assert code == 0
+        parsed = parse_prometheus(metrics.read_text())
+        assert any(name == "repro_trace_events_total"
+                   for name, _ in parsed)
+
+    def test_obs_summary_validate_replay_metrics(self, tmp_path, capsys):
+        _, out = self._traced(tmp_path)
+        capsys.readouterr()
+
+        assert main(["obs", "summary", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "miss" in summary and "insertion" in summary
+
+        assert main(["obs", "validate", str(out)]) == 0
+        assert "all valid" in capsys.readouterr().out
+
+        assert main(["obs", "replay", str(out)]) == 0
+        assert "evictions" in capsys.readouterr().out
+
+        assert main(["obs", "metrics", str(out)]) == 0
+        assert "# TYPE repro_trace_events_total counter" in (
+            capsys.readouterr().out
+        )
+
+    def test_obs_validate_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind":"nope","access":1}\n')
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_verbose_flag_accepted(self, tmp_path):
+        code, _ = self._traced(tmp_path, "--no-verify")
+        assert code == 0
+        args = build_parser().parse_args(["-v", "policies"])
+        assert args.verbose == 1
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "policies"]
+        )
+        assert args.log_level == "debug"
