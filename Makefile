@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick smoke-parallel smoke-obs figures wn-vectors examples clean
+.PHONY: install test bench bench-quick bench-kernels smoke-parallel smoke-obs smoke-kernels figures wn-vectors examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,12 @@ bench:
 bench-quick:
 	REPRO_SCALE=0.4 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
+# Transition-table kernel throughput: accesses/sec LUT vs bit-walk for
+# k in {4,8,16} plus GA-generation wall time, written to BENCH_kernels.json
+# (with a provenance manifest sidecar) at the repository root.
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernel_throughput.py
+
 # Fast check that the parallel runner matches the serial path bit-for-bit
 # and that a warm cache rerun performs zero simulations.
 smoke-parallel:
@@ -30,6 +36,12 @@ smoke-parallel:
 # stays within its 5% hot-path overhead budget.
 smoke-obs:
 	$(PYTHON) scripts/smoke_obs.py
+
+# Fast kernel sanity: tables compile (and the compile cache hits), LUT and
+# bit-walk miss counts are bit-identical on a randomized stream, the LUT
+# path is >=2x faster at k=16, and policy CacheStats agree lut-vs-walk.
+smoke-kernels:
+	$(PYTHON) scripts/smoke_kernels.py
 
 figures:
 	$(PYTHON) scripts/export_results.py --outdir results

@@ -10,6 +10,7 @@ Run:  python scripts/export_results.py [--outdir DIR] [--length N]
 
 import argparse
 import csv
+import json
 import os
 import sys
 
@@ -62,6 +63,31 @@ FIGURES = {
 }
 
 
+def _kernel_bench_summary():
+    """Compact summary of ``BENCH_kernels.json`` (see ``make bench-kernels``).
+
+    Embedded in every figure manifest so the provenance record states which
+    measured kernel speedups accompanied the exported numbers; ``None``
+    when the bench has not been run.
+    """
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return {
+        "created_at": data.get("created_at"),
+        "sim_speedups": {
+            f"k={row['assoc']}": round(row["speedup"], 3)
+            for row in data.get("sim_throughput", [])
+        },
+        "ga_generation_speedup": round(
+            data.get("ga_generation", {}).get("speedup", 0.0), 3
+        ),
+    }
+
+
 def export_figure(name, specs, metric, config, outdir, workers, cache=None):
     suite = run_suite(specs, config=config, workers=workers, cache=cache)
     print(f"[repro-eval] {name}: {suite.metrics.summary()}", file=sys.stderr)
@@ -85,7 +111,8 @@ def export_figure(name, specs, metric, config, outdir, workers, cache=None):
     write_manifest(path, build_manifest(
         config=config,
         extra={"figure": name, "metric": metric,
-               "policies": [s.label for s in specs]},
+               "policies": [s.label for s in specs],
+               "kernel_bench": _kernel_bench_summary()},
     ))
     print(f"wrote {path} (+ manifest)")
 

@@ -72,6 +72,11 @@ class SetAssociativeCache:
         self._dirty = [[False] * assoc for _ in range(num_sets)]
         # way_of[s] maps tag -> way for O(1) lookup.
         self._way_of = [dict() for _ in range(num_sets)]
+        # fill_count[s] counts valid ways in set s: the miss path only probes
+        # ``tags.index(None)`` while the set is still filling; once the count
+        # reaches assoc every miss goes straight to the victim/bypass branch
+        # (invalidate() decrements, so holes re-enable the probe).
+        self._fill_count = [0] * num_sets
         self.stats = CacheStats()
         self._ctx = AccessContext()
         # Observability (attach_tracer); None keeps the hot path untouched
@@ -156,9 +161,10 @@ class SetAssociativeCache:
         stats.misses += 1
         self.policy.on_miss(set_index, ctx)
         tags = self._tags[set_index]
-        try:
+        if self._fill_count[set_index] < self.assoc:
             way = tags.index(None)
-        except ValueError:
+            self._fill_count[set_index] += 1
+        else:
             if self.policy.should_bypass(set_index, ctx):
                 stats.bypasses += 1
                 return False
@@ -241,9 +247,10 @@ class SetAssociativeCache:
                 tracer.duel_flip(access_index, set_index, duel_before, duel_after)
         tracer.miss(access_index, set_index, selected, block)
         tags = self._tags[set_index]
-        try:
+        if self._fill_count[set_index] < self.assoc:
             way = tags.index(None)
-        except ValueError:
+            self._fill_count[set_index] += 1
+        else:
             if policy.should_bypass(set_index, ctx):
                 stats.bypasses += 1
                 tracer.bypass(access_index, set_index, selected, block)
@@ -298,6 +305,7 @@ class SetAssociativeCache:
             return False
         self._tags[set_index][way] = None
         self._dirty[set_index][way] = False
+        self._fill_count[set_index] -= 1
         return True
 
     def reset_stats(self) -> None:

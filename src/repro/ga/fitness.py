@@ -7,15 +7,28 @@ notes runs in minutes where a performance simulation takes hours.
 
 The evaluator embeds two specialised simulators (true-LRU-IPV and
 PLRU-IPV) that skip the general cache machinery: the GA calls them millions
-of times, so the hot loops run on plain lists and ints.
+of times, so the hot loops run on plain lists and ints.  The PLRU simulator
+additionally dispatches to the precompiled transition-table kernels of
+:mod:`repro.kernels` when available, replacing the three ``log2(k)``
+bit-walks per access with O(1) ``array('H')`` lookups (the bit-walk
+reference below remains the ground truth and the fallback).
+
+Workload sharing: generated traces, their MLP instruction positions and
+the baseline LRU miss counts are memoized at module level keyed by the
+exact trace derivation ``(benchmark, trace_length, capacity, seed)``, so
+every :class:`FitnessEvaluator` instance in a process — including the GA
+worker processes of :mod:`repro.ga.parallel` — shares one copy instead of
+regenerating and re-simulating per instance.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.ipv import IPV, lru_ipv
 from ..eval.config import ExperimentConfig, default_config
+from ..kernels import record_kernel_call, resolve_kernel
 from ..timing import LinearCPIModel
 from ..workloads.spec import SPEC_BENCHMARKS, benchmark_names
 
@@ -23,7 +36,24 @@ __all__ = [
     "simulate_misses_lru_ipv",
     "simulate_misses_plru_ipv",
     "FitnessEvaluator",
+    "clear_workload_memo",
 ]
+
+
+def _validate_ipv_entries(entries: Sequence[int], assoc: int) -> None:
+    """Reject malformed IPVs up front: silent mis-simulation is worse than
+    a :class:`ValueError` (an out-of-range ``V[i]`` used to corrupt the
+    recency state without any diagnostic)."""
+    if len(entries) != assoc + 1:
+        raise ValueError(
+            f"IPV for a {assoc}-way set needs {assoc + 1} entries, "
+            f"got {len(entries)}"
+        )
+    for i, e in enumerate(entries):
+        if not 0 <= e < assoc:
+            raise ValueError(
+                f"IPV entry V[{i}]={e} out of range 0..{assoc - 1}"
+            )
 
 
 def simulate_misses_lru_ipv(
@@ -41,6 +71,7 @@ def simulate_misses_lru_ipv(
     the access index of every measured miss is appended to it (for
     MLP-aware fitness).
     """
+    _validate_ipv_entries(entries, assoc)
     promo = list(entries[:assoc])
     insert = entries[assoc]
     mask = num_sets - 1
@@ -71,7 +102,7 @@ def simulate_misses_lru_ipv(
     return misses
 
 
-def simulate_misses_plru_ipv(
+def _simulate_misses_plru_walk(
     addresses: Sequence[int],
     num_sets: int,
     assoc: int,
@@ -79,12 +110,7 @@ def simulate_misses_plru_ipv(
     warmup: int,
     miss_indices: Optional[List[int]] = None,
 ) -> int:
-    """Misses in the measured window for an IPV on tree-PLRU state.
-
-    Inlines the Figure 5/7/9 walks over a packed plru-bit integer per set.
-    ``miss_indices``, when given, collects the access index of every
-    measured miss (for MLP-aware fitness).
-    """
+    """Bit-walk reference: inlined Figure 5/7/9 over packed plru bits."""
     promo = list(entries[:assoc])
     insert = entries[assoc]
     mask = num_sets - 1
@@ -145,6 +171,201 @@ def simulate_misses_plru_ipv(
     return misses
 
 
+def _simulate_misses_plru_lut(
+    addresses: Sequence[int],
+    num_sets: int,
+    assoc: int,
+    tables,
+    warmup: int,
+    miss_indices: Optional[List[int]] = None,
+) -> int:
+    """LUT kernel: every Figure 5/7/9 walk replaced by one table index.
+
+    Performs *exactly* the reference's state transitions (the composed
+    ``hit``/``fill`` tables are the walks, memoized), so miss counts are
+    bit-identical — asserted exhaustively in ``tests/kernels``.
+    """
+    victim = tables.victim
+    hit = tables.hit
+    fill = tables.fill
+    shift = tables.log2k
+    mask = num_sets - 1
+    states = [0] * num_sets
+    tag_to_way: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+    way_to_tag: List[List[int]] = [[-1] * assoc for _ in range(num_sets)]
+    misses = 0
+    for i, addr in enumerate(addresses):
+        si = addr & mask
+        ways = tag_to_way[si]
+        way = ways.get(addr)
+        state = states[si]
+        if way is None:
+            if i >= warmup:
+                misses += 1
+                if miss_indices is not None:
+                    miss_indices.append(i)
+            tags = way_to_tag[si]
+            if len(ways) < assoc:
+                way = len(ways)  # cold fill: ways fill in order
+            else:
+                way = victim[state]
+                del ways[tags[way]]
+            tags[way] = addr
+            ways[addr] = way
+            states[si] = fill[(state << shift) | way]
+        else:
+            states[si] = hit[(state << shift) | way]
+    return misses
+
+
+def simulate_misses_plru_ipv(
+    addresses: Sequence[int],
+    num_sets: int,
+    assoc: int,
+    entries: Sequence[int],
+    warmup: int,
+    miss_indices: Optional[List[int]] = None,
+    kernel: str = "auto",
+) -> int:
+    """Misses in the measured window for an IPV on tree-PLRU state.
+
+    ``kernel`` selects the implementation: ``"auto"`` (default) uses the
+    precompiled transition tables of :mod:`repro.kernels` when available
+    and falls back to the bit-walk reference otherwise; ``"lut"`` demands
+    tables (raises when unsupported); ``"walk"`` forces the reference.
+    Both paths are bit-identical.  ``miss_indices``, when given, collects
+    the access index of every measured miss (for MLP-aware fitness).
+    """
+    _validate_ipv_entries(entries, assoc)
+    tables = resolve_kernel(kernel, assoc, entries)
+    if tables is not None:
+        record_kernel_call("lut")
+        return _simulate_misses_plru_lut(
+            addresses, num_sets, assoc, tables, warmup, miss_indices
+        )
+    record_kernel_call("walk")
+    return _simulate_misses_plru_walk(
+        addresses, num_sets, assoc, entries, warmup, miss_indices
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared workload / baseline memos.
+#
+# Keys mirror the trace derivation in SpecBenchmark.trace exactly; two
+# evaluators (or one evaluator and a GA worker) with the same geometry and
+# seed therefore share address lists by reference and never re-simulate
+# the LRU baseline.  Bounded LRU to keep long-lived processes flat.
+# ----------------------------------------------------------------------
+_WORKLOAD_MEMO: "OrderedDict[tuple, list]" = OrderedDict()
+_POSITIONS_MEMO: "OrderedDict[tuple, list]" = OrderedDict()
+_BASELINE_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_WORKLOAD_MEMO_LIMIT = 64
+_BASELINE_MEMO_LIMIT = 256
+
+
+def clear_workload_memo() -> None:
+    """Drop every shared trace/baseline memo (tests, memory pressure)."""
+    _WORKLOAD_MEMO.clear()
+    _POSITIONS_MEMO.clear()
+    _BASELINE_MEMO.clear()
+
+
+def _memo_get(memo: OrderedDict, key, limit: int, build):
+    value = memo.get(key)
+    if value is None:
+        value = build()
+        memo[key] = value
+        while len(memo) > limit:
+            memo.popitem(last=False)
+    else:
+        memo.move_to_end(key)
+    return value
+
+
+def _shared_workloads(
+    name: str, trace_length: int, capacity: int, seed: int
+) -> List[Tuple[List[int], int]]:
+    """Per-simpoint ``(address list, instruction count)`` for a benchmark,
+    shared by every evaluator with the same trace derivation."""
+
+    def build():
+        benchmark = SPEC_BENCHMARKS[name]
+        traces = benchmark.traces(trace_length, capacity, seed=seed)
+        return [(t.address_list(), t.instructions) for t in traces]
+
+    key = (name, trace_length, capacity, seed)
+    return _memo_get(_WORKLOAD_MEMO, key, _WORKLOAD_MEMO_LIMIT, build)
+
+
+def _shared_positions(
+    name: str,
+    trace_length: int,
+    capacity: int,
+    seed: int,
+    pos_seed: int,
+    burstiness: float,
+) -> List[List[int]]:
+    """Per-simpoint MLP instruction positions, shared like the traces."""
+
+    def build():
+        from ..trace.record import assign_instruction_positions
+
+        benchmark = SPEC_BENCHMARKS[name]
+        traces = benchmark.traces(trace_length, capacity, seed=seed)
+        return [
+            assign_instruction_positions(
+                t, seed=pos_seed, burstiness=burstiness
+            ).position_list()
+            for t in traces
+        ]
+
+    key = (name, trace_length, capacity, seed, pos_seed, burstiness)
+    return _memo_get(_POSITIONS_MEMO, key, _WORKLOAD_MEMO_LIMIT, build)
+
+
+def _shared_baseline(
+    name: str,
+    simpoint: int,
+    trace_length: int,
+    capacity: int,
+    seed: int,
+    num_sets: int,
+    assoc: int,
+    warmup: int,
+    collect_indices: bool,
+) -> Tuple[int, Optional[Tuple[int, ...]]]:
+    """Baseline (true-LRU vector) misses for one simpoint, memoized.
+
+    Returns ``(misses, miss_indices or None)``; cycles are derived by the
+    caller from its own timing model, so one memo entry serves evaluators
+    with different CPI parameters.
+    """
+
+    def build():
+        addresses = _shared_workloads(name, trace_length, capacity, seed)[
+            simpoint
+        ][0]
+        baseline = tuple(lru_ipv(assoc).entries)
+        if collect_indices:
+            indices: List[int] = []
+            misses = simulate_misses_lru_ipv(
+                addresses, num_sets, assoc, baseline, warmup,
+                miss_indices=indices,
+            )
+            return misses, tuple(indices)
+        misses = simulate_misses_lru_ipv(
+            addresses, num_sets, assoc, baseline, warmup
+        )
+        return misses, None
+
+    key = (
+        name, simpoint, trace_length, capacity, seed, num_sets, assoc,
+        warmup, collect_indices,
+    )
+    return _memo_get(_BASELINE_MEMO, key, _BASELINE_MEMO_LIMIT, build)
+
+
 class FitnessEvaluator:
     """Arithmetic-mean linear-CPI speedup over LRU across workloads.
 
@@ -165,6 +386,10 @@ class FitnessEvaluator:
         the fitness function").  Accesses get bursty instruction positions
         (see :func:`repro.trace.assign_instruction_positions`) so miss
         clustering actually matters.
+    kernel:
+        Kernel selection for the PLRU substrate: ``"auto"`` (transition
+        tables when available), ``"lut"`` (demand tables) or ``"walk"``
+        (force the bit-walk reference).  All choices are bit-identical.
     """
 
     def __init__(
@@ -174,14 +399,21 @@ class FitnessEvaluator:
         substrate: str = "plru",
         mlp_aware: bool = False,
         burstiness: float = 0.5,
+        kernel: str = "auto",
     ):
         if substrate not in ("plru", "lru"):
             raise ValueError("substrate must be 'plru' or 'lru'")
+        if kernel not in ("auto", "lut", "walk"):
+            raise ValueError(
+                f"kernel must be 'auto', 'lut' or 'walk', got {kernel!r}"
+            )
         self.substrate = substrate
+        self.kernel = kernel
         self.config = config or default_config(trace_length=30_000)
         self.benchmark_names = list(benchmarks or benchmark_names())
         self.timing: LinearCPIModel = self.config.timing
         self.mlp_aware = mlp_aware
+        self.burstiness = burstiness
         if mlp_aware:
             from ..timing import MLPAwareCPIModel
 
@@ -195,52 +427,68 @@ class FitnessEvaluator:
         self._workloads: List[
             Tuple[str, float, List[int], int, Optional[List[int]]]
         ] = []
-        self._simulate = (
-            simulate_misses_plru_ipv
-            if substrate == "plru"
-            else simulate_misses_lru_ipv
-        )
         cfg = self.config
         for name in self.benchmark_names:
             benchmark = SPEC_BENCHMARKS[name]
-            traces = benchmark.traces(
-                cfg.trace_length, cfg.capacity_blocks, seed=cfg.seed
+            shared = _shared_workloads(
+                name, cfg.trace_length, cfg.capacity_blocks, cfg.seed
             )
-            for trace, weight in zip(traces, benchmark.weights()):
+            positions_by_sp: Optional[List[List[int]]] = None
+            if mlp_aware:
+                positions_by_sp = _shared_positions(
+                    name, cfg.trace_length, cfg.capacity_blocks, cfg.seed,
+                    cfg.seed ^ 0xB00, burstiness,
+                )
+            for simpoint, ((addresses, trace_instructions), weight) in enumerate(
+                zip(shared, benchmark.weights())
+            ):
                 measured_instructions = max(
-                    1, int(trace.instructions * (1.0 - cfg.warmup_fraction))
+                    1, int(trace_instructions * (1.0 - cfg.warmup_fraction))
                 )
-                positions = None
-                if mlp_aware:
-                    from ..trace.record import assign_instruction_positions
-
-                    positions = assign_instruction_positions(
-                        trace, seed=cfg.seed ^ 0xB00, burstiness=burstiness
-                    ).position_list()
+                positions = (
+                    positions_by_sp[simpoint] if positions_by_sp else None
+                )
                 self._workloads.append(
-                    (
-                        name,
-                        weight,
-                        trace.address_list(),
-                        measured_instructions,
-                        positions,
-                    )
+                    (name, weight, addresses, measured_instructions, positions)
                 )
-        # Baseline: true LRU (the paper computes speedup over LRU).
-        baseline = tuple(lru_ipv(cfg.assoc).entries)
+        # Baseline: true LRU (the paper computes speedup over LRU), via the
+        # cross-evaluator memo so repeated instantiations (GA workers, WN1
+        # folds over overlapping training sets) never re-simulate it.
         self._lru_cycles: Dict[str, float] = {}
-        for name, weight, addresses, instructions, positions in self._workloads:
-            cycles = self._cycles_for(
-                simulate_misses_lru_ipv, baseline, addresses, instructions,
-                positions,
+        index = 0
+        for name in self.benchmark_names:
+            benchmark = SPEC_BENCHMARKS[name]
+            for simpoint, weight in enumerate(benchmark.weights()):
+                _, _, addresses, instructions, positions = self._workloads[index]
+                index += 1
+                misses, miss_idx = _shared_baseline(
+                    name, simpoint, cfg.trace_length, cfg.capacity_blocks,
+                    cfg.seed, cfg.num_sets, cfg.assoc, cfg.warmup_accesses,
+                    collect_indices=self.mlp_model is not None,
+                )
+                if self.mlp_model is None:
+                    cycles = self.timing.cycles(instructions, misses)
+                else:
+                    miss_positions = [positions[i] for i in miss_idx]
+                    cycles = self.mlp_model.cycles(instructions, miss_positions)
+                self._lru_cycles[name] = (
+                    self._lru_cycles.get(name, 0.0) + weight * cycles
+                )
+
+    def _simulate(self, addresses, num_sets, assoc, entries, warmup,
+                  miss_indices=None):
+        if self.substrate == "plru":
+            return simulate_misses_plru_ipv(
+                addresses, num_sets, assoc, entries, warmup,
+                miss_indices=miss_indices, kernel=self.kernel,
             )
-            self._lru_cycles[name] = (
-                self._lru_cycles.get(name, 0.0) + weight * cycles
-            )
+        return simulate_misses_lru_ipv(
+            addresses, num_sets, assoc, entries, warmup,
+            miss_indices=miss_indices,
+        )
 
     def _cycles_for(
         self,
-        simulate,
         entries: Tuple[int, ...],
         addresses: List[int],
         instructions: int,
@@ -249,12 +497,12 @@ class FitnessEvaluator:
         """Cycles under the active timing model for one workload."""
         cfg = self.config
         if self.mlp_model is None:
-            misses = simulate(
+            misses = self._simulate(
                 addresses, cfg.num_sets, cfg.assoc, entries, cfg.warmup_accesses
             )
             return self.timing.cycles(instructions, misses)
         miss_indices: List[int] = []
-        simulate(
+        self._simulate(
             addresses, cfg.num_sets, cfg.assoc, entries, cfg.warmup_accesses,
             miss_indices=miss_indices,
         )
@@ -265,6 +513,51 @@ class FitnessEvaluator:
     def k(self) -> int:
         return self.config.assoc
 
+    # ------------------------------------------------------------------
+    # Spawn-safe reconstruction (repro.ga.parallel): the spec is a small
+    # picklable dict; workers rebuild the evaluator and regenerate traces
+    # from it (hitting the module memos), mirroring how the PR-1 runner
+    # regenerates simpoint traces instead of pickling them.
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """Picklable recipe from which :meth:`from_spec` rebuilds ``self``."""
+        cfg = self.config
+        return {
+            "benchmarks": list(self.benchmark_names),
+            "config": {
+                "num_sets": cfg.num_sets,
+                "assoc": cfg.assoc,
+                "trace_length": cfg.trace_length,
+                "warmup_fraction": cfg.warmup_fraction,
+                "seed": cfg.seed,
+            },
+            "timing": {
+                "base_cpi": self.timing.base_cpi,
+                "miss_penalty": self.timing.miss_penalty,
+            },
+            "substrate": self.substrate,
+            "mlp_aware": self.mlp_aware,
+            "burstiness": self.burstiness,
+            "kernel": self.kernel,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FitnessEvaluator":
+        """Rebuild an equivalent evaluator from :meth:`spec` output."""
+        config = ExperimentConfig(
+            apply_env_scale=False,
+            timing=LinearCPIModel(**spec["timing"]),
+            **spec["config"],
+        )
+        return cls(
+            benchmarks=spec["benchmarks"],
+            config=config,
+            substrate=spec["substrate"],
+            mlp_aware=spec["mlp_aware"],
+            burstiness=spec["burstiness"],
+            kernel=spec["kernel"],
+        )
+
     def evaluate(self, ipv) -> float:
         """Fitness of an IPV (IPV object or raw entry sequence)."""
         entries = tuple(ipv.entries if isinstance(ipv, IPV) else ipv)
@@ -274,9 +567,7 @@ class FitnessEvaluator:
             )
         cycles: Dict[str, float] = {}
         for name, weight, addresses, instructions, positions in self._workloads:
-            value = self._cycles_for(
-                self._simulate, entries, addresses, instructions, positions
-            )
+            value = self._cycles_for(entries, addresses, instructions, positions)
             cycles[name] = cycles.get(name, 0.0) + weight * value
         speedups = [
             self._lru_cycles[name] / cycles[name] for name in cycles
@@ -288,8 +579,6 @@ class FitnessEvaluator:
         entries = tuple(ipv.entries if isinstance(ipv, IPV) else ipv)
         cycles: Dict[str, float] = {}
         for name, weight, addresses, instructions, positions in self._workloads:
-            value = self._cycles_for(
-                self._simulate, entries, addresses, instructions, positions
-            )
+            value = self._cycles_for(entries, addresses, instructions, positions)
             cycles[name] = cycles.get(name, 0.0) + weight * value
         return {name: self._lru_cycles[name] / cycles[name] for name in cycles}

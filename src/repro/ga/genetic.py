@@ -7,18 +7,21 @@ and elitism.  The paper ran populations of 20 000/4 000 on a cluster; the
 defaults here are laptop-scale and configurable — the *algorithm* is the
 contribution being reproduced, not the cluster.
 
-Fan-out uses ``multiprocessing`` the way the paper used MPI/pgapack: the
-fitness of each individual is independent.
+Fan-out uses the spawn-safe :class:`~repro.ga.parallel.PopulationEvaluator`
+the way the paper used MPI/pgapack: the fitness of each individual is
+independent, workers rebuild the evaluator from a small spec (never a
+pickled trace set), and results come back in submission order — so
+``workers=N`` is bit-identical to the serial path for every ``N``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.ipv import IPV
 from .fitness import FitnessEvaluator
+from .parallel import PopulationEvaluator
 
 __all__ = ["GAResult", "evolve_ipv", "crossover", "mutate"]
 
@@ -74,18 +77,6 @@ def mutate(
     return tuple(out)
 
 
-_WORKER_EVALUATOR: Optional[FitnessEvaluator] = None
-
-
-def _init_worker(evaluator: FitnessEvaluator) -> None:
-    global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = evaluator
-
-
-def _worker_evaluate(entries: Tuple[int, ...]) -> float:
-    return _WORKER_EVALUATOR.evaluate(entries)
-
-
 def evolve_ipv(
     evaluator: FitnessEvaluator,
     population_size: int = 40,
@@ -115,16 +106,8 @@ def evolve_ipv(
     while len(population) < initial_population_size:
         population.append(tuple(rng.randrange(k) for _ in range(length)))
 
-    pool = None
-    if workers and workers > 1:
-        pool = multiprocessing.Pool(
-            processes=workers, initializer=_init_worker, initargs=(evaluator,)
-        )
-
-    def evaluate_all(individuals: List[Tuple[int, ...]]) -> List[float]:
-        if pool is not None:
-            return pool.map(_worker_evaluate, individuals, chunksize=1)
-        return [evaluator.evaluate(ind) for ind in individuals]
+    pop_eval = PopulationEvaluator(evaluator, workers=workers)
+    evaluate_all = pop_eval.evaluate_all
 
     evaluations = 0
     history: List[float] = []
@@ -151,9 +134,7 @@ def evolve_ipv(
             if on_generation is not None:
                 on_generation(generation, scored[0][0])
     finally:
-        if pool is not None:
-            pool.close()
-            pool.join()
+        pop_eval.close()
 
     best_fitness, best_entries = scored[0]
     return GAResult(

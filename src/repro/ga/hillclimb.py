@@ -9,10 +9,11 @@ no progress.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.ipv import IPV
 from .fitness import FitnessEvaluator
+from .parallel import PopulationEvaluator
 
 __all__ = ["HillClimbResult", "hill_climb"]
 
@@ -50,38 +51,62 @@ def hill_climb(
     start: IPV,
     candidate_values: Optional[Sequence[int]] = None,
     max_passes: int = 2,
+    workers: int = 0,
 ) -> HillClimbResult:
     """First-improvement hill climbing over single-entry changes.
 
     ``candidate_values`` restricts the values tried per entry (default: all
     positions 0..k-1, which costs (k+1)*k evaluations per pass).
+
+    ``workers > 1`` scores each entry's candidate batch over the spawn-safe
+    :class:`~repro.ga.parallel.PopulationEvaluator` and then replays the
+    sequential accept rule against the batch scores.  Because a candidate's
+    fitness depends only on the value at the entry under consideration (the
+    other entries are frozen during the scan), the replay is bit-identical
+    to the serial first-improvement walk — same steps, same evaluation
+    count, same refined vector.
     """
     k = evaluator.k
     values = list(candidate_values) if candidate_values is not None else list(range(k))
     current = list(start.entries)
-    current_fitness = evaluator.evaluate(tuple(current))
-    start_fitness = current_fitness
-    steps: List[Tuple[int, int, float]] = []
-    evaluations = 1
-    for _ in range(max_passes):
-        improved = False
-        for index in range(k + 1):
-            original = current[index]
-            for value in values:
-                if value == original:
-                    continue
-                current[index] = value
-                fitness = evaluator.evaluate(tuple(current))
-                evaluations += 1
-                if fitness > current_fitness:
-                    current_fitness = fitness
-                    steps.append((index, value, fitness))
-                    improved = True
-                    original = value
-                else:
-                    current[index] = original
-        if not improved:
-            break
+    pop_eval = PopulationEvaluator(evaluator, workers=workers)
+    try:
+        current_fitness = evaluator.evaluate(tuple(current))
+        start_fitness = current_fitness
+        steps: List[Tuple[int, int, float]] = []
+        evaluations = 1
+        for _ in range(max_passes):
+            improved = False
+            for index in range(k + 1):
+                original = current[index]
+                # One fitness per distinct candidate value: the scan only
+                # ever varies this entry, so f(value) is scan-invariant.
+                # f(original) is the fitness we already hold.
+                score_of: Dict[int, float] = {original: current_fitness}
+                batch = [v for v in dict.fromkeys(values) if v != original]
+                variants = []
+                for value in batch:
+                    variant = list(current)
+                    variant[index] = value
+                    variants.append(tuple(variant))
+                for value, fitness in zip(batch, pop_eval.evaluate_all(variants)):
+                    score_of[value] = fitness
+                # Replay the sequential first-improvement scan exactly.
+                for value in values:
+                    if value == original:
+                        continue
+                    fitness = score_of[value]
+                    evaluations += 1
+                    if fitness > current_fitness:
+                        current_fitness = fitness
+                        steps.append((index, value, fitness))
+                        improved = True
+                        original = value
+                current[index] = original
+            if not improved:
+                break
+    finally:
+        pop_eval.close()
     return HillClimbResult(
         IPV(current, name=f"{start.name}+hc"),
         current_fitness,

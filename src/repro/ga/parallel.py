@@ -1,0 +1,109 @@
+"""Spawn-safe parallel population evaluation for the IPV searches.
+
+The GA, hill climber and random sampler all reduce to the same primitive:
+score a batch of independent IPVs against one :class:`FitnessEvaluator`.
+:class:`PopulationEvaluator` fans that batch over a spawn-context worker
+pool following the PR-1 runner's discipline (:mod:`repro.eval.parallel`):
+
+* Workers never receive pickled megabyte trace objects.  They rebuild the
+  evaluator from its small :meth:`FitnessEvaluator.spec` recipe and
+  regenerate traces deterministically — the exact derivation the serial
+  path uses — so parallel fitness values are bit-identical to serial ones.
+* Within each worker, the module-level workload/baseline memos in
+  :mod:`repro.ga.fitness` and the transition-table compile cache in
+  :mod:`repro.kernels` are shared across every evaluation that worker
+  performs: one compiled table set + one trace copy serve the whole run.
+* Results are returned in submission order (``pool.map``), so the caller's
+  selection logic is order-stable and ``seed ⇒ output`` determinism holds
+  for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+from .fitness import FitnessEvaluator
+
+__all__ = ["PopulationEvaluator"]
+
+_WORKER_EVALUATOR: Optional[FitnessEvaluator] = None
+
+
+def _init_worker(spec: dict) -> None:
+    """Pool initializer: rebuild the evaluator once per worker process."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = FitnessEvaluator.from_spec(spec)
+
+
+def _worker_evaluate(entries: Tuple[int, ...]) -> float:
+    return _WORKER_EVALUATOR.evaluate(entries)
+
+
+class PopulationEvaluator:
+    """Evaluate batches of IPVs, serially or over a spawn-safe pool.
+
+    Parameters
+    ----------
+    evaluator:
+        The fitness evaluator.  ``workers <= 1`` evaluates in-process with
+        it; ``workers > 1`` ships its :meth:`~FitnessEvaluator.spec` to a
+        persistent worker pool (one evaluator rebuild per worker, reused
+        across every batch until :meth:`close`).
+    workers:
+        Worker process count.  ``0``/``1`` — serial reference path.
+    mp_context:
+        ``multiprocessing`` start method; ``"spawn"`` (default) matches the
+        PR-1 runner and works everywhere fork is unsafe.
+    """
+
+    def __init__(
+        self,
+        evaluator: FitnessEvaluator,
+        workers: int = 0,
+        mp_context: str = "spawn",
+    ):
+        self.evaluator = evaluator
+        self.workers = int(workers or 0)
+        self.evaluations = 0
+        self._pool = None
+        if self.workers > 1:
+            context = multiprocessing.get_context(mp_context)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(evaluator.spec(),),
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate_all(self, individuals: Sequence[Sequence[int]]) -> List[float]:
+        """Fitness of every individual, in input order (deterministic)."""
+        batch = [tuple(ind) for ind in individuals]
+        self.evaluations += len(batch)
+        if self._pool is None:
+            return [self.evaluator.evaluate(ind) for ind in batch]
+        chunksize = max(1, len(batch) // (4 * self.workers))
+        return self._pool.map(_worker_evaluate, batch, chunksize=chunksize)
+
+    def evaluate(self, individual: Sequence[int]) -> float:
+        """Single-individual convenience (always in-process)."""
+        self.evaluations += 1
+        return self.evaluator.evaluate(tuple(individual))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PopulationEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = f"{self.workers} workers" if self._pool else "serial"
+        return f"PopulationEvaluator({mode}, {self.evaluations} evaluations)"

@@ -8,13 +8,12 @@ configurable sample counts.
 
 from __future__ import annotations
 
-import multiprocessing
 import random
 from typing import List, Tuple
 
 from ..core.ipv import IPV
 from .fitness import FitnessEvaluator
-from .genetic import _init_worker, _worker_evaluate
+from .parallel import PopulationEvaluator
 
 __all__ = ["random_search"]
 
@@ -37,13 +36,8 @@ def random_search(
     candidates = [
         tuple(rng.randrange(k) for _ in range(k + 1)) for _ in range(samples)
     ]
-    if workers and workers > 1:
-        with multiprocessing.Pool(
-            processes=workers, initializer=_init_worker, initargs=(evaluator,)
-        ) as pool:
-            scores = pool.map(_worker_evaluate, candidates, chunksize=4)
-    else:
-        scores = [evaluator.evaluate(c) for c in candidates]
+    with PopulationEvaluator(evaluator, workers=workers) as pop_eval:
+        scores = pop_eval.evaluate_all(candidates)
     results = [
         (score, IPV(entries, name=f"rand{i}"))
         for i, (score, entries) in enumerate(zip(scores, candidates))

@@ -1,0 +1,457 @@
+"""Precomputed transition-table kernels for tree PseudoLRU.
+
+The GA fitness simulator calls the Figure 5/7/9 bit-walks millions of
+times, yet the entire per-set PLRU state is only ``k - 1`` bits — 32 768
+states for a 16-way set (Berthet's state-space observation).  Every walk is
+therefore exactly memoizable.  This module compiles, for any power-of-two
+``k <= MAX_TABLE_ASSOC``, four flat lookup tables that turn the hot loops
+into O(1) array indexing:
+
+``victim[state]``
+    The PseudoLRU victim way (Figure 5) for each of the ``S = 2**(k-1)``
+    states.
+``pos[(state << log2k) | way]``
+    The recency-stack position of ``way`` (Figure 7).
+``hit[(state << log2k) | way]``
+    The *composed* hit transition for one IPV: decode the position, look up
+    the promotion target ``V[pos]``, re-encode via Figure 9 — all collapsed
+    into a single new-state lookup.
+``fill[(state << log2k) | way]``
+    The composed fill transition: ``set_position(state, way, V[k])``.
+
+Key compilation trick: ``set_position(state, way, x)`` rewrites only the
+``log2(k)`` plru bits on ``way``'s leaf-to-root path, and the new values
+depend only on ``(way, x)`` — never on the old state.  So every composed
+transition is ``(state & ~path_mask[way]) | path_bits[way][x]``, built from
+two tiny per-``k`` tables; per-IPV compilation is a vectorized pass over
+the state space (numpy) or a short pure-Python loop for small ``k``.
+
+Tables are stored as ``array('H')`` (uint16; the packed state of a 16-way
+set fits in 15 bits) and cached in a bounded LRU keyed by
+``(k, ipv_entries)`` — DGIPPR duels 2-4 vectors, the GA's elites recur, and
+classic PLRU is the all-zeros vector, so the cache absorbs recompiles.
+
+When tables are unavailable (``k > MAX_TABLE_ASSOC``, or ``k == 16``
+without numpy) callers fall back to the bit-walk reference implementations
+in :mod:`repro.core.plru`; the counters here record which kernel actually
+ran so provenance manifests can state it (see :func:`kernel_provenance`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from array import array
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.plru import find_plru, is_power_of_two, position, set_position
+
+try:  # numpy accelerates table compilation; tables themselves are stdlib.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dep, but be safe
+    _np = None
+
+__all__ = [
+    "KERNEL_CACHE_CAPACITY",
+    "KernelTables",
+    "MAX_TABLE_ASSOC",
+    "PURE_PYTHON_MAX_ASSOC",
+    "clear_kernel_cache",
+    "compile_tables",
+    "kernel_cache_info",
+    "kernel_counters",
+    "kernel_provenance",
+    "publish_kernel_metrics",
+    "record_kernel_call",
+    "reset_kernel_counters",
+    "resolve_kernel",
+    "tables_supported",
+]
+
+#: Largest associativity we compile tables for: S = 2**(k-1) states, so 16
+#: ways is 32 768 states and ~3 MB of tables per IPV — the paper's LLC.
+MAX_TABLE_ASSOC = 16
+
+#: Up to this associativity pure-Python compilation is cheap enough
+#: (S * k <= 1024 entries); beyond it numpy is required.
+PURE_PYTHON_MAX_ASSOC = 8
+
+#: Bounded LRU capacity for composed per-IPV tables (DGIPPR duels 2-4
+#: vectors; GA elites and the classic-PLRU vector recur).
+KERNEL_CACHE_CAPACITY = 16
+
+
+# ----------------------------------------------------------------------
+# Counters (observability).  Guarded by a lock: the parallel GA path keeps
+# one compile cache per worker *process*, but threads may share this one.
+# ----------------------------------------------------------------------
+_LOCK = threading.RLock()
+
+_COUNTERS: Dict[str, float] = {}
+
+
+def reset_kernel_counters() -> None:
+    """Zero every kernel counter (tests, fresh bench runs)."""
+    with _LOCK:
+        _COUNTERS.update(
+            compiles=0,
+            compile_seconds=0.0,
+            cache_hits=0,
+            cache_misses=0,
+            lut_calls=0,
+            walk_calls=0,
+        )
+
+
+reset_kernel_counters()
+
+
+def kernel_counters() -> Dict[str, float]:
+    """Snapshot of the kernel counters (compiles, cache traffic, calls)."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def record_kernel_call(mode: str) -> None:
+    """Count one simulator/policy dispatch (``"lut"`` or ``"walk"``)."""
+    if mode not in ("lut", "walk"):
+        raise ValueError(f"kernel mode must be 'lut' or 'walk', got {mode!r}")
+    with _LOCK:
+        _COUNTERS[f"{mode}_calls"] += 1
+
+
+# ----------------------------------------------------------------------
+# Support predicate.
+# ----------------------------------------------------------------------
+def tables_supported(k: int) -> bool:
+    """True when transition tables can be compiled for associativity ``k``.
+
+    Requires a power of two no larger than :data:`MAX_TABLE_ASSOC`; above
+    :data:`PURE_PYTHON_MAX_ASSOC` numpy must be importable (pure-Python
+    compilation of the 524 288-entry k=16 tables would dwarf the payoff).
+    """
+    if not is_power_of_two(k) or k < 2 or k > MAX_TABLE_ASSOC:
+        return False
+    if k > PURE_PYTHON_MAX_ASSOC and _np is None:
+        return False
+    return True
+
+
+def _normalize_entries(k: int, entries: Optional[Sequence[int]]) -> Tuple[int, ...]:
+    """Validate and freeze IPV entries; ``None`` means classic PLRU.
+
+    Classic tree PLRU *is* the all-zeros vector: ``promote(state, way)`` is
+    exactly ``set_position(state, way, 0)`` (Figure 6 vs Figure 9).
+    """
+    if entries is None:
+        return (0,) * (k + 1)
+    entries = tuple(int(e) for e in entries)
+    if len(entries) != k + 1:
+        raise ValueError(
+            f"IPV for a {k}-way set needs {k + 1} entries, got {len(entries)}"
+        )
+    for i, e in enumerate(entries):
+        if not 0 <= e < k:
+            raise ValueError(f"IPV entry V[{i}]={e} out of range 0..{k - 1}")
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Per-k base tables (never evicted: at most a handful of k values live).
+# ----------------------------------------------------------------------
+class _BaseTables:
+    """Per-associativity tables every IPV's composed tables are built from."""
+
+    __slots__ = ("k", "log2k", "states", "victim", "pos", "path_mask", "path_bits")
+
+    def __init__(self, k: int):
+        self.k = k
+        self.log2k = k.bit_length() - 1
+        self.states = 1 << (k - 1)
+        S = self.states
+        # path_mask[w]: the plru bits on way w's leaf-to-root path.
+        # path_bits[w][x]: those bits valued so that way w decodes to x
+        # (= set_position(0, w, x) restricted to the path, which is all of it).
+        self.path_mask: List[int] = []
+        self.path_bits: List[List[int]] = []
+        for w in range(k):
+            mask = 0
+            q = k + w
+            while q > 1:
+                parent = q >> 1
+                mask |= 1 << (parent - 1)
+                q = parent
+            self.path_mask.append(mask)
+            self.path_bits.append([set_position(0, w, x, k) for x in range(k)])
+        if _np is not None and k > PURE_PYTHON_MAX_ASSOC:
+            self.victim, self.pos = self._compile_numpy()
+        else:
+            self.victim, self.pos = self._compile_python()
+
+    # -- pure python (small k) -----------------------------------------
+    def _compile_python(self) -> Tuple[array, array]:
+        k, S, log2k = self.k, self.states, self.log2k
+        victim = array("H", (find_plru(s, k) for s in range(S)))
+        pos = array("H", bytes(2 * S * k))
+        for s in range(S):
+            base = s << log2k
+            for w in range(k):
+                pos[base | w] = position(s, w, k)
+        return victim, pos
+
+    # -- numpy (large k) -----------------------------------------------
+    def _compile_numpy(self) -> Tuple[array, array]:
+        k, S, log2k = self.k, self.states, self.log2k
+        states = _np.arange(S, dtype=_np.uint32)
+        # Figure 5 walk, vectorized over every state at once.
+        n = _np.ones(S, dtype=_np.uint32)
+        for _ in range(log2k):
+            n = (n << 1) | ((states >> (n - 1)) & 1)
+        victim_np = (n - k).astype(_np.uint16)
+        # Figure 7 decode per way.
+        pos_np = _np.empty((S, k), dtype=_np.uint16)
+        for w in range(k):
+            q = k + w
+            b = 0
+            acc = _np.zeros(S, dtype=_np.uint32)
+            while q > 1:
+                parent = q >> 1
+                bit = (states >> (parent - 1)) & 1
+                if not (q & 1):
+                    bit ^= 1
+                acc |= bit << b
+                q = parent
+                b += 1
+            pos_np[:, w] = acc
+        return _np_to_array(victim_np), _np_to_array(pos_np.reshape(-1))
+
+
+def _np_to_array(values) -> array:
+    """uint-ish numpy vector -> ``array('H')`` without a Python-int detour."""
+    out = array("H")
+    out.frombytes(values.astype(_np.uint16, copy=False).tobytes())
+    return out
+
+
+_BASE_TABLES: Dict[int, _BaseTables] = {}
+
+
+def _base_tables(k: int) -> _BaseTables:
+    base = _BASE_TABLES.get(k)
+    if base is None:
+        base = _BaseTables(k)
+        _BASE_TABLES[k] = base
+    return base
+
+
+# ----------------------------------------------------------------------
+# Composed per-IPV tables.
+# ----------------------------------------------------------------------
+class KernelTables:
+    """Compiled transition tables for one ``(k, IPV)`` pair.
+
+    ``victim`` and ``pos`` are shared (per ``k``); ``hit`` and ``fill`` are
+    composed for the specific vector.  All four are ``array('H')`` indexed
+    as documented in the module docstring.
+    """
+
+    __slots__ = (
+        "k", "log2k", "entries", "victim", "pos", "hit", "fill",
+        "compile_seconds",
+    )
+
+    def __init__(self, k: int, entries: Tuple[int, ...]):
+        base = _base_tables(k)
+        self.k = k
+        self.log2k = base.log2k
+        self.entries = entries
+        self.victim = base.victim
+        self.pos = base.pos
+        started = time.perf_counter()
+        promo = entries[:k]
+        insert = entries[k]
+        S = base.states
+        if _np is not None and k > PURE_PYTHON_MAX_ASSOC:
+            states = _np.arange(S, dtype=_np.uint32)
+            pos_np = _np.frombuffer(base.pos, dtype=_np.uint16).reshape(S, k)
+            promo_np = _np.asarray(promo, dtype=_np.intp)
+            hit = _np.empty((S, k), dtype=_np.uint32)
+            fill = _np.empty((S, k), dtype=_np.uint32)
+            for w in range(k):
+                keep = states & ~_np.uint32(base.path_mask[w])
+                path_bits_w = _np.asarray(base.path_bits[w], dtype=_np.uint32)
+                hit[:, w] = keep | path_bits_w[promo_np[pos_np[:, w]]]
+                fill[:, w] = keep | path_bits_w[insert]
+            self.hit = _np_to_array(hit.reshape(-1))
+            self.fill = _np_to_array(fill.reshape(-1))
+        else:
+            log2k = base.log2k
+            pos_t = base.pos
+            hit = array("H", bytes(2 * S * k))
+            fill = array("H", bytes(2 * S * k))
+            for w in range(k):
+                mask = ~base.path_mask[w]
+                bits = base.path_bits[w]
+                fill_bits = bits[insert]
+                for s in range(S):
+                    i = (s << log2k) | w
+                    keep = s & mask
+                    hit[i] = keep | bits[promo[pos_t[i]]]
+                    fill[i] = keep | fill_bits
+            self.hit = hit
+            self.fill = fill
+        self.compile_seconds = time.perf_counter() - started
+
+    @property
+    def nbytes(self) -> int:
+        """Total table footprint in bytes (victim + pos + hit + fill)."""
+        return sum(
+            t.itemsize * len(t)
+            for t in (self.victim, self.pos, self.hit, self.fill)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KernelTables(k={self.k}, entries={list(self.entries)}, "
+            f"{self.nbytes / 1024:.0f} KiB, "
+            f"compiled in {self.compile_seconds * 1e3:.1f} ms)"
+        )
+
+
+_IPV_CACHE: "OrderedDict[Tuple[int, Tuple[int, ...]], KernelTables]" = OrderedDict()
+
+
+def compile_tables(
+    k: int, entries: Optional[Sequence[int]] = None
+) -> Optional[KernelTables]:
+    """Compile (or fetch from the LRU cache) tables for ``(k, entries)``.
+
+    ``entries=None`` compiles classic tree PLRU (the all-zeros vector).
+    Returns ``None`` when tables are unsupported for ``k`` (caller falls
+    back to the bit-walk reference).  Raises :class:`ValueError` for
+    malformed IPV entries — malformed vectors must never silently
+    mis-simulate.
+    """
+    if not tables_supported(k):
+        if entries is not None and is_power_of_two(k):
+            _normalize_entries(k, entries)  # still validate before bailing
+        return None
+    key = (k, _normalize_entries(k, entries))
+    with _LOCK:
+        tables = _IPV_CACHE.get(key)
+        if tables is not None:
+            _IPV_CACHE.move_to_end(key)
+            _COUNTERS["cache_hits"] += 1
+            return tables
+        _COUNTERS["cache_misses"] += 1
+        tables = KernelTables(key[0], key[1])
+        _COUNTERS["compiles"] += 1
+        _COUNTERS["compile_seconds"] += tables.compile_seconds
+        _IPV_CACHE[key] = tables
+        while len(_IPV_CACHE) > KERNEL_CACHE_CAPACITY:
+            _IPV_CACHE.popitem(last=False)
+        return tables
+
+
+def resolve_kernel(
+    kernel: str, k: int, entries: Optional[Sequence[int]] = None
+) -> Optional[KernelTables]:
+    """Map a user-facing kernel setting to tables (or ``None`` for walk).
+
+    ``"auto"`` compiles tables when supported and otherwise falls back;
+    ``"lut"`` demands tables (raises if unsupported); ``"walk"`` forces the
+    bit-walk reference.
+    """
+    if kernel == "walk":
+        if entries is not None and is_power_of_two(k):
+            _normalize_entries(k, entries)
+        return None
+    if kernel == "lut":
+        tables = compile_tables(k, entries)
+        if tables is None:
+            raise ValueError(
+                f"LUT kernel unavailable for associativity {k} "
+                f"(supported: powers of two <= {MAX_TABLE_ASSOC}"
+                f"{', numpy required above %d' % PURE_PYTHON_MAX_ASSOC if _np is None else ''})"
+            )
+        return tables
+    if kernel == "auto":
+        return compile_tables(k, entries)
+    raise ValueError(f"kernel must be 'auto', 'lut' or 'walk', got {kernel!r}")
+
+
+def clear_kernel_cache() -> int:
+    """Drop every cached table set; returns how many were dropped."""
+    with _LOCK:
+        n = len(_IPV_CACHE)
+        _IPV_CACHE.clear()
+        return n
+
+
+def kernel_cache_info() -> Dict[str, object]:
+    """Cache occupancy plus the (k, entries) keys currently resident."""
+    with _LOCK:
+        return {
+            "capacity": KERNEL_CACHE_CAPACITY,
+            "size": len(_IPV_CACHE),
+            "keys": [
+                {"k": k, "entries": list(entries)} for k, entries in _IPV_CACHE
+            ],
+            "nbytes": sum(t.nbytes for t in _IPV_CACHE.values()),
+        }
+
+
+# ----------------------------------------------------------------------
+# Observability integration.
+# ----------------------------------------------------------------------
+def kernel_provenance() -> Dict[str, object]:
+    """The kernel facts a provenance manifest should record.
+
+    Which kernel modes ran (``lut_calls`` / ``walk_calls``), compile
+    activity and cache traffic, plus whether numpy-backed compilation was
+    available — enough to state which kernel produced a traced run.
+    """
+    counters = kernel_counters()
+    return {
+        "numpy": _np is not None,
+        "max_table_assoc": MAX_TABLE_ASSOC,
+        "cache_capacity": KERNEL_CACHE_CAPACITY,
+        "cache_size": len(_IPV_CACHE),
+        "counters": counters,
+        "mode": (
+            "lut" if counters["lut_calls"] and not counters["walk_calls"]
+            else "walk" if counters["walk_calls"] and not counters["lut_calls"]
+            else "mixed" if counters["lut_calls"] or counters["walk_calls"]
+            else "unused"
+        ),
+    }
+
+
+def publish_kernel_metrics(registry) -> None:
+    """Copy the kernel counters into a :class:`repro.obs.MetricsRegistry`.
+
+    Counter names follow the runner's ``repro_*`` convention so kernel
+    activity exports through the same Prometheus/JSON pipe as everything
+    else.  Idempotent: values are *set* from the snapshot, so publishing
+    twice does not double-count (gauges are used for that reason).
+    """
+    counters = kernel_counters()
+    registry.gauge(
+        "repro_kernel_compiles", "Transition-table sets compiled"
+    ).set(counters["compiles"])
+    registry.gauge(
+        "repro_kernel_compile_seconds", "Cumulative table compile time"
+    ).set(counters["compile_seconds"])
+    registry.gauge(
+        "repro_kernel_cache_hits", "Compile-cache hits"
+    ).set(counters["cache_hits"])
+    registry.gauge(
+        "repro_kernel_cache_misses", "Compile-cache misses"
+    ).set(counters["cache_misses"])
+    registry.gauge(
+        "repro_kernel_lut_calls", "Simulations dispatched to the LUT kernel"
+    ).set(counters["lut_calls"])
+    registry.gauge(
+        "repro_kernel_walk_calls", "Simulations on the bit-walk reference"
+    ).set(counters["walk_calls"])

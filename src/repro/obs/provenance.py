@@ -96,8 +96,14 @@ def build_manifest(
     ``extra`` entries are merged at the top level (benchmark, simpoint,
     cache key, output paths, ...); they must not collide with the standard
     fields.
+
+    The ``kernels`` field records the transition-table kernel provenance
+    (:func:`repro.kernels.kernel_provenance`): whether the process ran on
+    precomputed LUTs or reference bit-walks, compile counts and compile
+    cache behaviour — enough to explain perf differences between runs.
     """
     from ..eval.parallel import _canonical, code_version  # lazy import
+    from ..kernels import kernel_provenance  # lazy: avoid import cycles
 
     if seed is None and config is not None:
         seed = getattr(config, "seed", None)
@@ -118,6 +124,7 @@ def build_manifest(
         "policy_kwargs": _canonical(dict(policy_kwargs or {})),
         "seed": seed,
         "wall_time_sec": wall_time_sec,
+        "kernels": kernel_provenance(),
     }
     if extra:
         for key, value in extra.items():

@@ -11,6 +11,14 @@ onto PseudoLRU recency-stack positions:
 * :class:`DGIPPRPolicy` — set-dueling between 2 or 4 evolved IPVs (Section
   3.5) while sharing one set of plru bits across vectors, exactly as the
   paper specifies.
+
+All three dispatch to the precompiled transition tables of
+:mod:`repro.kernels` when available (``kernel="auto"``, the default):
+victim selection and the composed hit/fill transitions become single
+``array('H')`` lookups instead of ``log2(k)`` bit-walks.  ``kernel="walk"``
+forces the reference walks (used by the equivalence tests); the two paths
+are bit-identical.  The active mode is exposed as ``kernel_mode``
+(``"lut"`` or ``"walk"``) for provenance.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from typing import List, Sequence
 from ..core.dueling import make_selector
 from ..core.ipv import IPV
 from ..core.plru import find_plru, position, promote, set_position
+from ..kernels import resolve_kernel
 from .base import AccessContext, ReplacementPolicy
 
 __all__ = ["TreePLRUPolicy", "GIPPRPolicy", "DGIPPRPolicy"]
@@ -30,20 +39,37 @@ class TreePLRUPolicy(ReplacementPolicy):
 
     name = "plru"
 
-    def __init__(self, num_sets: int, assoc: int):
+    def __init__(self, num_sets: int, assoc: int, kernel: str = "auto"):
         super().__init__(num_sets, assoc)
         self._state: List[int] = [0] * num_sets
+        # Classic PLRU is the all-zeros vector: promote == set_position(0).
+        self._tables = resolve_kernel(kernel, assoc, None)
+        self.kernel_mode = "lut" if self._tables is not None else "walk"
+        if self._tables is not None:
+            self._shift = self._tables.log2k
+            self._victim_t = self._tables.victim
+            self._touch_t = self._tables.hit  # == fill: both promote to PMRU
+            self._pos_t = self._tables.pos
 
     def victim(self, set_index: int, ctx: AccessContext) -> int:
+        if self._tables is not None:
+            return self._victim_t[self._state[set_index]]
         return find_plru(self._state[set_index], self.assoc)
 
     def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if self._tables is not None:
+            self._state[set_index] = self._touch_t[
+                (self._state[set_index] << self._shift) | way
+            ]
+            return
         self._state[set_index] = promote(self._state[set_index], way, self.assoc)
 
     def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
-        self._state[set_index] = promote(self._state[set_index], way, self.assoc)
+        self.on_hit(set_index, way, ctx)
 
     def position_of(self, set_index: int, way: int) -> int:
+        if self._tables is not None:
+            return self._pos_t[(self._state[set_index] << self._shift) | way]
         return position(self._state[set_index], way, self.assoc)
 
     def state_bits_per_set(self) -> float:
@@ -62,7 +88,9 @@ class GIPPRPolicy(ReplacementPolicy):
 
     name = "gippr"
 
-    def __init__(self, num_sets: int, assoc: int, ipv: IPV = None):
+    def __init__(
+        self, num_sets: int, assoc: int, ipv: IPV = None, kernel: str = "auto"
+    ):
         super().__init__(num_sets, assoc)
         if ipv is None:
             from ..core.vectors import GIPPR_WI_VECTOR
@@ -74,23 +102,43 @@ class GIPPRPolicy(ReplacementPolicy):
         self._promo = ipv.entries[:assoc]
         self._insert = ipv.entries[assoc]
         self._state: List[int] = [0] * num_sets
+        self._tables = resolve_kernel(kernel, assoc, ipv.entries)
+        self.kernel_mode = "lut" if self._tables is not None else "walk"
+        if self._tables is not None:
+            self._shift = self._tables.log2k
+            self._victim_t = self._tables.victim
+            self._hit_t = self._tables.hit
+            self._fill_t = self._tables.fill
+            self._pos_t = self._tables.pos
 
     def victim(self, set_index: int, ctx: AccessContext) -> int:
+        if self._tables is not None:
+            return self._victim_t[self._state[set_index]]
         return find_plru(self._state[set_index], self.assoc)
 
     def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
         state = self._state[set_index]
+        if self._tables is not None:
+            self._state[set_index] = self._hit_t[(state << self._shift) | way]
+            return
         pos = position(state, way, self.assoc)
         self._state[set_index] = set_position(
             state, way, self._promo[pos], self.assoc
         )
 
     def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
+        if self._tables is not None:
+            self._state[set_index] = self._fill_t[
+                (self._state[set_index] << self._shift) | way
+            ]
+            return
         self._state[set_index] = set_position(
             self._state[set_index], way, self._insert, self.assoc
         )
 
     def position_of(self, set_index: int, way: int) -> int:
+        if self._tables is not None:
+            return self._pos_t[(self._state[set_index] << self._shift) | way]
         return position(self._state[set_index], way, self.assoc)
 
     def state_bits_per_set(self) -> float:
@@ -105,9 +153,11 @@ class DGIPPRPolicy(ReplacementPolicy):
     (4-DGIPPR).  Only one array of plru bits is kept per set regardless of
     the vector count, matching the paper's hardware budget of 15 bits per
     16-way set plus 33 counter bits per cache.
-    """
 
-    name = "dgippr"
+    With the LUT kernel, one composed hit/fill table pair is compiled per
+    duelled vector; the bounded compile cache in :mod:`repro.kernels` makes
+    repeated duels of the same published vector sets free.
+    """
 
     def __init__(
         self,
@@ -117,6 +167,7 @@ class DGIPPRPolicy(ReplacementPolicy):
         leaders_per_policy: int = None,
         counter_bits: int = 11,
         seed: int = 0xDEAD,
+        kernel: str = "auto",
     ):
         super().__init__(num_sets, assoc)
         if ipvs is None:
@@ -138,13 +189,33 @@ class DGIPPRPolicy(ReplacementPolicy):
         self._promos = [ipv.entries[:assoc] for ipv in ipvs]
         self._inserts = [ipv.entries[assoc] for ipv in ipvs]
         self._state: List[int] = [0] * num_sets
+        # All-or-nothing table compilation: one composed pair per vector.
+        table_sets = [resolve_kernel(kernel, assoc, ipv.entries) for ipv in ipvs]
+        if all(t is not None for t in table_sets):
+            self._tables = table_sets[0]
+            self._shift = table_sets[0].log2k
+            self._victim_t = table_sets[0].victim
+            self._pos_t = table_sets[0].pos
+            self._hit_ts = [t.hit for t in table_sets]
+            self._fill_ts = [t.fill for t in table_sets]
+            self.kernel_mode = "lut"
+        else:
+            self._tables = None
+            self.kernel_mode = "walk"
 
     def victim(self, set_index: int, ctx: AccessContext) -> int:
+        if self._tables is not None:
+            return self._victim_t[self._state[set_index]]
         return find_plru(self._state[set_index], self.assoc)
 
     def on_hit(self, set_index: int, way: int, ctx: AccessContext) -> None:
         ipv_index = self.selector.policy_for_set(set_index)
         state = self._state[set_index]
+        if self._tables is not None:
+            self._state[set_index] = self._hit_ts[ipv_index][
+                (state << self._shift) | way
+            ]
+            return
         pos = position(state, way, self.assoc)
         self._state[set_index] = set_position(
             state, way, self._promos[ipv_index][pos], self.assoc
@@ -155,6 +226,11 @@ class DGIPPRPolicy(ReplacementPolicy):
 
     def on_fill(self, set_index: int, way: int, ctx: AccessContext) -> None:
         ipv_index = self.selector.policy_for_set(set_index)
+        if self._tables is not None:
+            self._state[set_index] = self._fill_ts[ipv_index][
+                (self._state[set_index] << self._shift) | way
+            ]
+            return
         self._state[set_index] = set_position(
             self._state[set_index], way, self._inserts[ipv_index], self.assoc
         )
@@ -164,6 +240,8 @@ class DGIPPRPolicy(ReplacementPolicy):
         return self.ipvs[self.selector.selected()]
 
     def position_of(self, set_index: int, way: int) -> int:
+        if self._tables is not None:
+            return self._pos_t[(self._state[set_index] << self._shift) | way]
         return position(self._state[set_index], way, self.assoc)
 
     def state_bits_per_set(self) -> float:

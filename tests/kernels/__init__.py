@@ -1,0 +1,1 @@
+"""Tests for the precompiled PLRU transition-table kernels."""
