@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-kernels smoke-parallel smoke-obs smoke-kernels figures wn-vectors examples clean
+.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels figures report wn-vectors examples clean
+
+# Targets that run pytest / the library directly need the src layout on the
+# import path; the smoke scripts insert it themselves but inherit it too.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +22,23 @@ bench:
 
 bench-quick:
 	REPRO_SCALE=0.4 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Differential conformance gate: every registered policy against its
+# reference oracle over the deterministic stream family, plus the
+# per-access invariant battery, LUT-vs-walk kernel identity, Belady
+# dominance and the committed golden corpus.  Non-zero exit on any
+# divergence or golden drift.  `conformance` is the fast CI gate;
+# `conformance-full` runs the default fuzz budget and writes a report
+# with a provenance manifest sidecar.
+conformance:
+	$(PYTHON) -m repro.cli verify --all --quick
+
+conformance-full:
+	$(PYTHON) -m repro.cli verify --all --report results/conformance.json
+
+# Deliberate, audited regeneration of the golden miss-count corpus.
+regen-goldens:
+	$(PYTHON) scripts/regen_goldens.py
 
 # Transition-table kernel throughput: accesses/sec LUT vs bit-walk for
 # k in {4,8,16} plus GA-generation wall time, written to BENCH_kernels.json

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Regenerate the committed golden conformance corpus.
+
+The corpus (``tests/goldens/conformance_goldens.json``) pins exact miss
+counts for every registered policy on the deterministic golden matrix
+(:func:`repro.verify.goldens.golden_matrix`).  ``repro verify`` and the
+test suite fail on any drift, so this script is the *only* sanctioned way
+to move those numbers — run it after an intentional behaviour change,
+inspect the diff (it names every policy/stream/geometry that moved), and
+commit the result together with the change that caused it.
+
+A provenance manifest sidecar records the code digest, git revision and
+kernel modes of the regeneration.
+
+Usage::
+
+    python scripts/regen_goldens.py [--out PATH] [--check]
+
+``--check`` verifies the committed corpus against a fresh recomputation
+and exits 1 on drift without writing anything (the CI mode).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.verify.goldens import (  # noqa: E402
+    DEFAULT_GOLDENS_PATH,
+    check_golden_corpus,
+    golden_matrix,
+    load_golden_corpus,
+    write_golden_corpus,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=f"corpus path (default: {DEFAULT_GOLDENS_PATH})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed corpus instead of rewriting it",
+    )
+    parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip the provenance manifest sidecar",
+    )
+    args = parser.parse_args()
+
+    if args.check:
+        drift, checked = check_golden_corpus(args.out)
+        if drift:
+            print(f"golden corpus drift ({len(drift)} entries):",
+                  file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"golden corpus OK: {checked} entries match")
+        return 0
+
+    previous = {}
+    target = args.out or DEFAULT_GOLDENS_PATH
+    try:
+        previous = load_golden_corpus(target).get("entries", {})
+    except (FileNotFoundError, ValueError):
+        pass
+    path = write_golden_corpus(target, with_manifest=not args.no_manifest)
+    current = load_golden_corpus(path)["entries"]
+    changed = {
+        k: (previous.get(k), v)
+        for k, v in current.items()
+        if previous.get(k) != v
+    }
+    removed = sorted(set(previous) - set(current))
+    print(f"wrote {path}: {len(current)} entries "
+          f"({len(golden_matrix())} cells)")
+    if changed:
+        print(f"{len(changed)} entries changed:")
+        for key in sorted(changed):
+            old, new = changed[key]
+            print(f"  {key}: {old} -> {new}")
+    if removed:
+        print(f"{len(removed)} entries removed:")
+        for key in removed:
+            print(f"  {key}")
+    if not changed and not removed:
+        print("no changes (corpus already matched)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

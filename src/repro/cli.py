@@ -10,6 +10,8 @@ Installed as the ``repro`` console script::
     repro trace-stats 462.libquantum     # reuse profile of a stand-in
     repro trace 429.mcf --out t.jsonl    # traced run -> JSONL event stream
     repro obs summary t.jsonl            # inspect / validate / re-metric it
+    repro verify --all                   # differential conformance gate
+    repro verify --policy gippr --fuzz-budget 50000 --artifact-dir repros/
 
 Global flags: ``-v`` raises log verbosity to DEBUG, ``--log-level`` sets an
 explicit level (library modules log through ``logging.getLogger(__name__)``;
@@ -166,6 +168,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the untraced reference run / replay check")
     trace.add_argument("--no-manifest", action="store_true",
                        help="skip writing the provenance manifest sidecar")
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential conformance: fuzz policies against oracles",
+        description="Differentially fuzz registered policies against the "
+                    "reference oracles over the deterministic stream family, "
+                    "check per-access invariants, LUT-vs-walk kernel "
+                    "identity, Belady dominance and the committed golden "
+                    "corpus.  Failures are shrunk to minimal replayable "
+                    "counterexample artifacts.  Exit code 1 on any failure.",
+    )
+    verify_target = verify.add_mutually_exclusive_group()
+    verify_target.add_argument(
+        "--policy", nargs="+", default=None, metavar="NAME",
+        help="verify only these registry policies",
+    )
+    verify_target.add_argument(
+        "--all", action="store_true", dest="all_policies",
+        help="verify every registered policy (the default)",
+    )
+    verify.add_argument(
+        "--fuzz-budget", type=int, default=None, metavar="N",
+        help="total fuzz accesses per policy, split over the "
+             "stream x seed x geometry grid (default: "
+             "24000, or 6000 with --quick)",
+    )
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="smaller budget and sparser invariant checking (CI smoke)",
+    )
+    verify.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1], metavar="SEED",
+        help="stream seeds (default: 0 1)",
+    )
+    verify.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw counterexamples without ddmin shrinking",
+    )
+    verify.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write replayable counterexample artifacts here",
+    )
+    verify.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="replay one counterexample artifact instead of fuzzing",
+    )
+    verify.add_argument(
+        "--no-goldens", action="store_true",
+        help="skip the golden-corpus drift check",
+    )
+    verify.add_argument(
+        "--goldens", default=None, metavar="PATH",
+        help="golden corpus path (default: tests/goldens/"
+             "conformance_goldens.json)",
+    )
+    verify.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON report (+ provenance manifest sidecar) here",
+    )
 
     obs = sub.add_parser(
         "obs", help="inspect repro.obs artifacts (JSONL traces, metrics)"
@@ -436,6 +497,52 @@ def _cmd_trace(args) -> int:
     return code
 
 
+def _cmd_verify(args) -> int:
+    from .verify import replay_artifact, verify_all, write_conformance_manifest
+    from .verify.conformance import DEFAULT_FUZZ_BUDGET
+
+    if args.replay is not None:
+        divergence = replay_artifact(args.replay)
+        if divergence is None:
+            print(f"{args.replay}: no longer reproduces (fixed, or flaky)")
+            return 0
+        print(f"{args.replay}: still diverges at access "
+              f"{divergence.index} (block {divergence.block}): "
+              f"[{divergence.kind}] {divergence.detail}")
+        return 1
+
+    policies = args.policy  # None -> every registered policy
+    budget = args.fuzz_budget
+    check_every = 1
+    if args.quick:
+        budget = budget if budget is not None else 6_000
+        check_every = 16
+    elif budget is None:
+        budget = DEFAULT_FUZZ_BUDGET
+
+    from .policies import policy_names
+
+    names = policies or policy_names()
+    report = verify_all(
+        policies=policies,
+        fuzz_budget=budget,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+        seeds=args.seeds,
+        check_goldens=not args.no_goldens,
+        goldens_path=args.goldens,
+        check_every=check_every,
+    )
+    print(report.summary())
+    if args.report:
+        write_conformance_manifest(
+            report, args.report,
+            fuzz_budget=budget, seeds=args.seeds, policies=names,
+        )
+        logger.info("report written to %s", args.report)
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args) -> int:
     import json
     from collections import Counter as _Counter
@@ -507,6 +614,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_stats(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")

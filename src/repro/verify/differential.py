@@ -1,0 +1,267 @@
+"""Lockstep differential execution: production cache vs reference oracle.
+
+:func:`run_differential` drives a production
+:class:`~repro.cache.cache.SetAssociativeCache` and a reference
+:class:`~repro.verify.oracles.OracleCache` through the same access stream
+and compares, after *every* access:
+
+* the hit/miss outcome,
+* the resident-block set of the accessed cache set, and
+* the full recency-position permutation (when both sides expose one) —
+  the paper's exact recency-stack semantics, not just aggregate counts.
+
+The first mismatch is returned as a :class:`Divergence` carrying enough
+context to re-run and shrink.  Per-access invariants from
+:mod:`repro.verify.invariants` ride along on the production side so state
+corruption is caught even for policies without an oracle.
+
+Two run-level checks complete the battery:
+
+* :func:`check_lut_walk_equality` — the precompiled transition-table
+  kernels must be bit-identical to the reference bit-walks (same misses,
+  hits, evictions *and* final per-set state digests), and
+* :func:`check_belady_dominance` — Belady's MIN never misses more than a
+  practical (non-bypassing) policy on a next-use-annotated stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..cache.cache import SetAssociativeCache
+from ..policies.base import ReplacementPolicy
+from .invariants import Invariant, check_invariants, default_invariants
+from .oracles import OracleCache
+
+__all__ = [
+    "Divergence",
+    "run_differential",
+    "diff_stream",
+    "check_lut_walk_equality",
+    "check_belady_dominance",
+]
+
+
+class Divergence:
+    """The first point where production and oracle (or invariants) disagree."""
+
+    __slots__ = ("index", "block", "kind", "detail", "accesses")
+
+    def __init__(
+        self,
+        index: int,
+        block: int,
+        kind: str,
+        detail: str,
+        accesses: Optional[List[int]] = None,
+    ):
+        self.index = index
+        self.block = block
+        self.kind = kind
+        self.detail = detail
+        #: The (possibly shrunk) stream that provokes the divergence.
+        self.accesses = list(accesses) if accesses is not None else None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "block": self.block,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Divergence(index={self.index}, block={self.block}, "
+            f"kind={self.kind!r}, detail={self.detail!r})"
+        )
+
+
+def _build_cache(policy: ReplacementPolicy) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        policy.num_sets, policy.assoc, policy, block_size=1, name="verify"
+    )
+
+
+def run_differential(
+    policy: ReplacementPolicy,
+    oracle: Optional[OracleCache],
+    accesses: Sequence[int],
+    invariants: Optional[Iterable[Invariant]] = None,
+    check_every: int = 1,
+    next_use: Optional[Sequence[int]] = None,
+) -> Optional[Divergence]:
+    """Run ``accesses`` through policy and oracle in lockstep.
+
+    ``oracle`` may be ``None`` for invariants-only verification.
+    ``next_use`` supplies per-access next-use annotations for policies that
+    require the future (Belady's MIN).  Returns the first
+    :class:`Divergence`, or ``None`` on a clean run.
+    """
+    if invariants is None:
+        invariants = default_invariants()
+    invariants = list(invariants)
+    cache = _build_cache(policy)
+    position_of = getattr(policy, "position_of", None)
+    compare_positions = (
+        oracle is not None
+        and position_of is not None
+        and oracle.positions(0) is not None
+    )
+    for i, block in enumerate(accesses):
+        if next_use is not None:
+            hit = cache.access(block, next_use=next_use[i])
+        else:
+            hit = cache.access(block)
+        if oracle is not None:
+            oracle_hit, _ = oracle.access(block)
+            if hit != oracle_hit:
+                return Divergence(
+                    i, block, "hit-miss",
+                    f"production {'hit' if hit else 'miss'} but oracle "
+                    f"{'hit' if oracle_hit else 'miss'}",
+                    accesses,
+                )
+            set_index, _tag = cache.locate(block)
+            produced = set(cache._way_of[set_index])
+            expected = oracle.resident_blocks(set_index)
+            if produced != expected:
+                return Divergence(
+                    i, block, "residency",
+                    f"set {set_index}: production residents "
+                    f"{sorted(produced)} != oracle {sorted(expected)}",
+                    accesses,
+                )
+            if compare_positions:
+                got = [
+                    position_of(set_index, w) for w in range(cache.assoc)
+                ]
+                want = oracle.positions(set_index)
+                if got != want:
+                    return Divergence(
+                        i, block, "positions",
+                        f"set {set_index}: production positions {got} != "
+                        f"oracle {want}",
+                        accesses,
+                    )
+        if invariants and i % check_every == 0:
+            violation = check_invariants(cache, invariants)
+            if violation is not None:
+                return Divergence(i, block, "invariant", violation, accesses)
+    if invariants:
+        violation = check_invariants(cache, invariants)
+        if violation is not None:
+            return Divergence(
+                len(accesses) - 1,
+                accesses[-1] if accesses else -1,
+                "invariant",
+                violation,
+                accesses,
+            )
+    return None
+
+
+def diff_stream(
+    policy_factory: Callable[[], ReplacementPolicy],
+    oracle_factory: Optional[Callable[[], Optional[OracleCache]]],
+    accesses: Sequence[int],
+    invariants: Optional[Iterable[Invariant]] = None,
+    check_every: int = 1,
+) -> Optional[Divergence]:
+    """Fresh-instance wrapper around :func:`run_differential`.
+
+    Factories (not instances) make the check re-runnable, which is what the
+    shrinker needs: every candidate sub-stream is replayed from cold state.
+    Next-use annotations, when the policy requires them, are recomputed for
+    every candidate stream.
+    """
+    oracle = oracle_factory() if oracle_factory is not None else None
+    policy = policy_factory()
+    next_use = None
+    if getattr(policy, "requires_future", False):
+        from ..trace.record import Trace, annotate_next_use
+
+        next_use = annotate_next_use(Trace(list(accesses)))
+    return run_differential(
+        policy, oracle, accesses, invariants, check_every, next_use=next_use
+    )
+
+
+# ----------------------------------------------------------------------
+# Run-level checks.
+# ----------------------------------------------------------------------
+def _state_digest(policy: ReplacementPolicy) -> Optional[tuple]:
+    """Positions of every (set, way), when the policy can decode them."""
+    position_of = getattr(policy, "position_of", None)
+    if position_of is None:
+        return None
+    return tuple(
+        tuple(position_of(s, w) for w in range(policy.assoc))
+        for s in range(policy.num_sets)
+    )
+
+
+def check_lut_walk_equality(
+    policy_factory: Callable[..., ReplacementPolicy],
+    accesses: Sequence[int],
+) -> Optional[str]:
+    """Bit-identity of the LUT kernel against the reference bit-walks.
+
+    ``policy_factory`` must accept a ``kernel`` keyword (the tree-PLRU
+    family does).  Returns a mismatch description or ``None``.  When the
+    LUT kernel is unavailable for the geometry (``resolve_kernel`` returned
+    ``None`` and both runs walked), the comparison still holds trivially
+    and ``None`` is returned.
+    """
+    results = {}
+    for mode in ("lut", "walk"):
+        policy = policy_factory(kernel=mode)
+        cache = _build_cache(policy)
+        misses = sum(not cache.access(block) for block in accesses)
+        stats = cache.stats
+        results[mode] = {
+            "misses": misses,
+            "hits": stats.hits,
+            "evictions": stats.evictions,
+            "state": _state_digest(policy),
+            "kernel_mode": getattr(policy, "kernel_mode", mode),
+        }
+    lut, walk = results["lut"], results["walk"]
+    for key in ("misses", "hits", "evictions", "state"):
+        if lut[key] != walk[key]:
+            return (
+                f"lut-vs-walk {key} mismatch: "
+                f"lut({lut['kernel_mode']})={lut[key]!r} "
+                f"walk={walk[key]!r}"
+            )
+    return None
+
+
+def check_belady_dominance(
+    policy: ReplacementPolicy,
+    accesses: Sequence[int],
+) -> Optional[str]:
+    """Belady's MIN must not miss more than ``policy`` on this stream.
+
+    Only meaningful for demand-fetch, non-bypassing policies; callers skip
+    bypassing policies.  Returns a violation description or ``None``.
+    """
+    from ..policies.belady import BeladyPolicy
+    from ..trace.record import Trace, annotate_next_use
+
+    trace = Trace(list(accesses))
+    next_use = annotate_next_use(trace)
+    belady = BeladyPolicy(policy.num_sets, policy.assoc)
+    belady_cache = _build_cache(belady)
+    belady_misses = sum(
+        not belady_cache.access(block, next_use=next_use[i])
+        for i, block in enumerate(accesses)
+    )
+    cache = _build_cache(policy)
+    policy_misses = sum(not cache.access(block) for block in accesses)
+    if belady_misses > policy_misses:
+        return (
+            f"Belady MIN missed {belady_misses} > {policy.name} "
+            f"{policy_misses} on {len(accesses)} accesses"
+        )
+    return None

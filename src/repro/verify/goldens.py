@@ -1,0 +1,220 @@
+"""Golden regression corpus: exact miss counts, committed to the repo.
+
+The corpus pins the miss count of every registered policy on a small
+deterministic matrix of ``stream x seed x geometry`` cells (the streams
+come from :mod:`repro.verify.streams`, the policy kwargs from
+:mod:`repro.verify.conformance`, so each entry is fully reproducible from
+its key alone).  ``check_golden_corpus`` recomputes every entry and
+reports *which* policy/stream/geometry drifted — a behavioural change to
+any replacement policy fails conformance with the offender's name, not
+just a checksum mismatch.
+
+Regeneration is deliberate and auditable: ``scripts/regen_goldens.py``
+rewrites the corpus (with a provenance manifest sidecar recording the
+code digest and git revision), and the diff shows exactly which counts
+moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "DEFAULT_GOLDENS_PATH",
+    "golden_matrix",
+    "golden_key",
+    "compute_golden",
+    "compute_goldens",
+    "write_golden_corpus",
+    "load_golden_corpus",
+    "check_golden_corpus",
+]
+
+#: Bump when the corpus layout changes.
+GOLDEN_SCHEMA = "repro-goldens/1"
+
+#: The committed corpus (kept under tests/ so pytest finds it naturally).
+DEFAULT_GOLDENS_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "tests"
+    / "goldens"
+    / "conformance_goldens.json"
+)
+
+#: Streams every policy is pinned on (the regimes where policies differ
+#: most: thrash, skewed reuse, per-set churn).
+GOLDEN_STREAMS: Tuple[str, ...] = (
+    "cyclic-over-capacity",
+    "zipf-hot",
+    "adversarial-thrash",
+)
+
+#: The base geometry every policy is pinned at, and the 16-way paper
+#: geometry for the policies whose published vectors live there.
+GOLDEN_GEOMETRY: Tuple[int, int] = (8, 4)
+GOLDEN_WIDE_GEOMETRY: Tuple[int, int] = (4, 16)
+GOLDEN_WIDE_POLICIES: Tuple[str, ...] = (
+    "lru",
+    "plru",
+    "gippr",
+    "dgippr",
+    "drrip",
+)
+
+GOLDEN_SEED = 0
+GOLDEN_N = 1000
+
+#: A golden cell: (policy, stream, seed, num_sets, assoc, n).
+Cell = Tuple[str, str, int, int, int, int]
+
+
+def golden_matrix() -> List[Cell]:
+    """The full, ordered list of pinned cells."""
+    from ..policies.registry import policy_names
+
+    cells: List[Cell] = []
+    num_sets, assoc = GOLDEN_GEOMETRY
+    for policy in policy_names():
+        for stream in GOLDEN_STREAMS:
+            cells.append(
+                (policy, stream, GOLDEN_SEED, num_sets, assoc, GOLDEN_N)
+            )
+    wide_sets, wide_assoc = GOLDEN_WIDE_GEOMETRY
+    for policy in GOLDEN_WIDE_POLICIES:
+        for stream in GOLDEN_STREAMS:
+            cells.append(
+                (policy, stream, GOLDEN_SEED, wide_sets, wide_assoc, GOLDEN_N)
+            )
+    return cells
+
+
+def golden_key(cell: Cell) -> str:
+    policy, stream, seed, num_sets, assoc, n = cell
+    return f"{policy}|{stream}|s{seed}|{num_sets}x{assoc}|n{n}"
+
+
+def compute_golden(cell: Cell) -> int:
+    """Miss count for one cell, recomputed from scratch."""
+    from ..cache.cache import SetAssociativeCache
+    from .conformance import build_policy
+    from .streams import generate_stream
+
+    policy_name, stream, seed, num_sets, assoc, n = cell
+    accesses = generate_stream(stream, seed, n, num_sets, assoc)
+    policy = build_policy(policy_name, num_sets, assoc)
+    cache = SetAssociativeCache(
+        num_sets, assoc, policy, block_size=1, name="goldens"
+    )
+    if getattr(policy, "requires_future", False):
+        from ..trace.record import Trace, annotate_next_use
+
+        next_use = annotate_next_use(Trace(list(accesses)))
+        return sum(
+            not cache.access(block, next_use=next_use[i])
+            for i, block in enumerate(accesses)
+        )
+    return sum(not cache.access(block) for block in accesses)
+
+
+def compute_goldens(
+    cells: Optional[List[Cell]] = None,
+) -> Dict[str, int]:
+    """Recompute the whole corpus (key -> miss count)."""
+    if cells is None:
+        cells = golden_matrix()
+    return {golden_key(cell): compute_golden(cell) for cell in cells}
+
+
+def write_golden_corpus(
+    path: Union[str, Path, None] = None,
+    with_manifest: bool = True,
+) -> Path:
+    """Atomically (re)write the committed corpus, plus its provenance
+    manifest sidecar when ``with_manifest`` is set."""
+    path = Path(path) if path is not None else DEFAULT_GOLDENS_PATH
+    entries = compute_goldens()
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "seed": GOLDEN_SEED,
+        "n": GOLDEN_N,
+        "streams": list(GOLDEN_STREAMS),
+        "geometries": [list(GOLDEN_GEOMETRY), list(GOLDEN_WIDE_GEOMETRY)],
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    if with_manifest:
+        from ..obs.provenance import build_manifest, write_manifest
+
+        write_manifest(
+            path,
+            build_manifest(
+                extra={
+                    "goldens": {
+                        "schema": GOLDEN_SCHEMA,
+                        "entries": len(entries),
+                        "seed": GOLDEN_SEED,
+                        "n": GOLDEN_N,
+                    }
+                }
+            ),
+        )
+    return path
+
+
+def load_golden_corpus(path: Union[str, Path, None] = None) -> dict:
+    path = Path(path) if path is not None else DEFAULT_GOLDENS_PATH
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown goldens schema {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def check_golden_corpus(
+    path: Union[str, Path, None] = None,
+) -> Tuple[List[str], int]:
+    """Recompute every committed entry and name each drifting cell.
+
+    Returns ``(drift_messages, checked_count)``.  A missing corpus file is
+    itself reported as drift (the gate must not silently pass when the
+    corpus was deleted); cells present in the current matrix but absent
+    from the corpus — or vice versa — are reported too, so adding or
+    removing a policy forces a deliberate regeneration.
+    """
+    target = Path(path) if path is not None else DEFAULT_GOLDENS_PATH
+    try:
+        payload = load_golden_corpus(target)
+    except FileNotFoundError:
+        return [f"golden corpus missing: {target}"], 0
+    except ValueError as exc:
+        return [str(exc)], 0
+    committed: Dict[str, int] = dict(payload.get("entries", {}))
+    drift: List[str] = []
+    checked = 0
+    current = {golden_key(cell): cell for cell in golden_matrix()}
+    for key, cell in current.items():
+        if key not in committed:
+            drift.append(f"{key}: not in committed corpus (regen needed)")
+            continue
+        expected = committed[key]
+        actual = compute_golden(cell)
+        checked += 1
+        if actual != expected:
+            drift.append(
+                f"{key}: misses {actual} != committed {expected}"
+            )
+    for key in committed:
+        if key not in current:
+            drift.append(f"{key}: committed but no longer in the matrix")
+    return drift, checked

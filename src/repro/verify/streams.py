@@ -1,0 +1,207 @@
+"""Deterministic, seed-addressable access-stream generators for conformance.
+
+Unlike :mod:`repro.trace.synthetic` (which builds numpy-backed ``Trace``
+objects for experiments), these generators produce plain ``list`` of block
+addresses from the stdlib ``random`` module only, so the conformance gate
+
+* has a stable output for a given ``(name, seed, n, geometry)`` on every
+  platform and Python version (``random.Random`` is the portable Mersenne
+  Twister; no float-distribution calls are used),
+* needs no optional test dependency (no hypothesis) and can run as a plain
+  CLI/CI command, and
+* can be replayed exactly from the four integers recorded in a
+  counterexample artifact.
+
+Each generator is registered in :data:`STREAM_GENERATORS` under a stable
+name; :func:`generate_stream` is the single entry point.  The family is
+chosen to stress every interesting replacement-policy regime:
+
+``seq-scan``
+    Zero-reuse sequential blocks (Section 2.2's dead-on-arrival traffic).
+``cyclic-at-capacity`` / ``cyclic-over-capacity``
+    Loops exactly at and just over cache capacity — the at-capacity loop is
+    all-hits after warmup for LRU-like policies, the over-capacity loop is
+    the canonical LRU-thrash / LIP-win pattern.
+``zipf-hot``
+    A hot head with a long cold tail (inverse-CDF Zipf over integers).
+``zipf-scan-mix``
+    Zipf traffic periodically disturbed by one-shot scans.
+``adversarial-thrash``
+    Per-set thrash: every set cyclically sees ``assoc + 1`` distinct
+    blocks, maximising victim-path churn.
+``duel-flip``
+    Alternating cache-friendly and thrashing phases, sized to drag a PSEL
+    counter back and forth across its decision threshold.
+``single-set-hammer``
+    All traffic lands in set 0 — the densest exercise of one tree's
+    insertion/promotion transitions, and the shape shrunk counterexamples
+    naturally take.
+``random-uniform``
+    Uniform traffic over twice the capacity.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Callable, Dict, List
+
+__all__ = [
+    "STREAM_GENERATORS",
+    "stream_names",
+    "generate_stream",
+]
+
+_Generator = Callable[[random.Random, int, int, int], List[int]]
+
+
+def _capacity(num_sets: int, assoc: int) -> int:
+    return num_sets * assoc
+
+
+def _seq_scan(rng: random.Random, n: int, num_sets: int, assoc: int) -> List[int]:
+    return list(range(n))
+
+
+def _cyclic_at_capacity(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    capacity = _capacity(num_sets, assoc)
+    return [i % capacity for i in range(n)]
+
+
+def _cyclic_over_capacity(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    capacity = _capacity(num_sets, assoc)
+    working_set = capacity + max(1, capacity // 8)
+    return [i % working_set for i in range(n)]
+
+
+def _zipf_sampler(rng: random.Random, working_set: int, alpha: float = 1.2):
+    """Inverse-CDF sampler over ranks ``0..working_set-1``.
+
+    Uses only ``rng.random()`` and integer weights scaled to a cumulative
+    table, so results are bit-stable across platforms.
+    """
+    cumulative: List[float] = []
+    total = 0.0
+    for rank in range(1, working_set + 1):
+        total += 1.0 / (rank ** alpha)
+        cumulative.append(total)
+
+    def sample() -> int:
+        x = rng.random() * total
+        return bisect.bisect_left(cumulative, x)
+
+    return sample
+
+
+def _zipf_hot(rng: random.Random, n: int, num_sets: int, assoc: int) -> List[int]:
+    working_set = 4 * _capacity(num_sets, assoc)
+    sample = _zipf_sampler(rng, working_set)
+    # Scatter popularity across sets with a fixed affine permutation so the
+    # hot head does not concentrate in set 0.
+    return [(sample() * 2654435761) % working_set for _ in range(n)]
+
+
+def _zipf_scan_mix(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    capacity = _capacity(num_sets, assoc)
+    working_set = 2 * capacity
+    sample = _zipf_sampler(rng, working_set)
+    out: List[int] = []
+    scan_cursor = working_set  # scans never collide with the hot region
+    while len(out) < n:
+        for _ in range(min(3 * capacity // 2, n - len(out))):
+            out.append((sample() * 2654435761) % working_set)
+        burst = min(capacity // 2, n - len(out))
+        out.extend(scan_cursor + j for j in range(burst))
+        scan_cursor += burst
+    return out
+
+
+def _adversarial_thrash(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    """Every set cyclically sees ``assoc + 1`` distinct blocks."""
+    per_set = assoc + 1
+    out: List[int] = []
+    cursor = [0] * num_sets
+    for i in range(n):
+        s = i % num_sets
+        out.append(s + num_sets * cursor[s])
+        cursor[s] = (cursor[s] + 1) % per_set
+    return out
+
+
+def _duel_flip(rng: random.Random, n: int, num_sets: int, assoc: int) -> List[int]:
+    """Alternate friendly and thrashing phases to force PSEL flips."""
+    capacity = _capacity(num_sets, assoc)
+    friendly_set = max(1, capacity // 2)
+    thrash_set = capacity + max(1, capacity // 4)
+    phase = max(64, capacity)
+    out: List[int] = []
+    i = 0
+    while len(out) < n:
+        friendly = (i // phase) % 2 == 0
+        working = friendly_set if friendly else thrash_set
+        out.append(i % working)
+        i += 1
+    return out
+
+
+def _single_set_hammer(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    distinct = 2 * assoc + 1
+    return [num_sets * rng.randrange(distinct) for _ in range(n)]
+
+
+def _random_uniform(
+    rng: random.Random, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    working_set = 2 * _capacity(num_sets, assoc)
+    return [rng.randrange(working_set) for _ in range(n)]
+
+
+#: Ordered registry of the deterministic conformance streams.
+STREAM_GENERATORS: Dict[str, _Generator] = {
+    "seq-scan": _seq_scan,
+    "cyclic-at-capacity": _cyclic_at_capacity,
+    "cyclic-over-capacity": _cyclic_over_capacity,
+    "zipf-hot": _zipf_hot,
+    "zipf-scan-mix": _zipf_scan_mix,
+    "adversarial-thrash": _adversarial_thrash,
+    "duel-flip": _duel_flip,
+    "single-set-hammer": _single_set_hammer,
+    "random-uniform": _random_uniform,
+}
+
+
+def stream_names() -> List[str]:
+    return list(STREAM_GENERATORS)
+
+
+def generate_stream(
+    name: str, seed: int, n: int, num_sets: int, assoc: int
+) -> List[int]:
+    """Generate the named stream; fully determined by the four arguments."""
+    try:
+        generator = STREAM_GENERATORS[name]
+    except KeyError:
+        known = ", ".join(stream_names())
+        raise ValueError(f"unknown stream {name!r}; known: {known}") from None
+    if n < 0:
+        raise ValueError(f"stream length must be non-negative, got {n}")
+    rng = random.Random(_stable_hash(name) ^ (seed * 0x9E3779B1))
+    return generator(rng, n, num_sets, assoc)
+
+
+def _stable_hash(text: str) -> int:
+    """FNV-1a over the stream name — ``hash(str)`` is salted per process."""
+    value = 0x811C9DC5
+    for byte in text.encode():
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value

@@ -1,0 +1,137 @@
+"""Unit tests for the console reporting layer (repro.eval.reporting).
+
+These run on hand-built :class:`SuiteResult` matrices (no simulation), so
+the formatting contract — alignment, sort order, geomean rows, the
+empty-subset note — is pinned independently of the simulator.
+"""
+
+import math
+
+import pytest
+
+from repro.eval.config import default_config
+from repro.eval.experiments import SuiteResult
+from repro.eval.overhead import overhead_table
+from repro.eval.reporting import (
+    format_overhead,
+    format_table,
+    memory_intensive_summary,
+    normalized_mpki_table,
+    speedup_table,
+)
+
+
+class FakeResult:
+    """Duck-typed stand-in for BenchmarkResult (misses/mpki/instructions)."""
+
+    def __init__(self, misses, instructions=100_000):
+        self.misses = misses
+        self.instructions = instructions
+        self.mpki = 1000.0 * misses / instructions
+
+
+def build_suite(policy_misses):
+    """SuiteResult over two benchmarks from {label: (missesA, missesB)}."""
+    results = {
+        label: {
+            "benchA": FakeResult(pair[0]),
+            "benchB": FakeResult(pair[1]),
+        }
+        for label, pair in policy_misses.items()
+    }
+    return SuiteResult(default_config(), results, baseline_label="LRU")
+
+
+class TestFormatTable:
+    def test_alignment_and_float_format(self):
+        out = format_table(["name", "x"], [["a", 1.23456], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.235" in out and "2.000" in out
+        # Every row is padded to the same visible structure.
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        out = format_table(["h1", "h2"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2  # header + rule, no crash on max() of nothing
+        assert lines[0].split() == ["h1", "h2"]
+
+    def test_non_float_cells_pass_through(self):
+        out = format_table(["n"], [[42], ["s"]])
+        assert "42" in out and "s" in out
+
+
+class TestSpeedupTable:
+    def test_contains_geomean_and_benchmarks(self):
+        suite = build_suite({
+            "LRU": (1000, 2000),
+            "DRRIP": (800, 2000),
+            "PDP": (900, 1900),
+        })
+        out = speedup_table(suite)
+        assert "GEOMEAN" in out
+        assert "benchA" in out and "benchB" in out
+        # Baseline column is excluded by default.
+        header = out.splitlines()[0]
+        assert "LRU" not in header.split()
+
+    def test_sorted_ascending_by_drrip(self):
+        suite = build_suite({
+            "LRU": (1000, 1000),
+            "DRRIP": (500, 1000),  # benchA speeds up, benchB does not
+        })
+        out = speedup_table(suite)
+        rows = [line.split()[0] for line in out.splitlines()[2:]]
+        # Ascending by DRRIP speedup: benchB (1.0) before benchA (>1).
+        assert rows.index("benchB") < rows.index("benchA")
+
+
+class TestNormalizedMpkiTable:
+    def test_baseline_normalization(self):
+        suite = build_suite({
+            "LRU": (1000, 1000),
+            "PLRU": (500, 2000),
+        })
+        out = normalized_mpki_table(suite)
+        assert "0.500" in out and "2.000" in out
+        assert "GEOMEAN" in out
+
+
+class TestMemoryIntensiveSummary:
+    def test_empty_subset_renders_note_instead_of_crashing(self):
+        # DRRIP identical to LRU -> no benchmark gains >1% -> empty subset.
+        suite = build_suite({
+            "LRU": (1000, 1000),
+            "DRRIP": (1000, 1000),
+        })
+        out = memory_intensive_summary(suite)
+        assert "0 benchmarks" in out
+        assert "empty" in out
+
+    def test_nonempty_subset_lists_geomeans(self):
+        suite = build_suite({
+            "LRU": (1000, 1000),
+            "DRRIP": (400, 400),
+        })
+        out = memory_intensive_summary(suite)
+        assert "2 benchmarks" in out
+        assert "DRRIP" in out
+        value = float(out.splitlines()[-1].split()[-1])
+        assert value > 1.0 and math.isfinite(value)
+
+    def test_missing_drrip_label_raises(self):
+        suite = build_suite({"LRU": (10, 10), "PLRU": (10, 10)})
+        with pytest.raises(ValueError):
+            memory_intensive_summary(suite)
+
+
+class TestFormatOverhead:
+    def test_renders_real_overhead_table(self):
+        out = format_overhead(overhead_table())
+        lines = out.splitlines()
+        assert lines[0].split()[:2] == ["policy", "bits/set"]
+        assert len(lines) > 3  # several policies
+        # Two-decimal float formatting.
+        assert any("." in token for token in lines[2].split())

@@ -1,0 +1,90 @@
+"""Edge cases for the L1/L2 trace filter (repro.trace.filters).
+
+The mainline behaviour is covered in test_positions_filters.py; these pin
+the boundary geometries: empty traces, fully-absorbed traces, the k=2
+minimum associativity, single-level hierarchies and name defaulting.
+"""
+
+import numpy as np
+
+from repro.trace.filters import filter_through_caches, paper_l1_l2_filter
+from repro.trace.record import Trace
+
+
+class TestEmptyTrace:
+    def test_empty_trace_filters_to_empty(self):
+        trace = Trace(np.asarray([], dtype=np.int64), name="empty")
+        out = filter_through_caches(trace, [(4, 2)])
+        assert len(out) == 0
+        assert out.instructions == trace.instructions
+
+    def test_empty_trace_through_paper_filter(self):
+        trace = Trace(np.asarray([], dtype=np.int64))
+        out = paper_l1_l2_filter(trace)
+        assert len(out) == 0
+
+    def test_empty_trace_with_positions(self):
+        trace = Trace(
+            np.asarray([], dtype=np.int64),
+            positions=np.asarray([], dtype=np.int64),
+        )
+        out = filter_through_caches(trace, [(4, 2)])
+        assert len(out) == 0
+        assert out.positions is not None and len(out.positions) == 0
+
+
+class TestFullAbsorption:
+    def test_hot_loop_fully_absorbed_after_cold_misses(self):
+        # Two blocks looping inside a 2-way set: only the two cold misses
+        # escape the upper level; every revisit hits and is absorbed.
+        addresses = [0, 1] * 50
+        trace = Trace(addresses)
+        out = filter_through_caches(trace, [(1, 2)])
+        assert out.address_list() == [0, 1]
+
+    def test_instructions_preserved_even_when_all_absorbed(self):
+        trace = Trace([7] * 100, instructions=5000)
+        out = filter_through_caches(trace, [(1, 2)])
+        assert out.address_list() == [7]
+        assert out.instructions == 5000
+
+
+class TestMinimumGeometry:
+    def test_k2_single_set_level(self):
+        # 1 set x 2 ways: three distinct blocks thrash; nothing but the
+        # first two can ever both be resident, so LRU absorbs no revisit
+        # of the cyclic a-b-c pattern.
+        addresses = [0, 1, 2] * 10
+        trace = Trace(addresses)
+        out = filter_through_caches(trace, [(1, 2)])
+        assert out.address_list() == addresses  # classic LRU thrash
+
+    def test_multi_level_absorbs_what_first_level_misses(self):
+        # Level 1 (1x2) thrashes on 3 blocks, but level 2 (4x2) holds all
+        # three, so only the cold misses reach the output.
+        addresses = [0, 1, 2] * 10
+        trace = Trace(addresses)
+        out = filter_through_caches(trace, [(1, 2), (4, 2)])
+        assert out.address_list() == [0, 1, 2]
+
+
+class TestNaming:
+    def test_default_name_appends_llc(self):
+        trace = Trace([1, 2, 3], name="prog")
+        out = filter_through_caches(trace, [(2, 2)])
+        assert out.name == "prog>llc"
+
+    def test_explicit_name_wins(self):
+        trace = Trace([1, 2, 3], name="prog")
+        out = filter_through_caches(trace, [(2, 2)], name="custom")
+        assert out.name == "custom"
+
+
+class TestPositionsThreading:
+    def test_positions_of_surviving_accesses_kept(self):
+        addresses = [0, 0, 1]
+        positions = [0, 5, 9]
+        trace = Trace(addresses, positions=positions, instructions=30)
+        out = filter_through_caches(trace, [(1, 2)])
+        assert out.address_list() == [0, 1]
+        assert out.position_list() == [0, 9]

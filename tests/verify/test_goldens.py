@@ -1,0 +1,96 @@
+"""The committed golden corpus: it matches, and tampering is named."""
+
+import json
+
+import pytest
+
+from repro.verify.goldens import (
+    DEFAULT_GOLDENS_PATH,
+    GOLDEN_SCHEMA,
+    check_golden_corpus,
+    compute_golden,
+    golden_key,
+    golden_matrix,
+    load_golden_corpus,
+    write_golden_corpus,
+)
+
+
+class TestCommittedCorpus:
+    def test_corpus_file_is_committed(self):
+        assert DEFAULT_GOLDENS_PATH.exists(), (
+            "tests/goldens/conformance_goldens.json must be committed; "
+            "regenerate with scripts/regen_goldens.py"
+        )
+
+    def test_corpus_matches_current_behaviour(self):
+        drift, checked = check_golden_corpus()
+        assert drift == [], "\n".join(drift)
+        assert checked == len(golden_matrix())
+
+    def test_every_registry_policy_is_pinned(self):
+        from repro.policies.registry import policy_names
+
+        pinned = {cell[0] for cell in golden_matrix()}
+        assert pinned == set(policy_names())
+
+    def test_schema_and_metadata(self):
+        payload = load_golden_corpus()
+        assert payload["schema"] == GOLDEN_SCHEMA
+        assert payload["n"] > 0
+        assert len(payload["entries"]) == len(golden_matrix())
+
+
+class TestDriftDetection:
+    def test_tampered_entry_is_named(self, tmp_path):
+        payload = load_golden_corpus()
+        key = golden_key(golden_matrix()[0])
+        payload["entries"][key] += 1
+        tampered = tmp_path / "goldens.json"
+        tampered.write_text(json.dumps(payload))
+        drift, _ = check_golden_corpus(tampered)
+        assert len(drift) == 1
+        assert key in drift[0] and "misses" in drift[0]
+
+    def test_missing_corpus_is_drift_not_pass(self, tmp_path):
+        drift, checked = check_golden_corpus(tmp_path / "absent.json")
+        assert checked == 0
+        assert drift and "missing" in drift[0]
+
+    def test_stale_extra_entry_is_drift(self, tmp_path):
+        payload = load_golden_corpus()
+        payload["entries"]["ghost|zipf-hot|s0|8x4|n1000"] = 123
+        stale = tmp_path / "goldens.json"
+        stale.write_text(json.dumps(payload))
+        drift, _ = check_golden_corpus(stale)
+        assert any("no longer in the matrix" in d for d in drift)
+
+    def test_unknown_schema_is_drift(self, tmp_path):
+        bad = tmp_path / "goldens.json"
+        bad.write_text('{"schema": "other/1", "entries": {}}')
+        drift, checked = check_golden_corpus(bad)
+        assert checked == 0 and drift
+
+
+class TestRegeneration:
+    def test_write_then_check_roundtrip(self, tmp_path):
+        path = write_golden_corpus(
+            tmp_path / "fresh.json", with_manifest=True
+        )
+        drift, checked = check_golden_corpus(path)
+        assert drift == [] and checked == len(golden_matrix())
+        # Provenance manifest sidecar rides along.
+        manifest = path.with_name("fresh.manifest.json")
+        assert manifest.exists()
+        recorded = json.loads(manifest.read_text())
+        assert recorded["goldens"]["entries"] == checked
+
+    def test_compute_golden_is_deterministic(self):
+        cell = golden_matrix()[0]
+        assert compute_golden(cell) == compute_golden(cell)
+
+    @pytest.mark.parametrize("policy", ["belady"])
+    def test_future_policies_compute(self, policy):
+        cell = (policy, "zipf-hot", 0, 8, 4, 300)
+        misses = compute_golden(cell)
+        assert 0 < misses <= 300

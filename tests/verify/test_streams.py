@@ -1,0 +1,97 @@
+"""The conformance stream generators: determinism, shape, coverage."""
+
+import pytest
+
+from repro.verify.streams import (
+    STREAM_GENERATORS,
+    generate_stream,
+    stream_names,
+)
+
+GEOMETRY = (8, 4)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", stream_names())
+    def test_same_arguments_same_stream(self, name):
+        a = generate_stream(name, 3, 500, *GEOMETRY)
+        b = generate_stream(name, 3, 500, *GEOMETRY)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["zipf-hot", "random-uniform",
+                                      "single-set-hammer"])
+    def test_different_seeds_differ(self, name):
+        a = generate_stream(name, 0, 500, *GEOMETRY)
+        b = generate_stream(name, 1, 500, *GEOMETRY)
+        assert a != b
+
+    def test_different_streams_differ_even_with_same_seed(self):
+        # The per-name FNV salt decorrelates generators sharing a seed.
+        a = generate_stream("zipf-hot", 0, 500, *GEOMETRY)
+        b = generate_stream("random-uniform", 0, 500, *GEOMETRY)
+        assert a != b
+
+
+class TestShape:
+    @pytest.mark.parametrize("name", stream_names())
+    @pytest.mark.parametrize("n", [0, 1, 64, 257])
+    def test_length_and_domain(self, name, n):
+        stream = generate_stream(name, 0, n, *GEOMETRY)
+        assert len(stream) == n
+        assert all(isinstance(b, int) and b >= 0 for b in stream)
+
+    @pytest.mark.parametrize("geometry", [(1, 2), (4, 16), (64, 8)])
+    def test_generators_handle_extreme_geometries(self, geometry):
+        for name in stream_names():
+            stream = generate_stream(name, 0, 128, *geometry)
+            assert len(stream) == 128
+
+
+class TestRegistry:
+    def test_expected_family_present(self):
+        expected = {
+            "seq-scan", "cyclic-at-capacity", "cyclic-over-capacity",
+            "zipf-hot", "zipf-scan-mix", "adversarial-thrash",
+            "duel-flip", "single-set-hammer", "random-uniform",
+        }
+        assert expected == set(STREAM_GENERATORS)
+
+    def test_unknown_stream_raises(self):
+        with pytest.raises(ValueError, match="unknown stream"):
+            generate_stream("nope", 0, 10, *GEOMETRY)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_stream("seq-scan", 0, -1, *GEOMETRY)
+
+
+class TestSemantics:
+    def test_seq_scan_never_reuses(self):
+        stream = generate_stream("seq-scan", 0, 300, *GEOMETRY)
+        assert len(set(stream)) == len(stream)
+
+    def test_cyclic_at_capacity_working_set(self):
+        num_sets, assoc = GEOMETRY
+        stream = generate_stream("cyclic-at-capacity", 0, 500, num_sets, assoc)
+        assert len(set(stream)) == num_sets * assoc
+
+    def test_cyclic_over_capacity_exceeds_capacity(self):
+        num_sets, assoc = GEOMETRY
+        stream = generate_stream(
+            "cyclic-over-capacity", 0, 1000, num_sets, assoc
+        )
+        assert len(set(stream)) > num_sets * assoc
+
+    def test_single_set_hammer_stays_in_set_zero(self):
+        num_sets, assoc = GEOMETRY
+        stream = generate_stream("single-set-hammer", 0, 400, num_sets, assoc)
+        assert all(block % num_sets == 0 for block in stream)
+
+    def test_adversarial_thrash_per_set_working_set(self):
+        num_sets, assoc = GEOMETRY
+        stream = generate_stream(
+            "adversarial-thrash", 0, 2000, num_sets, assoc
+        )
+        for s in range(num_sets):
+            blocks = {b for b in stream if b % num_sets == s}
+            assert len(blocks) == assoc + 1

@@ -1,0 +1,62 @@
+"""Unit tests for the IPV transition-graph renderers (Figures 2/3).
+
+Covers the degenerate k=2 floor geometry, the published 16-way vector,
+DOT well-formedness and the degeneracy warning.
+"""
+
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.core.vectors import GIPPR_WI_VECTOR
+from repro.viz.transition_graph import transition_dot, transition_text
+
+
+class TestTransitionDot:
+    def test_k2_minimal_geometry(self):
+        dot = transition_dot(lru_ipv(2))
+        assert dot.startswith("digraph ipv {")
+        assert dot.rstrip().endswith("}")
+        assert "insertion -> 0;" in dot
+        assert "1 -> eviction [style=bold];" in dot
+
+    def test_paper_vector_edges(self):
+        ipv = GIPPR_WI_VECTOR
+        dot = transition_dot(ipv)
+        # The insertion pseudo-edge targets V[k].
+        assert f"insertion -> {ipv.insertion};" in dot
+        # Eviction hangs off position k-1.
+        assert f"{ipv.k - 1} -> eviction" in dot
+        # Every position appears as an edge source.
+        for i in range(ipv.k):
+            assert f"  {i} -> " in dot
+
+    def test_title_override(self):
+        dot = transition_dot(lru_ipv(4), title="custom title")
+        assert 'label="custom title";' in dot
+
+    def test_self_loop_for_stationary_positions(self):
+        # LIP at position 0 promotes to 0: a self-loop, not a missing edge.
+        dot = transition_dot(lip_ipv(4))
+        assert "  0 -> 0;" in dot
+
+
+class TestTransitionText:
+    def test_k2_lists_both_positions(self):
+        text = transition_text(lru_ipv(2))
+        assert "hit at position  0" in text
+        assert "hit at position  1" in text
+        assert "insertion at position 0" in text
+        assert "eviction from position 1" in text
+
+    def test_degenerate_vector_warns(self):
+        # No path from the insertion position to MRU: blocks inserted at
+        # k-1 and promoted back to k-1 can never escape eviction.
+        degenerate = IPV([0, 1, 2, 3, 3], name="dead-end")
+        assert degenerate.is_degenerate()
+        assert "WARNING: degenerate" in transition_text(degenerate)
+
+    def test_healthy_vector_does_not_warn(self):
+        assert "WARNING" not in transition_text(lru_ipv(4))
+
+    def test_entries_rendered(self):
+        text = transition_text(GIPPR_WI_VECTOR)
+        joined = " ".join(map(str, GIPPR_WI_VECTOR.entries))
+        assert joined in text
