@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels figures report wn-vectors examples clean
+.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels trend-check figures report wn-vectors examples clean
 
 # Targets that run pytest / the library directly need the src layout on the
 # import path; the smoke scripts insert it themselves but inherit it too.
@@ -42,9 +42,16 @@ regen-goldens:
 
 # Transition-table kernel throughput: accesses/sec LUT vs bit-walk for
 # k in {4,8,16} plus GA-generation wall time, written to BENCH_kernels.json
-# (with a provenance manifest sidecar) at the repository root.
+# (with a provenance manifest sidecar) at the repository root.  Each run
+# also appends a perf-trend entry to BENCH_history.jsonl keyed by git
+# revision (`repro obs trend` inspects it; `--no-history` to skip).
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernel_throughput.py
+
+# Soft perf-regression gate: compare the newest BENCH_history.jsonl entry
+# against its predecessor; non-zero exit past the threshold (15% default).
+trend-check:
+	$(PYTHON) -m repro.cli obs trend --check
 
 # Fast check that the parallel runner matches the serial path bit-for-bit
 # and that a warm cache rerun performs zero simulations.

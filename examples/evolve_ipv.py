@@ -8,13 +8,21 @@ hill-climbing refinement.  Prints the evolved vector, its transition
 summary, and its fitness against the published GIPPR vector.
 
 Run:  python examples/evolve_ipv.py [--generations N] [--population N]
+
+``--profile ga.trace.json`` writes a Chrome trace-event span profile of
+the run (open in chrome://tracing or https://ui.perfetto.dev); with
+``--workers N`` the worker processes' spans are merged into the same
+timeline.  ``--status-json run-status.json`` publishes live progress for
+``repro obs watch``.
 """
 
 import argparse
+import contextlib
 
 from repro.core.vectors import GIPPR_WI_VECTOR
 from repro.eval import default_config
 from repro.ga import FitnessEvaluator, evolve_ipv, hill_climb
+from repro.obs.spans import profiled
 from repro.viz import transition_text
 
 TRAINING = [
@@ -34,6 +42,11 @@ def main():
     parser.add_argument("--length", type=int, default=12_000)
     parser.add_argument("--workers", type=int, default=0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile", default=None, metavar="TRACE_JSON",
+                        help="write a Chrome trace-event span profile here")
+    parser.add_argument("--status-json", default=None, metavar="PATH",
+                        help="publish live run status here "
+                             "(watch with `repro obs watch`)")
     args = parser.parse_args()
 
     config = default_config(trace_length=args.length)
@@ -41,15 +54,21 @@ def main():
 
     print(f"training on {len(TRAINING)} benchmarks, {config}")
     print("evolving", end="", flush=True)
-    result = evolve_ipv(
-        evaluator,
-        population_size=args.population,
-        generations=args.generations,
-        seed=args.seed,
-        workers=args.workers,
-        on_generation=lambda g, f: print(".", end="", flush=True),
-    )
+    scope = (profiled(args.profile) if args.profile
+             else contextlib.nullcontext())
+    with scope:
+        result = evolve_ipv(
+            evaluator,
+            population_size=args.population,
+            generations=args.generations,
+            seed=args.seed,
+            workers=args.workers,
+            status_path=args.status_json,
+            on_generation=lambda g, f: print(".", end="", flush=True),
+        )
     print()
+    if args.profile:
+        print(f"span profile written to {args.profile}")
     print(f"GA best fitness (mean speedup over LRU): {result.best_fitness:.4f}")
     print(f"evaluations: {result.evaluations}")
 

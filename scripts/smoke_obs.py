@@ -15,7 +15,13 @@ Exercises the whole ``repro.obs`` stack end to end and asserts:
    schema fields;
 5. the **disabled-tracing overhead budget** holds: with no tracer
    attached, the instrumented hot path is within 5 % of an
-   uninstrumented reference cache (min-of-N interleaved timing).
+   uninstrumented reference cache (min-of-N interleaved timing);
+6. the **disabled span profiler is free**: with no recorder installed,
+   ``span(...)`` returns the shared no-op singleton (identity, no
+   allocation) and a call costs well under 5 µs;
+7. the **status publisher throttles**: a tight update loop produces only
+   a handful of writes, so a fast job loop cannot turn the status file
+   into an I/O hot spot.
 
 Exits non-zero on any failure.
 """
@@ -131,6 +137,46 @@ def main():
         f"{OVERHEAD_BUDGET:.2f}x budget"
     )
     print(f"overhead OK             [{ratio:.3f}x <= {OVERHEAD_BUDGET:.2f}x]")
+
+    # 6. Disabled spans are free: no-op singleton identity + cheap calls.
+    import time as _time
+
+    from repro.obs.spans import current_recorder, span
+
+    assert current_recorder() is None, "a recorder leaked into the smoke run"
+    assert span("a") is span("b"), (
+        "disabled span() must return the shared no-op singleton"
+    )
+    calls = 200_000
+    started = _time.perf_counter()
+    for _ in range(calls):
+        with span("smoke.noop", x=1):
+            pass
+    per_call_us = (_time.perf_counter() - started) / calls * 1e6
+    assert per_call_us < 5.0, (
+        f"disabled span() costs {per_call_us:.2f}us/call (budget 5us)"
+    )
+    print(f"spans OK                [no-op identity, "
+          f"{per_call_us:.2f}us/call disabled]")
+
+    # 7. Status publisher throttling: tight loops produce few writes.
+    from repro.obs.status import StatusPublisher
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-obs-") as workdir:
+        publisher = StatusPublisher(
+            os.path.join(workdir, "run-status.json"), kind="smoke",
+            min_interval=0.2,
+        )
+        publisher.update(force=True, phase="tight-loop")
+        for i in range(10_000):
+            publisher.update(jobs_done=i)
+        publisher.finalize(jobs_done=10_000)
+        assert publisher.writes <= 5, (
+            f"status publisher wrote {publisher.writes} times in a tight "
+            "loop; throttling is broken"
+        )
+        print(f"status OK               [{publisher.writes} writes "
+              f"for 10k updates]")
     print("smoke-obs: all checks passed")
 
 

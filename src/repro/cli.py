@@ -98,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--chart", action="store_true",
                          help="also print an ASCII bar chart")
+    compare.add_argument(
+        "--status-json", default=None, metavar="PATH",
+        help="publish live run status here (watch with `repro obs watch`)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -113,6 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
     evolve.add_argument("--seed", type=int, default=0)
     evolve.add_argument("--workers", type=int, default=0)
     evolve.add_argument("--substrate", choices=["plru", "lru"], default="plru")
+    evolve.add_argument(
+        "--profile", default=None, metavar="TRACE_JSON",
+        help="span-profile the run and write a Chrome trace-event JSON "
+             "(open in chrome://tracing or Perfetto); worker spans are "
+             "merged in for parallel runs",
+    )
+    evolve.add_argument(
+        "--profile-folded", default=None, metavar="PATH",
+        help="also write a folded-stack flamegraph text file",
+    )
+    evolve.add_argument(
+        "--status-json", default=None, metavar="PATH",
+        help="publish live run status here (watch with `repro obs watch`)",
+    )
 
     sub.add_parser("overhead", help="Section 3.6 storage-overhead table")
 
@@ -246,6 +264,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs_metrics.add_argument("--format", choices=["prometheus", "json"],
                              default="prometheus")
 
+    obs_watch = obs_sub.add_parser(
+        "watch", help="live terminal view of a run-status.json",
+        description="Render a runner's atomically published run-status.json "
+                    "as a refreshing terminal view.  Works from any shell "
+                    "(the runner and the watcher only share the file).  "
+                    "Exits 0 once the run publishes its final status.",
+    )
+    obs_watch.add_argument(
+        "status", nargs="?", default=None, metavar="PATH",
+        help="status file (default: $REPRO_STATUS_PATH)",
+    )
+    obs_watch.add_argument("--interval", type=float, default=1.0,
+                           help="refresh interval in seconds (default 1.0)")
+    obs_watch.add_argument("--once", action="store_true",
+                           help="render one snapshot and exit")
+
+    obs_trend = obs_sub.add_parser(
+        "trend", help="kernel perf history: record, show, regression-check",
+        description="Inspect the append-only BENCH_history.jsonl perf "
+                    "history (one entry per `make bench-kernels`, keyed by "
+                    "git revision).  --record appends an entry from a "
+                    "BENCH_kernels.json; --check compares the newest entry "
+                    "against its predecessor and exits 1 on a regression "
+                    "past the threshold (a soft CI gate).",
+    )
+    obs_trend.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="history file (default: BENCH_history.jsonl at the repo root, "
+             "or $REPRO_TREND_HISTORY)",
+    )
+    obs_trend.add_argument(
+        "--record", default=None, metavar="BENCH_JSON",
+        help="append a trend entry from this BENCH_kernels.json first",
+    )
+    obs_trend.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the newest entry regresses past the threshold",
+    )
+    obs_trend.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="regression threshold as a fraction (default 0.15)",
+    )
+    obs_trend.add_argument(
+        "--last", type=int, default=5, metavar="N",
+        help="with no --check: list the N newest entries (default 5)",
+    )
+    obs_trend.add_argument(
+        "--source", default=None, metavar="NAME",
+        help="only consider entries from this source (e.g. bench-kernels)",
+    )
+
     return parser
 
 
@@ -273,6 +342,7 @@ def _cmd_compare(args) -> int:
     suite = run_suite(
         specs, config=config, benchmarks=args.benchmarks,
         workers=args.workers, cache=cache,
+        status_path=args.status_json,
     )
     if suite.metrics is not None:
         logger.info("%s", suite.metrics.summary())
@@ -293,22 +363,36 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_evolve(args) -> int:
+    import contextlib
+
     from .ga import FitnessEvaluator, evolve_ipv
+    from .obs.spans import profiled
 
     config = default_config(trace_length=args.length)
     evaluator = FitnessEvaluator(
         args.benchmarks, config=config, substrate=args.substrate
     )
-    result = evolve_ipv(
-        evaluator,
-        population_size=args.population,
-        generations=args.generations,
-        seed=args.seed,
-        workers=args.workers,
-        on_generation=lambda g, f: logger.info(
-            "generation %d: best fitness %.4f", g, f
-        ),
+    profiling = args.profile or args.profile_folded
+    scope = (
+        profiled(args.profile, folded=args.profile_folded)
+        if profiling else contextlib.nullcontext()
     )
+    with scope:
+        result = evolve_ipv(
+            evaluator,
+            population_size=args.population,
+            generations=args.generations,
+            seed=args.seed,
+            workers=args.workers,
+            status_path=args.status_json,
+            on_generation=lambda g, f: logger.info(
+                "generation %d: best fitness %.4f", g, f
+            ),
+        )
+    if args.profile:
+        logger.info("span profile written to %s", args.profile)
+    if args.profile_folded:
+        logger.info("folded stacks written to %s", args.profile_folded)
     print(transition_text(result.best))
     print(f"fitness (mean speedup over LRU): {result.best_fitness:.4f}")
     return 0
@@ -590,7 +674,85 @@ def _cmd_obs(args) -> int:
             sys.stdout.write(registry.to_prometheus())
         return 0
 
+    if args.obs_command == "watch":
+        return _cmd_obs_watch(args)
+
+    if args.obs_command == "trend":
+        return _cmd_obs_trend(args)
+
     raise AssertionError(f"unhandled obs command {args.obs_command}")
+
+
+def _cmd_obs_watch(args) -> int:
+    from .obs.status import default_status_path, watch
+
+    path = args.status or default_status_path()
+    if not path:
+        print("no status file: pass a path or set $REPRO_STATUS_PATH",
+              file=sys.stderr)
+        return 2
+    return watch(
+        path,
+        interval=args.interval,
+        iterations=1 if args.once else None,
+    )
+
+
+def _cmd_obs_trend(args) -> int:
+    import json
+
+    from .obs.trend import (
+        DEFAULT_THRESHOLD,
+        default_history_path,
+        format_deltas,
+        latest_deltas,
+        read_history,
+        record_bench_kernels,
+    )
+
+    history = args.history or default_history_path()
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    if args.record:
+        entry = record_bench_kernels(args.record, history)
+        print(f"recorded {len(entry['metrics'])} metrics "
+              f"@ {entry['git_revision'][:12]} -> {history}")
+
+    if args.check:
+        summary = latest_deltas(history, threshold=threshold,
+                                source=args.source)
+        if summary is None:
+            print(f"{history}: fewer than two entries, nothing to compare")
+            return 0
+        print(f"{summary['prev_revision'][:12]} -> "
+              f"{summary['cur_revision'][:12]} "
+              f"(threshold {summary['threshold']:.0%})")
+        print(format_deltas(summary["deltas"]))
+        if summary["regressions"]:
+            names = ", ".join(d["metric"] for d in summary["regressions"])
+            print(f"REGRESSION past {threshold:.0%}: {names}",
+                  file=sys.stderr)
+            return 1
+        print("no regressions")
+        return 0
+
+    entries = read_history(history, source=args.source)
+    if not entries:
+        print(f"{history}: no entries")
+        return 0
+    for entry in entries[-max(1, args.last):]:
+        metrics = entry.get("metrics", {})
+        print(f"{entry.get('recorded_at', '?')}  "
+              f"{entry.get('git_revision', 'unknown')[:12]}  "
+              f"{entry.get('source', '?')}  {len(metrics)} metrics")
+        for name in sorted(metrics):
+            print(f"    {name:<36} {metrics[name]:>14.4g}")
+    summary = latest_deltas(history, threshold=threshold, source=args.source)
+    if summary is not None:
+        print(f"\nvs previous ({summary['prev_revision'][:12]}):")
+        print(format_deltas(summary["deltas"]))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

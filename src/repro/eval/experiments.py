@@ -148,6 +148,7 @@ def run_suite(
     workers: Optional[int] = None,
     cache: Union[None, bool, str, Path] = None,
     progress: Optional[bool] = None,
+    status_path: Union[None, str, Path] = None,
 ) -> SuiteResult:
     """Run every policy over every benchmark.
 
@@ -179,6 +180,7 @@ def run_suite(
         workers=workers,
         cache=cache,
         progress=progress,
+        status_path=status_path,
     )
     # Keep benchmark insertion order stable per label.
     ordered = {

@@ -40,13 +40,17 @@ import hashlib
 import json
 import logging
 import os
+import shutil
+import statistics
 import sys
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder, current_recorder, install_recorder, span
 from ..policies.registry import make_policy
 from ..workloads.spec import SPEC_BENCHMARKS, SpecBenchmark, benchmark_names
 from .config import ExperimentConfig, default_config
@@ -413,6 +417,28 @@ class RunnerMetrics:
     def sims_per_sec(self) -> float:
         return self.simulated / self.wall_time if self.wall_time > 0 else 0.0
 
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds until the run completes (``None`` = unknown).
+
+        Remaining jobs over the measured simulation rate.  Cache probing
+        is effectively free, so once simulation starts the estimate
+        converges quickly; before the first completed simulation there is
+        no rate and therefore no estimate.
+        """
+        remaining = self.jobs_total - self.jobs_done
+        if remaining <= 0:
+            return 0.0
+        rate = self.sims_per_sec
+        if rate <= 0:
+            return None
+        return remaining / rate
+
+    @property
+    def median_job_seconds(self) -> float:
+        """Median per-job wall time this runner has observed (0 if none)."""
+        return statistics.median(self.job_seconds) if self.job_seconds else 0.0
+
     def as_dict(self) -> dict:
         """JSON-exportable snapshot (per-job wall times included)."""
         return {
@@ -464,8 +490,22 @@ class _Progress:
             return
         self._last = now
         end = "\n" if final else "\r"
-        self.stream.write(f"[repro-eval] {metrics.summary()}{end}")
+        eta = ""
+        if not final:
+            remaining = metrics.eta_seconds
+            if remaining is not None and metrics.jobs_done < metrics.jobs_total:
+                eta = f", eta {_fmt_eta(remaining)}"
+        self.stream.write(f"[repro-eval] {metrics.summary()}{eta}{end}")
         self.stream.flush()
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
 
 
 # ----------------------------------------------------------------------
@@ -491,8 +531,13 @@ def _config_fields(config: ExperimentConfig) -> dict:
 _TRACE_MEMO: Dict[tuple, object] = {}
 _TRACE_MEMO_LIMIT = 32
 
+#: Traces regenerated in this process (worker-side count shipped to the
+#: parent through the telemetry spool — it used to die with the worker).
+_TRACE_REGENS = 0
+
 
 def _simpoint_trace(bench_name: str, simpoint: int, config: ExperimentConfig):
+    global _TRACE_REGENS
     key = (
         bench_name,
         simpoint,
@@ -503,13 +548,38 @@ def _simpoint_trace(bench_name: str, simpoint: int, config: ExperimentConfig):
     trace = _TRACE_MEMO.get(key)
     if trace is None:
         benchmark = SPEC_BENCHMARKS[bench_name]
-        trace = benchmark.trace(
-            simpoint, config.trace_length, config.capacity_blocks, seed=config.seed
-        )
+        with span("job.trace_regen", benchmark=bench_name, simpoint=simpoint):
+            trace = benchmark.trace(
+                simpoint, config.trace_length, config.capacity_blocks,
+                seed=config.seed,
+            )
+        _TRACE_REGENS += 1
         while len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
         _TRACE_MEMO[key] = trace
     return trace
+
+
+#: Per-process worker telemetry: (SpoolWriter, MetricsRegistry, SpanRecorder,
+#: jobs done).  Created lazily on the first spooled job a worker runs and
+#: reused for its lifetime; the snapshot file it publishes is cumulative,
+#: so the parent merges exactly once per worker.
+_WORKER_TELEMETRY: Optional[list] = None
+
+
+def _worker_telemetry(spool_dir: str):
+    global _WORKER_TELEMETRY
+    if (
+        _WORKER_TELEMETRY is not None
+        and str(_WORKER_TELEMETRY[0].root) == str(spool_dir)
+    ):
+        return _WORKER_TELEMETRY
+    from ..obs.shipping import SpoolWriter
+
+    recorder = SpanRecorder(process_label=f"matrix-worker-{os.getpid()}")
+    install_recorder(recorder)
+    _WORKER_TELEMETRY = [SpoolWriter(spool_dir), MetricsRegistry(), recorder, 0]
+    return _WORKER_TELEMETRY
 
 
 def _execute_job(payload: tuple) -> Tuple[int, dict, float]:
@@ -517,17 +587,47 @@ def _execute_job(payload: tuple) -> Tuple[int, dict, float]:
 
     Returns ``(job index, RunResult payload, wall seconds)``.  Traces are
     regenerated from the config seed — never unpickled — so results match
-    the serial path bit for bit.
+    the serial path bit for bit.  When the parent provided a telemetry
+    spool directory, the worker heartbeats at job start and publishes its
+    cumulative metrics/span snapshot after every job (atomic replace, so
+    a crash mid-run leaves the last complete snapshot for the merge).
     """
-    (index, bench_name, simpoint, policy_name, policy_kwargs, fields, collect) = payload
+    (index, bench_name, simpoint, policy_name, policy_kwargs, fields,
+     collect, spool_dir) = payload
+    telemetry = _worker_telemetry(spool_dir) if spool_dir else None
+    if telemetry is not None:
+        telemetry[0].heartbeat(job=index)
     started = time.perf_counter()
     config = ExperimentConfig(apply_env_scale=False, **fields)
-    trace = _simpoint_trace(bench_name, simpoint, config)
-    policy = make_policy(
-        policy_name, config.num_sets, config.assoc, **(policy_kwargs or {})
-    )
-    result = run_trace(policy, trace, config, collect_miss_positions=collect)
-    return index, _result_to_dict(result), time.perf_counter() - started
+    with span("job.simulate", benchmark=bench_name, policy=policy_name,
+              simpoint=simpoint):
+        trace = _simpoint_trace(bench_name, simpoint, config)
+        policy = make_policy(
+            policy_name, config.num_sets, config.assoc, **(policy_kwargs or {})
+        )
+        result = run_trace(policy, trace, config, collect_miss_positions=collect)
+    seconds = time.perf_counter() - started
+    if telemetry is not None:
+        writer, registry, recorder, _ = telemetry
+        telemetry[3] += 1
+        registry.counter(
+            "repro_worker_jobs_total", "Jobs simulated in worker processes"
+        ).inc()
+        registry.gauge(
+            "repro_worker_sim_seconds_total",
+            "Simulation wall seconds spent in worker processes",
+        ).inc(seconds)
+        registry.gauge(
+            "repro_worker_trace_regens",
+            "Traces regenerated (memo misses) in worker processes",
+        ).set(_TRACE_REGENS)
+        from ..kernels import publish_kernel_metrics
+
+        publish_kernel_metrics(registry)
+        writer.publish(
+            registry=registry, recorder=recorder, jobs_done=telemetry[3]
+        )
+    return index, _result_to_dict(result), seconds
 
 
 def _job_manifest(job: "_Job", config: ExperimentConfig, seconds: float) -> dict:
@@ -608,6 +708,24 @@ class ParallelRunner:
     progress:
         ``True``/``False`` to force progress lines on stderr; ``None``
         (default) enables them only when stderr is a TTY.
+    telemetry:
+        Cross-process telemetry spool (only meaningful for parallel runs).
+        ``None``/``True`` — enabled, spooled through a private temp
+        directory that is merged and removed at the end of each matrix;
+        ``False`` — disabled; a path — enabled, spooled under that
+        directory (one retained ``run-*`` subdirectory per matrix, exposed
+        as :attr:`last_spool_dir` so tests and post-mortems can inspect
+        the raw worker snapshots).  After each run the workers' metrics
+        are folded into :attr:`metrics` and their spans into the
+        currently installed :class:`~repro.obs.spans.SpanRecorder` (if
+        any); the scan summary lands in :attr:`last_spool_state`.
+    status_path:
+        Where to publish the live ``run-status.json``
+        (:class:`repro.obs.status.StatusPublisher`).  ``None`` falls back
+        to ``$REPRO_STATUS_PATH``; unset means no status file.
+    watchdog_factor:
+        A worker is flagged as stalled when its heartbeat is older than
+        ``watchdog_factor`` x the median job time (floored at 5 s).
     """
 
     def __init__(
@@ -615,6 +733,9 @@ class ParallelRunner:
         workers: int = 1,
         cache: Union[None, bool, str, Path] = None,
         progress: Optional[bool] = None,
+        telemetry: Union[None, bool, str, Path] = None,
+        status_path: Union[None, str, Path] = None,
+        watchdog_factor: float = 10.0,
     ):
         self.workers = int(workers or 0)
         cache_dir = resolve_cache_dir(cache)
@@ -623,6 +744,45 @@ class ParallelRunner:
             progress = bool(getattr(sys.stderr, "isatty", lambda: False)())
         self.progress = _Progress(progress)
         self.metrics = RunnerMetrics()
+        self.telemetry = telemetry
+        self.status_path = status_path
+        self.watchdog_factor = watchdog_factor
+        #: Spool directory of the most recent parallel run (None if the
+        #: run was serial, telemetry was off, or the temp spool was
+        #: cleaned up because ``telemetry`` did not name a directory).
+        self.last_spool_dir: Optional[Path] = None
+        #: :class:`repro.obs.shipping.SpoolState` of the last merge.
+        self.last_spool_state = None
+        self._spool_seq = 0
+
+    # ------------------------------------------------------------------
+    def _status_publisher(self):
+        """A StatusPublisher for this run, or None when status is off."""
+        from ..obs.status import StatusPublisher, default_status_path
+
+        path = self.status_path
+        if path is None:
+            path = default_status_path()
+        if not path:
+            return None
+        return StatusPublisher(path, kind="matrix")
+
+    def _make_spool(self, parallel: bool) -> Tuple[Optional[Path], bool]:
+        """(spool directory, parent-owns-and-removes-it) for one run.
+
+        Explicit telemetry directories get a fresh ``run-*`` subdirectory
+        per matrix so a reused runner never re-merges a previous run's
+        cumulative snapshots.
+        """
+        if not parallel or self.telemetry is False:
+            return None, False
+        if self.telemetry is None or self.telemetry is True:
+            return Path(tempfile.mkdtemp(prefix="repro-spool-")), True
+        self._spool_seq += 1
+        base = Path(self.telemetry).expanduser()
+        run_dir = base / f"run-{os.getpid()}-{self._spool_seq:03d}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        return run_dir, False
 
     # ------------------------------------------------------------------
     def run_matrix(
@@ -671,19 +831,22 @@ class ParallelRunner:
         run_results = self._execute(jobs, config, collect_miss_positions)
 
         # Deterministic aggregation, independent of completion order.
-        results: Dict[str, Dict[str, BenchmarkResult]] = {l: {} for l in labels}
-        by_cell: Dict[Tuple[str, str], List[RunResult]] = {}
-        for job in jobs:
-            by_cell.setdefault((job.label, job.bench), []).append(
-                run_results[job.index]
-            )
-        for bench_name in bench_names:
-            benchmark = SPEC_BENCHMARKS[bench_name]
-            for label, policy, _ in specs:
-                results[label][bench_name] = BenchmarkResult(
-                    bench_name, policy, by_cell[(label, bench_name)],
-                    benchmark.weights(),
+        with span("matrix.aggregate", jobs=len(jobs)):
+            results: Dict[str, Dict[str, BenchmarkResult]] = {
+                l: {} for l in labels
+            }
+            by_cell: Dict[Tuple[str, str], List[RunResult]] = {}
+            for job in jobs:
+                by_cell.setdefault((job.label, job.bench), []).append(
+                    run_results[job.index]
                 )
+            for bench_name in bench_names:
+                benchmark = SPEC_BENCHMARKS[bench_name]
+                for label, policy, _ in specs:
+                    results[label][bench_name] = BenchmarkResult(
+                        bench_name, policy, by_cell[(label, bench_name)],
+                        benchmark.weights(),
+                    )
         return MatrixResult(config, results, self.metrics)
 
     # ------------------------------------------------------------------
@@ -736,69 +899,157 @@ class ParallelRunner:
         started = time.monotonic()
         results: Dict[int, RunResult] = {}
 
+        status = self._status_publisher()
+        if status is not None:
+            status.update(
+                force=True, phase="cache-probe",
+                jobs_total=metrics.jobs_total, jobs_done=metrics.jobs_done,
+                workers_requested=self.workers,
+            )
+
         pending: List[_Job] = []
-        for job in jobs:
-            cached = self.cache.get(job.key) if self.cache is not None else None
-            if cached is not None:
-                results[job.index] = cached
-                metrics.record_cache_hit()
-                self.progress.update(metrics)
-            else:
-                pending.append(job)
+        with span("matrix.cache_probe", jobs=len(jobs)):
+            for job in jobs:
+                cached = (
+                    self.cache.get(job.key) if self.cache is not None else None
+                )
+                if cached is not None:
+                    results[job.index] = cached
+                    metrics.record_cache_hit()
+                    self.progress.update(metrics)
+                    if status is not None:
+                        status.update(
+                            jobs_done=metrics.jobs_done,
+                            cache_hit_rate=metrics.cache_hit_rate,
+                        )
+                else:
+                    pending.append(job)
         logger.debug(
             "matrix: %d jobs (%d cached, %d to simulate, workers=%d)",
             len(jobs), len(jobs) - len(pending), len(pending), self.workers,
         )
 
+        parallel = self.workers > 1 and len(pending) > 1
+        spool_dir, owned_spool = self._make_spool(parallel)
         fields = _config_fields(config)
         payloads = [
             (j.index, j.bench, j.simpoint, j.policy, j.kwargs, fields,
-             collect_miss_positions)
+             collect_miss_positions,
+             str(spool_dir) if spool_dir is not None else None)
             for j in pending
         ]
         by_index = {j.index: j for j in pending}
 
-        if self.workers > 1 and len(pending) > 1:
+        def _record(index: int, result: RunResult, seconds: float) -> None:
+            results[index] = result
+            metrics.record_simulated(seconds)
+            if self.cache is not None:
+                job = by_index[index]
+                self.cache.put(
+                    job.key, result,
+                    manifest=_job_manifest(job, config, seconds),
+                )
+            metrics.wall_time = base_wall + (time.monotonic() - started)
+            self.progress.update(metrics)
+
+        def _publish_status(workers_field=None) -> None:
+            if status is None:
+                return
+            fields_now = dict(
+                phase="simulate",
+                jobs_total=metrics.jobs_total,
+                jobs_done=metrics.jobs_done,
+                throughput=metrics.sims_per_sec,
+                throughput_unit="sims/s",
+                cache_hit_rate=metrics.cache_hit_rate,
+                eta_sec=metrics.eta_seconds,
+            )
+            if workers_field is not None:
+                fields_now["workers"] = workers_field
+            status.update(**fields_now)
+
+        if parallel:
             import multiprocessing
+
+            from ..obs.shipping import Watchdog, read_spool
 
             context = multiprocessing.get_context("spawn")
             max_workers = min(self.workers, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=max_workers, mp_context=context
-            ) as pool:
-                futures = {pool.submit(_execute_job, p) for p in payloads}
-                while futures:
-                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index, payload, seconds = future.result()
-                        result = _result_from_dict(payload)
-                        results[index] = result
-                        metrics.record_simulated(seconds)
-                        if self.cache is not None:
-                            job = by_index[index]
-                            self.cache.put(
-                                job.key, result,
-                                manifest=_job_manifest(job, config, seconds),
+            watchdog = Watchdog(
+                factor=self.watchdog_factor, registry=metrics.registry
+            )
+            last_scan = 0.0
+            with span("matrix.simulate", jobs=len(pending),
+                      workers=max_workers):
+                with ProcessPoolExecutor(
+                    max_workers=max_workers, mp_context=context
+                ) as pool:
+                    futures = {pool.submit(_execute_job, p) for p in payloads}
+                    while futures:
+                        done, futures = wait(
+                            futures, timeout=0.5,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in done:
+                            index, payload, seconds = future.result()
+                            _record(index, _result_from_dict(payload), seconds)
+                        # Liveness tick: heartbeat scan + watchdog + status,
+                        # even when no job completed this round.
+                        workers_field = None
+                        now = time.monotonic()
+                        if spool_dir is not None and now - last_scan >= 1.0:
+                            last_scan = now
+                            state = read_spool(spool_dir)
+                            watchdog.check(
+                                state.heartbeats, metrics.median_job_seconds
                             )
-                        metrics.wall_time = base_wall + (time.monotonic() - started)
-                        self.progress.update(metrics)
+                            wall_now = time.time()
+                            workers_field = {
+                                worker: {
+                                    "alive": worker not in watchdog.flagged,
+                                    "stalled": worker in watchdog.flagged,
+                                    "last_seen_sec": round(
+                                        max(0.0, wall_now - ts), 1
+                                    ),
+                                }
+                                for worker, ts in state.heartbeats.items()
+                            }
+                        metrics.wall_time = (
+                            base_wall + (time.monotonic() - started)
+                        )
+                        _publish_status(workers_field)
         else:
-            for payload in payloads:
-                index, result_dict, seconds = _execute_job(payload)
-                result = _result_from_dict(result_dict)
-                results[index] = result
-                metrics.record_simulated(seconds)
-                if self.cache is not None:
-                    job = by_index[index]
-                    self.cache.put(
-                        job.key, result,
-                        manifest=_job_manifest(job, config, seconds),
-                    )
-                metrics.wall_time = base_wall + (time.monotonic() - started)
-                self.progress.update(metrics)
+            with span("matrix.simulate", jobs=len(pending), workers=1):
+                for payload in payloads:
+                    index, result_dict, seconds = _execute_job(payload)
+                    _record(index, _result_from_dict(result_dict), seconds)
+                    _publish_status()
+
+        if spool_dir is not None:
+            from ..obs.shipping import merge_spool
+
+            self.last_spool_state = merge_spool(
+                spool_dir, registry=metrics.registry,
+                recorder=current_recorder(),
+            )
+            if owned_spool:
+                shutil.rmtree(spool_dir, ignore_errors=True)
+                self.last_spool_dir = None
+            else:
+                self.last_spool_dir = spool_dir
 
         metrics.wall_time = base_wall + (time.monotonic() - started)
         self.progress.update(metrics, final=True)
+        if status is not None:
+            status.finalize(
+                phase="done",
+                jobs_total=metrics.jobs_total,
+                jobs_done=metrics.jobs_done,
+                throughput=metrics.sims_per_sec,
+                throughput_unit="sims/s",
+                cache_hit_rate=metrics.cache_hit_rate,
+                eta_sec=0.0,
+            )
         logger.info("matrix done: %s", metrics.summary())
         return results
 
@@ -811,15 +1062,20 @@ def run_matrix(
     cache: Union[None, bool, str, Path] = None,
     progress: Optional[bool] = None,
     collect_miss_positions: bool = False,
+    telemetry: Union[None, bool, str, Path] = None,
+    status_path: Union[None, str, Path] = None,
 ) -> MatrixResult:
     """One-shot convenience wrapper around :class:`ParallelRunner`.
 
     ``policies`` accepts :class:`repro.eval.experiments.PolicySpec`
     instances, ``(label, policy_name[, kwargs])`` tuples, or bare policy
     names.  See :class:`ParallelRunner` for ``workers`` / ``cache`` /
-    ``progress`` semantics.
+    ``progress`` / ``telemetry`` / ``status_path`` semantics.
     """
-    runner = ParallelRunner(workers=workers, cache=cache, progress=progress)
+    runner = ParallelRunner(
+        workers=workers, cache=cache, progress=progress,
+        telemetry=telemetry, status_path=status_path,
+    )
     return runner.run_matrix(
         policies,
         config=config,

@@ -17,9 +17,11 @@ pickled trace set), and results come back in submission order — so
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..core.ipv import IPV
+from ..obs.spans import span
 from .fitness import FitnessEvaluator
 from .parallel import PopulationEvaluator
 
@@ -77,6 +79,16 @@ def mutate(
     return tuple(out)
 
 
+def _status_publisher(status_path):
+    """StatusPublisher for a GA run, or ``None`` when status is disabled."""
+    from ..obs.status import StatusPublisher, default_status_path
+
+    path = status_path if status_path is not None else default_status_path()
+    if not path:
+        return None
+    return StatusPublisher(path, kind="ga")
+
+
 def evolve_ipv(
     evaluator: FitnessEvaluator,
     population_size: int = 40,
@@ -88,12 +100,22 @@ def evolve_ipv(
     workers: int = 0,
     seeds: Optional[Sequence[IPV]] = None,
     on_generation: Optional[Callable[[int, float], None]] = None,
+    telemetry: Union[None, bool, str, Path] = None,
+    status_path: Union[None, str, Path] = None,
 ) -> GAResult:
     """Evolve an IPV against ``evaluator``.
 
     ``initial_population_size`` defaults to 5x the steady population,
     echoing the paper's 20 000 -> 4 000 schedule.  ``seeds`` inject known
     vectors (the paper seeds its pgapack stage with earlier GA winners).
+
+    ``telemetry`` is forwarded to :class:`PopulationEvaluator` (worker
+    metrics/span spooling for parallel runs).  ``status_path`` publishes a
+    live ``run-status.json`` per generation (``None`` falls back to
+    ``$REPRO_STATUS_PATH``; unset disables it); the final record carries
+    the best fitness and survives the run.  The whole search is wrapped in
+    ``ga.run`` / ``ga.generation`` / ``ga.breed`` / ``ga.evaluate`` spans
+    when a recorder is installed (no-ops otherwise).
     """
     k = evaluator.k
     length = k + 1
@@ -106,37 +128,69 @@ def evolve_ipv(
     while len(population) < initial_population_size:
         population.append(tuple(rng.randrange(k) for _ in range(length)))
 
-    pop_eval = PopulationEvaluator(evaluator, workers=workers)
+    status = _status_publisher(status_path)
+    pop_eval = PopulationEvaluator(
+        evaluator, workers=workers, telemetry=telemetry
+    )
     evaluate_all = pop_eval.evaluate_all
 
     evaluations = 0
     history: List[float] = []
     try:
-        scored = list(zip(evaluate_all(population), population))
-        evaluations += len(population)
-        scored.sort(key=lambda p: p[0], reverse=True)
-        for generation in range(generations):
-            survivors = scored[: max(2, population_size // 2)]
-            next_population: List[Tuple[int, ...]] = [
-                ind for _, ind in scored[:elite]
-            ]
-            while len(next_population) < population_size:
-                pa = survivors[rng.randrange(len(survivors))][1]
-                pb = survivors[rng.randrange(len(survivors))][1]
-                child = mutate(crossover(pa, pb, rng), k, rng, mutation_rate)
-                next_population.append(child)
-            fresh = next_population[elite:]
-            fresh_scores = evaluate_all(fresh)
-            evaluations += len(fresh)
-            scored = scored[:elite] + list(zip(fresh_scores, fresh))
+        with span("ga.run", k=k, generations=generations,
+                  population=population_size, workers=workers):
+            if status is not None:
+                status.update(
+                    force=True, phase="init-population",
+                    jobs_total=generations, jobs_done=0,
+                    population=len(population), workers_requested=workers,
+                )
+            with span("ga.init_population", size=len(population)):
+                scored = list(zip(evaluate_all(population), population))
+            evaluations += len(population)
             scored.sort(key=lambda p: p[0], reverse=True)
-            history.append(scored[0][0])
-            if on_generation is not None:
-                on_generation(generation, scored[0][0])
+            for generation in range(generations):
+                with span("ga.generation", gen=generation) as gen_span:
+                    survivors = scored[: max(2, population_size // 2)]
+                    with span("ga.breed", gen=generation):
+                        next_population: List[Tuple[int, ...]] = [
+                            ind for _, ind in scored[:elite]
+                        ]
+                        while len(next_population) < population_size:
+                            pa = survivors[rng.randrange(len(survivors))][1]
+                            pb = survivors[rng.randrange(len(survivors))][1]
+                            child = mutate(
+                                crossover(pa, pb, rng), k, rng, mutation_rate
+                            )
+                            next_population.append(child)
+                    fresh = next_population[elite:]
+                    with span("ga.evaluate", gen=generation,
+                              batch=len(fresh)):
+                        fresh_scores = evaluate_all(fresh)
+                    evaluations += len(fresh)
+                    scored = scored[:elite] + list(zip(fresh_scores, fresh))
+                    scored.sort(key=lambda p: p[0], reverse=True)
+                    history.append(scored[0][0])
+                    gen_span.set(best_fitness=scored[0][0])
+                if status is not None:
+                    status.update(
+                        phase=f"generation {generation + 1}/{generations}",
+                        jobs_done=generation + 1,
+                        jobs_total=generations,
+                        best_fitness=scored[0][0],
+                        evaluations=evaluations,
+                    )
+                if on_generation is not None:
+                    on_generation(generation, scored[0][0])
     finally:
         pop_eval.close()
 
     best_fitness, best_entries = scored[0]
+    if status is not None:
+        status.finalize(
+            phase="done", jobs_done=len(history), jobs_total=generations,
+            best_fitness=best_fitness, evaluations=evaluations,
+        )
     return GAResult(
         IPV(best_entries, name=f"evolved-s{seed}"),
         best_fitness,

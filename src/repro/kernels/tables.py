@@ -345,7 +345,10 @@ def compile_tables(
             _COUNTERS["cache_hits"] += 1
             return tables
         _COUNTERS["cache_misses"] += 1
-        tables = KernelTables(key[0], key[1])
+        from ..obs.spans import span  # local: keep the module import-light
+
+        with span("kernels.compile", k=key[0]):
+            tables = KernelTables(key[0], key[1])
         _COUNTERS["compiles"] += 1
         _COUNTERS["compile_seconds"] += tables.compile_seconds
         _IPV_CACHE[key] = tables

@@ -1,8 +1,9 @@
-"""Observability layer: event tracing, metrics and run provenance.
+"""Observability layer: tracing, metrics, provenance, and runtime telemetry.
 
 The simulator's end-of-run counters say *what* happened; this package
-records *why*.  It has three legs, all dependency-free (stdlib only) and
-all zero-overhead when disabled:
+records *why* (policy dynamics) and *where the time went* (runtime
+telemetry).  All legs are dependency-free (stdlib only) and
+zero-overhead when disabled:
 
 * :mod:`repro.obs.events` / :mod:`repro.obs.tracer` / :mod:`repro.obs.sinks`
   — a structured event trace of the replacement-policy dynamics the paper's
@@ -18,6 +19,20 @@ all zero-overhead when disabled:
   seed, code digest, git revision, host, wall time) written next to cached
   results and generated reports, so any number in a figure can be traced
   back to the exact code and configuration that produced it.
+* :mod:`repro.obs.spans` — hierarchical span profiling (``with
+  span("ga.generation", gen=i):``) exporting Chrome trace-event JSON and
+  folded-stack flamegraph text; a no-op singleton when no recorder is
+  installed.
+* :mod:`repro.obs.shipping` — cross-process telemetry: workers spool
+  metrics deltas, span trees and heartbeats to atomic per-worker files
+  that the parent merges into one registry/trace; a watchdog flags
+  stalled workers.
+* :mod:`repro.obs.status` — live ``run-status.json`` publishing (phase,
+  progress, throughput, ETA, worker liveness) rendered by ``repro obs
+  watch``; the final state survives completion for post-mortems.
+* :mod:`repro.obs.trend` — append-only ``BENCH_history.jsonl`` perf
+  history keyed by git revision, with a regression comparator behind
+  ``repro obs trend --check``.
 
 The hot path (:meth:`repro.cache.cache.SetAssociativeCache.access`) pays a
 single ``is not None`` check when tracing is off; the budget is enforced by
@@ -47,10 +62,52 @@ from .provenance import (
     manifest_path_for,
     write_manifest,
 )
+from .shipping import (
+    SpoolWriter,
+    Watchdog,
+    merge_registry_payload,
+    merge_spool,
+    read_spool,
+)
 from .sinks import JSONLSink, ListSink, RingBufferSink, SamplingFilter, read_jsonl
+from .spans import (
+    SpanRecorder,
+    current_recorder,
+    install_recorder,
+    profiled,
+    span,
+    uninstall_recorder,
+    validate_chrome_trace,
+)
+from .status import StatusPublisher, read_status, render_status
 from .tracer import Tracer, registry_from_events, replay_counts
+from .trend import (
+    compare_entries,
+    latest_deltas,
+    record_bench_kernels,
+    record_entry,
+)
 
 __all__ = [
+    "SpanRecorder",
+    "current_recorder",
+    "install_recorder",
+    "profiled",
+    "span",
+    "uninstall_recorder",
+    "validate_chrome_trace",
+    "SpoolWriter",
+    "Watchdog",
+    "merge_registry_payload",
+    "merge_spool",
+    "read_spool",
+    "StatusPublisher",
+    "read_status",
+    "render_status",
+    "compare_entries",
+    "latest_deltas",
+    "record_bench_kernels",
+    "record_entry",
     "EVENT_KINDS",
     "EVENT_SCHEMA",
     "TraceEvent",

@@ -47,40 +47,53 @@ def _render_labels(labels: LabelPairs) -> str:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    __slots__ = ("value",)
+    Thread-safe: ``inc`` holds a per-instrument lock, because Python's
+    ``self.value += n`` is a read-modify-write that can lose updates under
+    concurrent writers (the GIL does not make it atomic).  The lock is
+    uncontended in the common single-writer case, so the cost is one
+    acquire/release per increment.
+    """
+
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_json(self):
         return self.value
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down.  Thread-safe (see :class:`Counter`)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def as_json(self):
         return self.value
@@ -93,11 +106,14 @@ class Histogram:
     implicit ``+Inf`` bucket catches the rest.  ``bucket_counts[i]`` is the
     *non-cumulative* count of observations in bucket ``i`` (the exporter
     cumulates, as the exposition format requires).
+
+    Thread-safe: ``observe``/``merge_raw`` hold a per-instrument lock so
+    concurrent observations never lose counts (see :class:`Counter`).
     """
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "_lock")
 
     def __init__(self, bounds: Sequence[float]):
         bounds = sorted(float(b) for b in bounds)
@@ -109,16 +125,38 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        # Linear scan: bucket lists here are tiny (positions, distances).
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            # Linear scan: bucket lists here are tiny (positions, distances).
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    def merge_raw(
+        self, bucket_counts: Sequence[int], count: int, total: float
+    ) -> None:
+        """Add another histogram's raw buckets (cross-process merge).
+
+        Used by :func:`repro.obs.shipping.merge_registry_payload` to sum a
+        worker's histogram snapshot into the parent's.  The bucket layout
+        must match — mismatched bounds raise rather than mis-bin.
+        """
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram merge: {len(bucket_counts)} buckets != "
+                f"{len(self.bucket_counts)}"
+            )
+        with self._lock:
+            for i, n in enumerate(bucket_counts):
+                self.bucket_counts[i] += int(n)
+            self.count += int(count)
+            self.sum += float(total)
 
     def as_json(self):
         return {

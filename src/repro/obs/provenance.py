@@ -40,14 +40,25 @@ MANIFEST_SCHEMA = "repro-manifest/1"
 
 _git_rev_memo: Optional[str] = None
 
+#: Set after the first resolution so *spawned worker processes* inherit
+#: the answer through their environment instead of each paying a
+#: ``git rev-parse`` subprocess on their first manifest write (a matrix
+#: run fans out hundreds of manifest-writing jobs).
+GIT_REVISION_ENV = "REPRO_GIT_REVISION"
+
 
 def git_revision() -> str:
     """The repository HEAD revision, or ``"unknown"`` outside a checkout.
 
-    Memoized per process; never raises.
+    Cached per process (one subprocess spawn, ever) and propagated to
+    child processes via ``$REPRO_GIT_REVISION``; never raises.
     """
     global _git_rev_memo
     if _git_rev_memo is not None:
+        return _git_rev_memo
+    env = os.environ.get(GIT_REVISION_ENV)
+    if env:
+        _git_rev_memo = env
         return _git_rev_memo
     root = Path(__file__).resolve().parent
     try:
@@ -62,7 +73,15 @@ def git_revision() -> str:
     except (OSError, subprocess.SubprocessError):
         rev = ""
     _git_rev_memo = rev or "unknown"
+    os.environ.setdefault(GIT_REVISION_ENV, _git_rev_memo)
     return _git_rev_memo
+
+
+def _reset_git_revision_memo() -> None:
+    """Test hook: forget the per-process memo (and the env propagation)."""
+    global _git_rev_memo
+    _git_rev_memo = None
+    os.environ.pop(GIT_REVISION_ENV, None)
 
 
 def _canonical_config(config) -> object:

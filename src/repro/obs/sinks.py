@@ -8,8 +8,10 @@ line — append-only, streamable, and grep-able.
 
 from __future__ import annotations
 
+import atexit
 import json
 import logging
+import weakref
 from collections import deque
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Union
@@ -80,12 +82,30 @@ class RingBufferSink:
         return iter(self.events)
 
 
+#: Open JSONL sinks, flushed by an ``atexit`` hook so traces from runs
+#: killed before ``close()`` (Ctrl-C in a long GA, a crashing driver)
+#: are not truncated mid-record.  A WeakSet: sinks that are garbage
+#: collected (their file object closed by the GC) drop out on their own.
+_OPEN_JSONL_SINKS: "weakref.WeakSet[JSONLSink]" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_open_sinks() -> None:  # pragma: no cover - exercised at exit
+    for sink in list(_OPEN_JSONL_SINKS):
+        try:
+            sink.flush()
+        except Exception:
+            pass
+
+
 class JSONLSink:
     """Streams events to a JSON-lines file.
 
     Usable as a context manager; ``flush_every`` bounds how many events can
     be lost on a crash (the underlying file object buffers anyway, so the
-    default favors throughput).
+    default favors throughput).  Open sinks are additionally flushed by an
+    ``atexit`` hook and by explicit :meth:`flush`, so a killed run's trace
+    ends on a complete record instead of half a JSON line.
     """
 
     def __init__(self, path: Union[str, Path], flush_every: int = 0):
@@ -95,6 +115,7 @@ class JSONLSink:
         self._dumps = json.dumps
         self.flush_every = flush_every
         self.written = 0
+        _OPEN_JSONL_SINKS.add(self)
 
     def write(self, event: TraceEvent) -> None:
         self._handle.write(self._dumps(event.to_dict(), separators=(",", ":")))
@@ -103,10 +124,20 @@ class JSONLSink:
         if self.flush_every and self.written % self.flush_every == 0:
             self._handle.flush()
 
+    def flush(self) -> None:
+        """Push buffered events to disk without closing the sink."""
+        if not self._handle.closed:
+            self._handle.flush()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
             logger.debug("wrote %d events to %s", self.written, self.path)
+        _OPEN_JSONL_SINKS.discard(self)
 
     def __enter__(self) -> "JSONLSink":
         return self

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.ipv import IPV, lip_ipv, lru_ipv, mru_pessimistic_ipv
+from ..obs.spans import span
 from ..core.vectors import (
     DGIPPR4_WI_VECTORS,
     GIPLR_VECTOR,
@@ -449,18 +450,20 @@ def verify_all(
     report = ConformanceReport()
     for name in policies or policy_names():
         logger.info("verifying %s ...", name)
-        report.reports.append(
-            verify_policy(
-                name,
-                fuzz_budget=fuzz_budget,
-                shrink=shrink,
-                artifact_dir=artifact_dir,
-                seeds=seeds,
-                check_every=check_every,
+        with span("verify.policy", policy=name):
+            report.reports.append(
+                verify_policy(
+                    name,
+                    fuzz_budget=fuzz_budget,
+                    shrink=shrink,
+                    artifact_dir=artifact_dir,
+                    seeds=seeds,
+                    check_every=check_every,
+                )
             )
-        )
     if check_goldens:
-        drift, checked = check_golden_corpus(goldens_path)
+        with span("verify.goldens"):
+            drift, checked = check_golden_corpus(goldens_path)
         report.golden_drift = drift
         report.goldens_checked = checked
     report.wall_time_sec = time.perf_counter() - started

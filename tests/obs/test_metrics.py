@@ -120,3 +120,69 @@ class TestExporters:
         assert ("repro_jobs", ()) in parse_prometheus(
             registry.to_prometheus()
         )
+
+
+class TestThreadSafety:
+    """Concurrent writers must not lose updates (inc is read-modify-write)."""
+
+    THREADS = 8
+    PER_THREAD = 10_000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait(timeout=10)
+            for _ in range(self.PER_THREAD):
+                work()
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_concurrent_total")
+        self._hammer(counter.inc)
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_gauge_incs_are_exact(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_concurrent_gauge")
+        self._hammer(lambda: gauge.inc(0.5))
+        assert gauge.value == pytest.approx(
+            0.5 * self.THREADS * self.PER_THREAD
+        )
+
+    def test_concurrent_histogram_observes_are_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_concurrent_hist", (1.0, 2.0))
+        self._hammer(lambda: hist.observe(1.5))
+        total = self.THREADS * self.PER_THREAD
+        assert hist.count == total
+        assert hist.sum == pytest.approx(1.5 * total)
+
+    def test_concurrent_get_or_create_returns_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait(timeout=10)
+            counter = registry.counter("repro_shared_total")
+            counter.inc()
+            seen.append(counter)
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+        assert registry.counter("repro_shared_total").value == self.THREADS

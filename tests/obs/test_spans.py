@@ -1,0 +1,220 @@
+"""Span profiler: zero-cost disabled, nesting, exports, merge."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    SpanRecorder,
+    current_recorder,
+    install_recorder,
+    profiled,
+    span,
+    uninstall_recorder,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_recorder():
+    """Every test starts and ends with profiling disabled."""
+    uninstall_recorder()
+    yield
+    uninstall_recorder()
+
+
+@pytest.fixture()
+def recorder():
+    return install_recorder(SpanRecorder(process_label="test"))
+
+
+# ----------------------------------------------------------------------
+# Disabled path.
+# ----------------------------------------------------------------------
+def test_disabled_span_is_shared_noop_singleton():
+    assert current_recorder() is None
+    a = span("anything", x=1)
+    b = span("else")
+    assert a is b  # no allocation per call
+
+    with span("nested"):
+        with span("deeper", y=2) as s:
+            s.set(z=3)  # no-op, must not raise
+
+
+def test_install_uninstall_roundtrip():
+    rec = SpanRecorder()
+    assert install_recorder(rec) is rec
+    assert current_recorder() is rec
+    assert uninstall_recorder() is rec
+    assert current_recorder() is None
+    assert uninstall_recorder() is None  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Recording and nesting.
+# ----------------------------------------------------------------------
+def test_nested_spans_record_parent_paths(recorder):
+    with span("outer", run=1):
+        with span("middle"):
+            with span("inner"):
+                pass
+        with span("middle"):
+            pass
+
+    assert len(recorder) == 4
+    paths = sorted(r["path"] for r in recorder.records)
+    assert paths == [
+        "outer",
+        "outer;middle",
+        "outer;middle",
+        "outer;middle;inner",
+    ]
+    outer = recorder.spans_named("outer")[0]
+    assert outer["args"] == {"run": 1}
+    assert outer["dur_us"] >= outer["self_us"] >= 0.0
+
+
+def test_span_set_attaches_attributes(recorder):
+    with span("ga.generation", gen=0) as s:
+        s.set(best_fitness=1.25)
+    rec = recorder.spans_named("ga.generation")[0]
+    assert rec["args"] == {"gen": 0, "best_fitness": 1.25}
+
+
+def test_exception_closes_span_and_tags_error(recorder):
+    with pytest.raises(RuntimeError):
+        with span("outer"):
+            with span("failing"):
+                raise RuntimeError("boom")
+
+    failing = recorder.spans_named("failing")[0]
+    assert failing["args"]["error"] == "RuntimeError"
+    outer = recorder.spans_named("outer")[0]
+    assert "error" in outer["args"]  # propagated through the outer exit
+    # The stack is clean: a fresh span nests at top level again.
+    with span("after"):
+        pass
+    assert recorder.spans_named("after")[0]["path"] == "after"
+
+
+def test_threads_keep_independent_stacks(recorder):
+    barrier = threading.Barrier(2)
+
+    def work(name):
+        with span(name):
+            barrier.wait(timeout=5)
+            with span("child"):
+                pass
+
+    threads = [
+        threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    children = recorder.spans_named("child")
+    assert sorted(c["path"] for c in children) == ["t0;child", "t1;child"]
+    assert len({c["tid"] for c in children}) == 2
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export + validation.
+# ----------------------------------------------------------------------
+def test_chrome_trace_validates_and_round_trips(tmp_path, recorder):
+    with span("phase.a", k=16):
+        with span("phase.b"):
+            pass
+    out = tmp_path / "trace.json"
+    recorder.write_chrome_trace(out)
+    assert validate_chrome_trace_file(out) == 2
+
+    trace = json.loads(out.read_text())
+    names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert sorted(names) == ["phase.a", "phase.b"]
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert meta and meta[0]["args"]["name"] == "test"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {},  # no traceEvents
+        {"traceEvents": [{"ph": "X"}]},  # missing name
+        {"traceEvents": [{"name": "a", "ph": "Q", "pid": 1, "tid": 1}]},
+        {"traceEvents": [{"name": "a", "ph": "X", "pid": 1, "tid": 1,
+                          "ts": -5, "dur": 1}]},
+        {"traceEvents": [{"name": "a", "ph": "M", "pid": 1, "tid": 1,
+                          "args": {}}]},
+    ],
+)
+def test_validate_chrome_trace_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        validate_chrome_trace(bad)
+
+
+# ----------------------------------------------------------------------
+# Folded stacks.
+# ----------------------------------------------------------------------
+def test_folded_output_uses_self_time(recorder):
+    with span("root"):
+        with span("leaf"):
+            for _ in range(1000):
+                pass
+    folded = recorder.to_folded()
+    lines = dict(
+        line.rsplit(" ", 1) for line in folded.strip().splitlines()
+    )
+    assert "root;leaf" in lines
+    root = recorder.spans_named("root")[0]
+    # Parent self time excludes the child's duration.
+    assert root["self_us"] <= root["dur_us"]
+
+
+# ----------------------------------------------------------------------
+# Payload shipping.
+# ----------------------------------------------------------------------
+def test_payload_merge_roundtrip_preserves_pids(recorder):
+    with span("local"):
+        pass
+    worker = SpanRecorder(process_label="worker")
+    worker._pid = 99999  # simulate another process
+    worker.record(name="remote", path="remote", ts_us=0, dur_us=5.0,
+                  self_us=5.0, args={})
+
+    merged = recorder.merge_payload(worker.payload())
+    assert merged == 1
+    assert 99999 in recorder.pids()
+    trace = recorder.to_chrome_trace()
+    assert validate_chrome_trace(trace) == 2
+    labels = {
+        e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"
+    }
+    assert labels == {"test", "worker-99999"}
+
+
+def test_merge_payload_rejects_wrong_schema(recorder):
+    with pytest.raises(ValueError):
+        recorder.merge_payload({"schema": "bogus/9", "records": []})
+    assert SPAN_SCHEMA == "repro-spans/1"
+
+
+def test_profiled_writes_exports_and_restores(tmp_path):
+    outer = install_recorder(SpanRecorder())
+    chrome = tmp_path / "p.trace.json"
+    folded = tmp_path / "p.folded"
+    with profiled(chrome, folded=folded) as rec:
+        assert current_recorder() is rec
+        with span("inside"):
+            # Burn enough time to clear the folded-output noise floor
+            # (sub-microsecond self time is dropped as clock noise).
+            for _ in range(10_000):
+                pass
+    assert current_recorder() is outer  # previous recorder restored
+    assert validate_chrome_trace_file(chrome) == 1
+    assert "inside" in folded.read_text()
