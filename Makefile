@@ -41,7 +41,8 @@ regen-goldens:
 	$(PYTHON) scripts/regen_goldens.py
 
 # Transition-table kernel throughput: accesses/sec LUT vs bit-walk for
-# k in {4,8,16} plus GA-generation wall time, written to BENCH_kernels.json
+# k in {4,8,16}, the columnar GA-population batch, plus GA-generation wall
+# time, written to BENCH_kernels.json
 # (with a provenance manifest sidecar) at the repository root.  Each run
 # also appends a perf-trend entry to BENCH_history.jsonl keyed by git
 # revision (`repro obs trend` inspects it; `--no-history` to skip).

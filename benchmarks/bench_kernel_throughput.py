@@ -1,12 +1,16 @@
-"""Transition-table kernel throughput: LUT vs bit-walk reference.
+"""Transition-table kernel throughput: LUT vs bit-walk vs columnar.
 
-Measures the two claims behind :mod:`repro.kernels`:
+Measures the claims behind :mod:`repro.kernels` and
+:mod:`repro.engine.columnar`:
 
 1. simulator throughput (accesses/second) of the PLRU-IPV fitness loop
    with the precompiled transition tables versus the Figure 5/7/9 bit-walk
    reference, for k in {4, 8, 16} — asserting bit-identical miss counts;
 2. GA generation wall-time with ``kernel="lut"`` versus ``kernel="walk"``
-   evaluators — asserting the evolved best vector is identical.
+   evaluators — asserting the evolved best vector is identical;
+3. a GA-population batch (many IPV lanes over one shared trace pass)
+   through :class:`repro.engine.columnar.BatchSimulator` versus a per-lane
+   walk loop — the headline multi-lane speedup, again bit-identical.
 
 Runs two ways:
 
@@ -33,6 +37,11 @@ if __name__ == "__main__":  # script mode: make src importable
         0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
     )
 
+from repro.engine.columnar import (  # noqa: E402
+    BatchSimulator,
+    ColumnarTrace,
+    columnar_supported,
+)
 from repro.ga.fitness import (  # noqa: E402
     FitnessEvaluator,
     simulate_misses_plru_ipv,
@@ -44,6 +53,8 @@ from repro.kernels import compile_tables, kernel_provenance  # noqa: E402
 DEFAULT_ACCESSES = 200_000
 ASSOCIATIVITIES = (4, 8, 16)
 NUM_SETS = 256
+#: Lanes in the GA-population batch bench — one typical population's worth.
+POPULATION_LANES = 24
 
 
 def _scale() -> float:
@@ -98,7 +109,7 @@ def measure_sim_throughput(assoc: int, accesses: int) -> dict:
         raise AssertionError(
             f"k={assoc}: LUT misses {lut_misses} != walk misses {walk_misses}"
         )
-    return {
+    row = {
         "assoc": assoc,
         "accesses": accesses,
         "misses": walk_misses,
@@ -106,6 +117,79 @@ def measure_sim_throughput(assoc: int, accesses: int) -> dict:
         "lut_accesses_per_sec": accesses / lut_sec,
         "speedup": walk_sec / lut_sec,
         "table_bytes": compile_tables(assoc, entries).nbytes,
+    }
+    if columnar_supported(assoc):
+        t0 = time.perf_counter()
+        columnar_misses = simulate_misses_plru_ipv(
+            stream, NUM_SETS, assoc, entries, warmup, kernel="columnar"
+        )
+        columnar_sec = time.perf_counter() - t0
+        if columnar_misses != walk_misses:
+            raise AssertionError(
+                f"k={assoc}: columnar misses {columnar_misses}"
+                f" != walk misses {walk_misses}"
+            )
+        row["columnar_accesses_per_sec"] = accesses / columnar_sec
+        row["columnar_speedup"] = walk_sec / columnar_sec
+    return row
+
+
+def measure_population_batch(
+    assoc: int = 16,
+    accesses: int = DEFAULT_ACCESSES,
+    lanes: int = POPULATION_LANES,
+) -> dict:
+    """Time a GA population evaluated per-lane (walk) vs in one columnar
+    batch; assert bit-identical misses on every lane.
+
+    This is the scenario the columnar engine exists for: ``lanes`` IPVs
+    share one pass over the trace, so the tag-compare work is amortized
+    across the whole population instead of repeated per individual.
+    """
+    stream = make_stream(accesses, NUM_SETS, assoc)
+    warmup = accesses // 10
+    population = [bench_ipv(assoc, seed=100 + i) for i in range(lanes)]
+    # Construct the simulator outside the timed region: _LaneTables holds
+    # its own table references, so this is the "compile outside the timed
+    # region" idiom of the other benches (a precompile loop would not do —
+    # `lanes` can exceed the kernel LRU capacity and churn the cache).
+    simulator = BatchSimulator(NUM_SETS, assoc, population, warmup)
+
+    t0 = time.perf_counter()
+    walk_misses = [
+        simulate_misses_plru_ipv(
+            stream, NUM_SETS, assoc, entries, warmup, kernel="walk"
+        )
+        for entries in population
+    ]
+    walk_sec = time.perf_counter() - t0
+
+    # Trace preprocessing is part of the measured columnar cost — unlike
+    # table compilation it cannot be cached across fresh streams.
+    t0 = time.perf_counter()
+    trace = ColumnarTrace(stream, NUM_SETS)
+    columnar = simulator.run(trace)
+    columnar_sec = time.perf_counter() - t0
+
+    mismatched = [
+        (i, int(columnar[i]), walk_misses[i])
+        for i in range(lanes)
+        if int(columnar[i]) != walk_misses[i]
+    ]
+    if mismatched:
+        raise AssertionError(
+            f"columnar misses diverge from walk on {len(mismatched)} lanes: "
+            f"{mismatched[:3]}"
+        )
+    return {
+        "assoc": assoc,
+        "accesses": accesses,
+        "lanes": lanes,
+        "misses": walk_misses,
+        "walk_sec": walk_sec,
+        "columnar_sec": columnar_sec,
+        "speedup": walk_sec / columnar_sec,
+        "lane_accesses_per_sec": (lanes * accesses) / columnar_sec,
     }
 
 
@@ -186,6 +270,22 @@ if pytest is not None:
         # The LUT path must never lose to the walk it memoizes.
         assert row["speedup"] > 1.0
 
+    def test_kernel_population_batch(benchmark):
+        if not columnar_supported(16):
+            pytest.skip("columnar engine needs numpy")
+        accesses = max(10_000, int(60_000 * _scale()))
+        row = benchmark.pedantic(
+            measure_population_batch,
+            kwargs={"accesses": accesses, "lanes": 8},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["speedup_vs_walk"] = row["speedup"]
+        benchmark.extra_info["lane_accesses_per_sec"] = row[
+            "lane_accesses_per_sec"
+        ]
+        # Batching a population must beat evaluating its lanes one by one.
+        assert row["speedup"] > 1.0
+
     def test_kernel_ga_generation(benchmark):
         # Note: each *new* k=16 vector pays a ~20 ms table compile, so the
         # LUT only wins once traces are long enough to amortize it (the
@@ -209,7 +309,7 @@ if pytest is not None:
 def collect(accesses: int, ga_trace_length: int) -> dict:
     sim_rows = [measure_sim_throughput(k, accesses) for k in ASSOCIATIVITIES]
     ga_row = measure_ga_generation(trace_length=ga_trace_length)
-    return {
+    results = {
         "schema": "repro-bench-kernels/1",
         "created_at": time.strftime(
             "%Y-%m-%dT%H:%M:%S%z", time.localtime()
@@ -219,6 +319,11 @@ def collect(accesses: int, ga_trace_length: int) -> dict:
         "ga_generation": ga_row,
         "kernels": kernel_provenance(),
     }
+    if columnar_supported(16):
+        results["population_batch"] = measure_population_batch(
+            accesses=accesses
+        )
+    return results
 
 
 def main(argv=None) -> int:
@@ -267,10 +372,25 @@ def main(argv=None) -> int:
 
     print(f"== kernel throughput ({args.accesses} accesses/stream) ==")
     for row in results["sim_throughput"]:
-        print(
+        line = (
             f"  k={row['assoc']:>2}: walk {row['walk_accesses_per_sec']:>12,.0f}"
             f" acc/s | lut {row['lut_accesses_per_sec']:>12,.0f} acc/s"
             f" | {row['speedup']:.2f}x | misses {row['misses']}"
+        )
+        if "columnar_speedup" in row:
+            line += (
+                f" | columnar {row['columnar_accesses_per_sec']:>12,.0f}"
+                f" acc/s ({row['columnar_speedup']:.2f}x)"
+            )
+        print(line)
+    pop = results.get("population_batch")
+    if pop is not None:
+        print(
+            f"  population k={pop['assoc']} x{pop['lanes']} lanes:"
+            f" walk {pop['walk_sec']:.2f}s"
+            f" | columnar {pop['columnar_sec']:.2f}s"
+            f" | {pop['speedup']:.1f}x"
+            f" | {pop['lane_accesses_per_sec']:,.0f} lane-acc/s"
         )
     ga = results["ga_generation"]
     print(

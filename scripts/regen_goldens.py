@@ -28,9 +28,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.verify.goldens import (  # noqa: E402
     DEFAULT_GOLDENS_PATH,
+    check_columnar_goldens,
     check_golden_corpus,
     golden_matrix,
     load_golden_corpus,
+    write_columnar_golden_corpus,
     write_golden_corpus,
 )
 
@@ -49,10 +51,18 @@ def main() -> int:
         "--no-manifest", action="store_true",
         help="skip the provenance manifest sidecar",
     )
+    parser.add_argument(
+        "--skip-columnar", action="store_true",
+        help="leave the columnar kernel-identity corpus untouched",
+    )
     args = parser.parse_args()
 
     if args.check:
         drift, checked = check_golden_corpus(args.out)
+        if not args.skip_columnar and args.out is None:
+            col_drift, col_checked = check_columnar_goldens()
+            drift = drift + col_drift
+            checked += col_checked
         if drift:
             print(f"golden corpus drift ({len(drift)} entries):",
                   file=sys.stderr)
@@ -89,6 +99,11 @@ def main() -> int:
             print(f"  {key}")
     if not changed and not removed:
         print("no changes (corpus already matched)")
+    if not args.skip_columnar and args.out is None:
+        col_path = write_columnar_golden_corpus(
+            with_manifest=not args.no_manifest
+        )
+        print(f"wrote {col_path} (columnar kernel-identity corpus)")
     return 0
 
 

@@ -1,0 +1,28 @@
+"""Vectorized simulation engines.
+
+:mod:`repro.engine.columnar` is the numpy-columnar batch simulator: all
+cache sets (and many IPV/config lanes) advance in lockstep over an access
+trace, with the per-access policy math served by the precompiled
+transition tables of :mod:`repro.kernels`.  The scalar simulators in
+:mod:`repro.ga.fitness` remain the bit-exact reference.
+"""
+
+from .columnar import (
+    BatchSimulator,
+    ColumnarTrace,
+    ColumnarUnavailable,
+    DuelBatchSimulator,
+    columnar_supported,
+    require_numpy,
+    simulate_misses_plru_columnar,
+)
+
+__all__ = [
+    "BatchSimulator",
+    "ColumnarTrace",
+    "ColumnarUnavailable",
+    "DuelBatchSimulator",
+    "columnar_supported",
+    "require_numpy",
+    "simulate_misses_plru_columnar",
+]

@@ -1,0 +1,573 @@
+"""Columnar numpy batch simulation engine for tree-PLRU IPV policies.
+
+The PR-3 transition-table kernels made the per-access policy math O(1),
+which left the Python interpreter loop over accesses as the hot-path
+bottleneck.  This module removes that loop: tags, PLRU state words and
+per-set fill counts live in 2-D/3-D numpy arrays indexed
+``[lane, set(, way)]`` — a *lane* is one (IPV, config) combination — and
+whole batches of accesses are applied with ``np.take``/fancy indexing
+against the exact same ``array('H')`` transition tables the scalar LUT
+kernel uses.  Because the tables *are* the scalar walks (memoized), every
+miss count produced here is bit-identical to the bit-walk reference in
+:mod:`repro.ga.fitness`; the differential/golden suites in
+``tests/engine`` and ``tests/verify`` pin that.
+
+Lockstep-over-sets scheduling
+-----------------------------
+Accesses to *different* sets never interact (each set's PLRU state, tags
+and fill count evolve independently), so the stream can be re-ordered
+set-major without changing any outcome.  :class:`ColumnarTrace`
+preprocesses a trace once (shared by every lane that replays it):
+
+1. bin accesses by set index (stable, so each set keeps its own order),
+2. order set *columns* by descending per-set depth, and
+3. transpose into step-major layout: step ``j`` holds the ``j``-th access
+   of every set that has one.
+
+Ordering columns by depth makes the active sets of step ``j`` a
+contiguous *prefix* of the column axis, so the simulation kernel works on
+plain array slices — no per-step gather of the state arrays.  Warmup is
+handled with the original global access indices, which ride along in the
+transposed layout.  Ragged tails (sets with fewer accesses than the
+deepest set, and a final short chunk) fall out of the prefix widths.
+
+The one piece of state this scheduling *cannot* reorder is anything
+updated in global access order across sets — the PSEL counter of
+set-dueling.  :class:`DuelBatchSimulator` therefore runs access-serial
+but *lane-parallel*: one vectorized update over all duelling lanes per
+access, bit-identical to :class:`~repro.policies.plru.DGIPPRPolicy`
+driven through :class:`~repro.cache.cache.SetAssociativeCache`.
+
+numpy is a hard requirement here.  When it is absent the engine raises
+:class:`ColumnarUnavailable` — it must never silently degrade to a
+scalar path the caller did not ask for (the scalar fallbacks live behind
+``kernel="auto"`` in :mod:`repro.ga.fitness`, not here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dueling import assign_leader_sets
+from ..core.plru import is_power_of_two
+from ..kernels import tables as _tables
+
+__all__ = [
+    "DEFAULT_BATCH_ACCESSES",
+    "BatchSimulator",
+    "ColumnarTrace",
+    "ColumnarUnavailable",
+    "DuelBatchSimulator",
+    "columnar_supported",
+    "require_numpy",
+    "simulate_misses_plru_columnar",
+]
+
+#: Accesses per preprocessing chunk.  Bounds the transposed layout's
+#: working memory to O(chunk) regardless of trace length (the streaming
+#: ingestion path feeds chunks of this size), while keeping the per-chunk
+#: numpy call overhead amortized.
+DEFAULT_BATCH_ACCESSES = 1 << 16
+
+
+class ColumnarUnavailable(RuntimeError):
+    """The columnar engine cannot run in this environment/geometry."""
+
+
+def _np():
+    """The numpy module, or ``None`` — one seam shared with the kernels.
+
+    Routed through :func:`repro.kernels.tables.numpy_or_none` so a single
+    monkeypatch (or ``REPRO_FORCE_NO_NUMPY=1``) disables numpy
+    consistently for table compilation *and* the columnar engine.
+    """
+    return _tables.numpy_or_none()
+
+
+def require_numpy():
+    """Return numpy or raise a clear :class:`ColumnarUnavailable`."""
+    np = _np()
+    if np is None:
+        raise ColumnarUnavailable(
+            "the columnar engine requires numpy, which is not importable "
+            "(or is disabled via REPRO_FORCE_NO_NUMPY); use the scalar "
+            "kernels ('auto'/'lut'/'walk') instead"
+        )
+    return np
+
+
+def columnar_supported(assoc: int) -> bool:
+    """True when the engine can simulate ``assoc``-way sets here and now.
+
+    Requires numpy and compiled transition tables (powers of two up to
+    :data:`repro.kernels.MAX_TABLE_ASSOC`).
+    """
+    return _np() is not None and _tables.tables_supported(assoc)
+
+
+def _check_geometry(num_sets: int, assoc: int) -> None:
+    if not is_power_of_two(num_sets):
+        raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+    if not _tables.tables_supported(assoc):
+        if _np() is None and is_power_of_two(assoc):
+            require_numpy()
+        raise ValueError(
+            f"columnar engine unsupported for associativity {assoc} "
+            f"(needs compiled tables: powers of two <= "
+            f"{_tables.MAX_TABLE_ASSOC})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace preprocessing (shared by every lane batch over the same trace).
+# ----------------------------------------------------------------------
+class _Chunk:
+    """Step-transposed layout of one slice of the access stream."""
+
+    __slots__ = ("cols", "step_offsets", "addr_by_step", "gidx_by_step",
+                 "max_depth")
+
+    def __init__(self, cols, step_offsets, addr_by_step, gidx_by_step,
+                 max_depth):
+        self.cols = cols
+        self.step_offsets = step_offsets
+        self.addr_by_step = addr_by_step
+        self.gidx_by_step = gidx_by_step
+        self.max_depth = max_depth
+
+
+#: Addresses below this fit int32 tag arrays — half the memory traffic of
+#: the dominant per-step tag compare.  int64 is used above it.
+_INT32_ADDR_LIMIT = 1 << 31
+
+
+class ColumnarTrace:
+    """Set-binned, step-transposed form of one access trace.
+
+    Built once per ``(trace, num_sets)`` and replayed by any number of
+    lanes — this is where GA populations amortize trace decoding.  The
+    trace is processed in chunks of ``batch_accesses`` so working memory
+    stays O(chunk) even for streams that never materialize fully.
+    """
+
+    __slots__ = ("num_sets", "n", "batch_accesses", "chunks", "addr_dtype")
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        num_sets: int,
+        batch_accesses: int = DEFAULT_BATCH_ACCESSES,
+    ):
+        np = require_numpy()
+        if not is_power_of_two(num_sets):
+            raise ValueError(
+                f"num_sets must be a power of two, got {num_sets}"
+            )
+        if batch_accesses < 1:
+            raise ValueError("batch_accesses must be positive")
+        addrs = np.ascontiguousarray(addresses, dtype=np.int64)
+        if addrs.ndim != 1:
+            raise ValueError("addresses must be a flat sequence")
+        if addrs.size and int(addrs.min()) < 0:
+            raise ValueError("addresses must be non-negative")
+        self.num_sets = num_sets
+        self.n = int(addrs.size)
+        self.batch_accesses = batch_accesses
+        self.addr_dtype = (
+            np.int32
+            if not addrs.size or int(addrs.max()) < _INT32_ADDR_LIMIT
+            else np.int64
+        )
+        self.chunks: List[_Chunk] = []
+        mask = num_sets - 1
+        for base in range(0, self.n, batch_accesses):
+            chunk = addrs[base:base + batch_accesses]
+            self.chunks.append(self._transpose(np, chunk, base, mask))
+
+    def _transpose(self, np, chunk, base: int, mask: int) -> _Chunk:
+        m = chunk.size
+        si = chunk & mask
+        counts = np.bincount(si, minlength=self.num_sets)
+        order = np.argsort(si, kind="stable")
+        sorted_si = si[order]
+        start = np.zeros(self.num_sets, dtype=np.int64)
+        np.cumsum(counts[:-1], out=start[1:])
+        rank = np.arange(m, dtype=np.int64) - start[sorted_si]
+        # Columns ordered by descending depth: the sets active at step j
+        # are then exactly the first `width[j]` columns.
+        set_order = np.argsort(-counts, kind="stable")
+        col_of_set = np.empty(self.num_sets, dtype=np.int64)
+        col_of_set[set_order] = np.arange(self.num_sets, dtype=np.int64)
+        counts_desc = counts[set_order]
+        max_depth = int(counts_desc[0]) if m else 0
+        widths = np.searchsorted(
+            -counts_desc, -np.arange(max_depth, dtype=np.int64), side="left"
+        )
+        step_offsets = np.zeros(max_depth + 1, dtype=np.int64)
+        np.cumsum(widths, out=step_offsets[1:])
+        # Within a step the active columns appear in column order, so the
+        # destination of sorted position p is a pure function of its
+        # (rank, column) pair — one vectorized scatter transposes the lot.
+        dest = step_offsets[rank] + col_of_set[sorted_si]
+        addr_by_step = np.empty(m, dtype=self.addr_dtype)
+        addr_by_step[dest] = chunk[order]
+        gidx_by_step = np.empty(m, dtype=np.int64)
+        gidx_by_step[dest] = base + order
+        ncols = int(widths[0]) if max_depth else 0
+        return _Chunk(
+            set_order[:ncols].copy(), step_offsets, addr_by_step,
+            gidx_by_step, max_depth,
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiled lane tables (deduplicated, stacked flat for np.take).
+# ----------------------------------------------------------------------
+class _LaneTables:
+    """Per-unique-IPV hit/fill tables stacked into flat numpy vectors."""
+
+    __slots__ = ("assoc", "shift", "states", "victim", "pos",
+                 "hit_flat", "fill_flat", "table_base", "unique")
+
+    def __init__(self, assoc: int, entries_list: Sequence[Sequence[int]]):
+        np = require_numpy()
+        unique: Dict[Tuple[int, ...], int] = {}
+        stacked_hit = []
+        stacked_fill = []
+        base_of: List[int] = []
+        victim = pos = None
+        shift = states = 0
+        for entries in entries_list:
+            tables = _tables.compile_tables(assoc, entries)
+            if tables is None:  # pragma: no cover - guarded by caller
+                raise ValueError(
+                    f"no transition tables for associativity {assoc}"
+                )
+            key = tables.entries
+            index = unique.get(key)
+            if index is None:
+                index = len(unique)
+                unique[key] = index
+                stacked_hit.append(np.frombuffer(tables.hit, dtype=np.uint16))
+                stacked_fill.append(
+                    np.frombuffer(tables.fill, dtype=np.uint16)
+                )
+            base_of.append(index)
+            if victim is None:
+                victim = np.frombuffer(tables.victim, dtype=np.uint16)
+                pos = np.frombuffer(tables.pos, dtype=np.uint16)
+                shift = tables.log2k
+                states = 1 << (assoc - 1)
+        self.assoc = assoc
+        self.shift = shift
+        self.states = states
+        # int32 working copies: uint16 lookups promote awkwardly in the
+        # hot mixed-dtype where/compare chains, and the state words they
+        # produce live in int32 arrays anyway.
+        self.victim = victim.astype(np.int32)
+        self.pos = pos
+        self.hit_flat = np.concatenate(stacked_hit).astype(np.int32)
+        self.fill_flat = np.concatenate(stacked_fill).astype(np.int32)
+        stride = states * assoc
+        self.table_base = np.asarray(base_of, dtype=np.int64) * stride
+        self.unique = len(unique)
+
+
+# ----------------------------------------------------------------------
+# The batch simulator: many single-IPV lanes, lockstep over sets.
+# ----------------------------------------------------------------------
+class BatchSimulator:
+    """Simulate many IPV lanes over one trace in a single columnar pass.
+
+    Each lane is one IPV; all lanes share the geometry, the warmup window
+    and — crucially — the preprocessed trace.  Identical IPVs share one
+    compiled table set (GA populations routinely carry duplicates).
+    Results are bit-identical to the scalar walk/LUT simulators of
+    :mod:`repro.ga.fitness`, per lane.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        entries_list: Sequence[Sequence[int]],
+        warmup: int = 0,
+    ):
+        require_numpy()
+        _check_geometry(num_sets, assoc)
+        if not entries_list:
+            raise ValueError("BatchSimulator needs at least one IPV lane")
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.warmup = warmup
+        self.lanes = len(entries_list)
+        self._tables = _LaneTables(assoc, entries_list)
+
+    def run(
+        self,
+        trace,
+        collect_miss_indices: bool = False,
+    ):
+        """Replay ``trace`` through every lane from cold state.
+
+        ``trace`` is a :class:`ColumnarTrace` (reuse it across
+        populations!) or a raw address sequence.  Returns the per-lane
+        measured miss counts as an ``int64`` array of shape ``(lanes,)``;
+        with ``collect_miss_indices`` a ``(misses, indices)`` tuple where
+        ``indices[lane]`` is the sorted list of measured-miss access
+        indices (exactly what the scalar ``miss_indices`` output yields).
+        """
+        np = require_numpy()
+        from ..obs.spans import span
+
+        if not isinstance(trace, ColumnarTrace):
+            trace = ColumnarTrace(trace, self.num_sets)
+        elif trace.num_sets != self.num_sets:
+            raise ValueError(
+                f"trace was binned for {trace.num_sets} sets, "
+                f"simulator has {self.num_sets}"
+            )
+        with span("engine.columnar_run", lanes=self.lanes,
+                  accesses=trace.n):
+            return self._run(np, trace, collect_miss_indices)
+
+    def _run(self, np, trace: ColumnarTrace, collect_miss_indices: bool):
+        L, S, k = self.lanes, self.num_sets, self.assoc
+        t = self._tables
+        shift = t.shift
+        warmup = self.warmup
+        victim_t, hit_t, fill_t = t.victim, t.hit_flat, t.fill_flat
+        state = np.zeros((L, S), dtype=np.int32)
+        tags = np.full((L, S, k), -1, dtype=trace.addr_dtype)
+        nfill = np.zeros((L, S), dtype=np.int32)
+        misses = np.zeros(L, dtype=np.int64)
+        lane_base = t.table_base[:, None]
+        miss_lanes: List = []
+        miss_gidx: List = []
+        for chunk in trace.chunks:
+            cols = chunk.cols
+            offsets = chunk.step_offsets
+            addr_by_step = chunk.addr_by_step
+            gidx_by_step = chunk.gidx_by_step
+            # Chunk-local copies in column order: every step below then
+            # touches a contiguous prefix of the column axis.
+            st = state[:, cols]
+            tg = tags[:, cols, :]
+            nf = nfill[:, cols]
+            for j in range(chunk.max_depth):
+                o0, o1 = int(offsets[j]), int(offsets[j + 1])
+                w = o1 - o0
+                addr = addr_by_step[o0:o1]
+                gidx = gidx_by_step[o0:o1]
+                tgj = tg[:, :w, :]
+                stj = st[:, :w]
+                nfj = nf[:, :w]
+                # One [L, w, k] scan for the compare, one for the argmax;
+                # take_along_axis then answers hit/miss without the third
+                # full scan an any() would cost.
+                eq = tgj == addr[None, :, None]
+                hit_way = eq.argmax(axis=2)
+                is_hit = np.take_along_axis(
+                    eq, hit_way[:, :, None], axis=2
+                )[:, :, 0]
+                miss = ~is_hit
+                cold = miss & (nfj < k)
+                way = np.where(
+                    is_hit, hit_way.astype(np.int32),
+                    np.where(cold, nfj, victim_t.take(stj)),
+                )
+                flat = lane_base + ((stj.astype(np.int64) << shift) | way)
+                new_state = np.where(
+                    is_hit, hit_t.take(flat), fill_t.take(flat)
+                )
+                # Hits rewrite the resident tag with itself, so the tag
+                # scatter needs no mask at all.
+                np.put_along_axis(
+                    tgj, way[:, :, None].astype(np.intp),
+                    addr[None, :, None], axis=2,
+                )
+                stj[...] = new_state
+                nfj += cold
+                measured = miss & (gidx >= warmup)[None, :]
+                misses += np.count_nonzero(measured, axis=1)
+                if collect_miss_indices:
+                    rows, cells = np.nonzero(measured)
+                    if rows.size:
+                        miss_lanes.append(rows)
+                        miss_gidx.append(gidx[cells])
+            state[:, cols] = st
+            tags[:, cols, :] = tg
+            nfill[:, cols] = nf
+        self.final_state = state
+        if not collect_miss_indices:
+            return misses
+        indices: List[List[int]] = [[] for _ in range(L)]
+        if miss_lanes:
+            rows = np.concatenate(miss_lanes)
+            gidx = np.concatenate(miss_gidx)
+            order = np.lexsort((gidx, rows))
+            rows = rows[order]
+            gidx = gidx[order]
+            bounds = np.searchsorted(rows, np.arange(L + 1))
+            for lane in range(L):
+                indices[lane] = gidx[bounds[lane]:bounds[lane + 1]].tolist()
+        return misses, indices
+
+    def positions(self, lane: int):
+        """Recency positions ``[set, way]`` decoded from the final state
+        of the most recent :meth:`run` (verification hook)."""
+        np = require_numpy()
+        state = self.final_state[lane]
+        idx = (state[:, None] << self._tables.shift) | np.arange(
+            self.assoc, dtype=np.int64
+        )
+        return self._tables.pos[idx]
+
+
+def simulate_misses_plru_columnar(
+    addresses: Sequence[int],
+    num_sets: int,
+    assoc: int,
+    entries: Sequence[int],
+    warmup: int,
+    miss_indices: Optional[List[int]] = None,
+    batch_accesses: int = DEFAULT_BATCH_ACCESSES,
+) -> int:
+    """Single-lane columnar twin of the scalar PLRU-IPV simulators.
+
+    Bit-identical miss counts (and ``miss_indices`` contents) to
+    ``kernel="walk"``/``"lut"``; raises :class:`ColumnarUnavailable`
+    without numpy rather than silently degrading.
+    """
+    simulator = BatchSimulator(num_sets, assoc, [entries], warmup)
+    trace = ColumnarTrace(addresses, num_sets, batch_accesses)
+    if miss_indices is None:
+        return int(simulator.run(trace)[0])
+    misses, indices = simulator.run(trace, collect_miss_indices=True)
+    miss_indices.extend(indices[0])
+    return int(misses[0])
+
+
+# ----------------------------------------------------------------------
+# Set-dueling lanes: lane-parallel, access-serial (PSEL is global-order
+# state, so lockstep-over-sets reordering would change its trajectory).
+# ----------------------------------------------------------------------
+class DuelBatchSimulator:
+    """Many 2-vector set-dueling (2-DGIPPR) lanes over one trace.
+
+    Each lane duels its own ``(ipv_a, ipv_b)`` pair with a private PSEL
+    counter; all lanes share the leader-set assignment (same
+    ``(num_sets, seed)`` derivation as
+    :class:`~repro.core.dueling.DuelSelector`).  Semantics — PSEL update
+    *before* the fill-vector choice of the same missing access, saturation
+    rails, follower selection ``0 if psel < 0 else 1`` — replicate
+    :class:`~repro.policies.plru.DGIPPRPolicy` under
+    :class:`~repro.cache.cache.SetAssociativeCache` exactly, which the
+    conformance cells in ``tests/engine`` assert bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        assoc: int,
+        ipv_pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+        leaders_per_policy: Optional[int] = None,
+        counter_bits: int = 11,
+        seed: int = 0xDEAD,
+    ):
+        np = require_numpy()
+        _check_geometry(num_sets, assoc)
+        if not ipv_pairs:
+            raise ValueError("DuelBatchSimulator needs at least one lane")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.lanes = len(ipv_pairs)
+        flattened = [entries for pair in ipv_pairs for entries in pair]
+        if len(flattened) != 2 * self.lanes:
+            raise ValueError("each duel lane needs exactly two IPVs")
+        self._tables = _LaneTables(assoc, flattened)
+        #: table_base reshaped to [lane, vector] for per-access selection.
+        self._vector_base = self._tables.table_base.reshape(self.lanes, 2)
+        self.leaders = assign_leader_sets(
+            num_sets, 2, leaders_per_policy, seed=seed
+        )
+        self._psel_lo = -(1 << (counter_bits - 1))
+        self._psel_hi = (1 << (counter_bits - 1)) - 1
+        self.psel = np.zeros(self.lanes, dtype=np.int64)
+
+    def run(self, addresses: Sequence[int], warmup: int = 0):
+        """Replay ``addresses`` through every duelling lane from cold
+        state; returns per-lane measured miss counts (``int64``,
+        shape ``(lanes,)``)."""
+        np = require_numpy()
+        from ..obs.spans import span
+
+        L, S, k = self.lanes, self.num_sets, self.assoc
+        t = self._tables
+        shift = t.shift
+        mask = S - 1
+        state = np.zeros((L, S), dtype=np.int64)
+        tags = np.full((L, S, k), -1, dtype=np.int64)
+        nfill = np.zeros((L, S), dtype=np.int64)
+        misses = np.zeros(L, dtype=np.int64)
+        psel = self.psel
+        psel[:] = 0
+        lanes = np.arange(L)
+        leaders = self.leaders
+        with span("engine.columnar_duel", lanes=L, accesses=len(addresses)):
+            for i, address in enumerate(addresses):
+                address = int(address)
+                si = address & mask
+                leader = leaders[si]
+                tg = tags[:, si, :]
+                hitmask = tg == address
+                is_hit = hitmask.any(axis=1)
+                hit_way = hitmask.argmax(axis=1)
+                miss = ~is_hit
+                # Vector governing the hit promotion: PSEL *before* this
+                # access's record_miss (hits never update PSEL anyway).
+                if leader >= 0:
+                    vec_hit = np.full(L, leader, dtype=np.int64)
+                else:
+                    vec_hit = (psel >= 0).astype(np.int64)
+                # record_miss: leader-0 misses increment, leader-1 misses
+                # decrement, saturating at the rails.
+                if leader == 0:
+                    psel[miss & (psel < self._psel_hi)] += 1
+                elif leader == 1:
+                    psel[miss & (psel > self._psel_lo)] -= 1
+                # Fill vector: PSEL *after* the update (the cache calls
+                # on_miss before on_fill).
+                if leader >= 0:
+                    vec_fill = vec_hit
+                else:
+                    vec_fill = (psel >= 0).astype(np.int64)
+                st = state[:, si]
+                nf = nfill[:, si]
+                cold = miss & (nf < k)
+                way = np.where(is_hit, hit_way,
+                               np.where(cold, nf, t.victim[st]))
+                idx = (st << shift) | way
+                base = self._vector_base[
+                    lanes, np.where(is_hit, vec_hit, vec_fill)
+                ]
+                state[:, si] = np.where(
+                    is_hit, t.hit_flat[base + idx], t.fill_flat[base + idx]
+                )
+                tg[lanes, way] = address
+                nfill[:, si] = nf + cold
+                if i >= warmup:
+                    misses += miss
+        self.final_state = state
+        return misses
+
+    def positions(self, lane: int):
+        """Final recency positions ``[set, way]`` (verification hook)."""
+        np = require_numpy()
+        state = self.final_state[lane]
+        idx = (state[:, None] << self._tables.shift) | np.arange(
+            self.assoc, dtype=np.int64
+        )
+        return self._tables.pos[idx]

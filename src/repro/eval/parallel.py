@@ -117,10 +117,15 @@ def _canonical(value):
 
 #: Source trees whose content determines simulation results.  ``eval`` is
 #: represented only by the runner/config modules on purpose: reporting or
-#: orchestration changes must not invalidate simulated results.
+#: orchestration changes must not invalidate simulated results.  The
+#: kernel tables and columnar engine ARE result-determining — policies
+#: dispatch their transitions through them — so a bug fix there must
+#: invalidate cached matrices like any policy change would.
 _CODE_VERSION_PARTS = (
     "cache",
     "core",
+    "engine",
+    "kernels",
     "policies",
     "trace",
     "workloads",

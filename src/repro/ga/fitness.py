@@ -56,6 +56,24 @@ def _validate_ipv_entries(entries: Sequence[int], assoc: int) -> None:
             )
 
 
+def _validate_window(addresses: Sequence[int], warmup: int) -> None:
+    """Reject degenerate measurement windows.
+
+    ``warmup >= len(addresses)`` used to yield a silently empty measured
+    window: every simulator returned 0 misses, so fitness compared 0-vs-0
+    cycles and ranked all IPVs equal without any diagnostic.  Raise
+    instead — a caller who wants a pure-warmup run is holding a config
+    bug, not a result.
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    if warmup >= len(addresses):
+        raise ValueError(
+            f"warmup ({warmup}) consumes the whole trace "
+            f"({len(addresses)} accesses): the measured window is empty"
+        )
+
+
 def simulate_misses_lru_ipv(
     addresses: Sequence[int],
     num_sets: int,
@@ -72,6 +90,7 @@ def simulate_misses_lru_ipv(
     MLP-aware fitness).
     """
     _validate_ipv_entries(entries, assoc)
+    _validate_window(addresses, warmup)
     promo = list(entries[:assoc])
     insert = entries[assoc]
     mask = num_sets - 1
@@ -232,11 +251,22 @@ def simulate_misses_plru_ipv(
     ``kernel`` selects the implementation: ``"auto"`` (default) uses the
     precompiled transition tables of :mod:`repro.kernels` when available
     and falls back to the bit-walk reference otherwise; ``"lut"`` demands
-    tables (raises when unsupported); ``"walk"`` forces the reference.
-    Both paths are bit-identical.  ``miss_indices``, when given, collects
-    the access index of every measured miss (for MLP-aware fitness).
+    tables (raises when unsupported); ``"walk"`` forces the reference;
+    ``"columnar"`` runs the numpy batch engine of
+    :mod:`repro.engine.columnar` (raises without numpy — it never
+    silently degrades).  All paths are bit-identical.  ``miss_indices``,
+    when given, collects the access index of every measured miss (for
+    MLP-aware fitness).
     """
     _validate_ipv_entries(entries, assoc)
+    _validate_window(addresses, warmup)
+    if kernel == "columnar":
+        from ..engine.columnar import simulate_misses_plru_columnar
+
+        record_kernel_call("columnar")
+        return simulate_misses_plru_columnar(
+            addresses, num_sets, assoc, entries, warmup, miss_indices
+        )
     tables = resolve_kernel(kernel, assoc, entries)
     if tables is not None:
         record_kernel_call("lut")
@@ -388,9 +418,16 @@ class FitnessEvaluator:
         clustering actually matters.
     kernel:
         Kernel selection for the PLRU substrate: ``"auto"`` (transition
-        tables when available), ``"lut"`` (demand tables) or ``"walk"``
-        (force the bit-walk reference).  All choices are bit-identical.
+        tables when available), ``"lut"`` (demand tables), ``"walk"``
+        (force the bit-walk reference) or ``"columnar"`` (the numpy batch
+        engine; :meth:`evaluate_many` then shares one columnar trace pass
+        across the whole population).  All choices are bit-identical.
     """
+
+    #: ``kernel="auto"`` batches through the columnar engine only at or
+    #: above this many lanes — below it the per-run numpy setup outweighs
+    #: the amortized trace pass and the scalar LUT path wins.
+    COLUMNAR_AUTO_MIN_LANES = 4
 
     def __init__(
         self,
@@ -403,9 +440,10 @@ class FitnessEvaluator:
     ):
         if substrate not in ("plru", "lru"):
             raise ValueError("substrate must be 'plru' or 'lru'")
-        if kernel not in ("auto", "lut", "walk"):
+        if kernel not in ("auto", "lut", "walk", "columnar"):
             raise ValueError(
-                f"kernel must be 'auto', 'lut' or 'walk', got {kernel!r}"
+                f"kernel must be 'auto', 'lut', 'walk' or 'columnar', "
+                f"got {kernel!r}"
             )
         self.substrate = substrate
         self.kernel = kernel
@@ -474,6 +512,10 @@ class FitnessEvaluator:
                 self._lru_cycles[name] = (
                     self._lru_cycles.get(name, 0.0) + weight * cycles
                 )
+        # Lazily-built ColumnarTrace per workload index (evaluate_many):
+        # the step-transposed layout is a pure function of the trace and
+        # geometry, so one build serves every generation's population.
+        self._columnar_traces: Dict[int, object] = {}
 
     def _simulate(self, addresses, num_sets, assoc, entries, warmup,
                   miss_indices=None):
@@ -573,6 +615,91 @@ class FitnessEvaluator:
             self._lru_cycles[name] / cycles[name] for name in cycles
         ]
         return sum(speedups) / len(speedups)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation: the columnar engine's raison d'être.  One trace
+    # pass serves every IPV lane, so a GA generation amortizes trace
+    # decoding across the whole population.
+    # ------------------------------------------------------------------
+    def _columnar_batchable(self, lanes: int) -> bool:
+        """Can (and should) a batch of ``lanes`` IPVs go columnar?
+
+        ``kernel="columnar"`` always says yes — the engine then raises its
+        own clear error if numpy is missing, rather than silently running
+        scalar.  ``"auto"`` opts in only when the engine is actually
+        available and the batch is big enough to amortize the numpy setup;
+        MLP-aware fitness stays scalar (it needs per-miss indices fed
+        through the position model, a per-lane post-pass not worth the
+        gather today).
+        """
+        if self.substrate != "plru" or self.mlp_model is not None:
+            return False
+        if self.kernel == "columnar":
+            return True
+        if self.kernel != "auto" or lanes < self.COLUMNAR_AUTO_MIN_LANES:
+            return False
+        from ..engine.columnar import columnar_supported
+
+        return columnar_supported(self.config.assoc)
+
+    def _columnar_trace(self, index: int, addresses: List[int]):
+        trace = self._columnar_traces.get(index)
+        if trace is None:
+            from ..engine.columnar import ColumnarTrace
+
+            trace = ColumnarTrace(addresses, self.config.num_sets)
+            self._columnar_traces[index] = trace
+        return trace
+
+    def evaluate_many(self, ipvs: Sequence) -> List[float]:
+        """Fitness of many IPVs, batched through the columnar engine.
+
+        Bit-identical to ``[self.evaluate(ipv) for ipv in ipvs]`` — the
+        per-lane miss counts match the scalar kernels exactly and the
+        cycle accumulation runs in the same workload order with the same
+        float operations — but one engine pass per workload serves the
+        whole batch.  Falls back to that scalar loop whenever the batch
+        cannot go columnar (see :meth:`_columnar_batchable`).
+        """
+        batch = [
+            tuple(ipv.entries if isinstance(ipv, IPV) else ipv)
+            for ipv in ipvs
+        ]
+        if not batch:
+            return []
+        for entries in batch:
+            if len(entries) != self.config.assoc + 1:
+                raise ValueError(
+                    f"IPV must have {self.config.assoc + 1} entries, "
+                    f"got {len(entries)}"
+                )
+            _validate_ipv_entries(entries, self.config.assoc)
+        if not self._columnar_batchable(len(batch)):
+            return [self.evaluate(entries) for entries in batch]
+        from ..engine.columnar import BatchSimulator
+
+        cfg = self.config
+        simulator = BatchSimulator(
+            cfg.num_sets, cfg.assoc, batch, cfg.warmup_accesses
+        )
+        cycles: List[Dict[str, float]] = [{} for _ in batch]
+        for index, (name, weight, addresses, instructions, _positions) in (
+            enumerate(self._workloads)
+        ):
+            trace = self._columnar_trace(index, addresses)
+            record_kernel_call("columnar")
+            misses = simulator.run(trace)
+            for lane, lane_cycles in enumerate(cycles):
+                value = self.timing.cycles(instructions, int(misses[lane]))
+                lane_cycles[name] = lane_cycles.get(name, 0.0) + weight * value
+        results: List[float] = []
+        for lane_cycles in cycles:
+            speedups = [
+                self._lru_cycles[name] / lane_cycles[name]
+                for name in lane_cycles
+            ]
+            results.append(sum(speedups) / len(speedups))
+        return results
 
     def per_benchmark_speedup(self, ipv) -> Dict[str, float]:
         """Per-benchmark speedups (diagnostics and WN1 reporting)."""

@@ -23,6 +23,7 @@ from .tables import (
     kernel_cache_info,
     kernel_counters,
     kernel_provenance,
+    numpy_or_none,
     publish_kernel_metrics,
     record_kernel_call,
     reset_kernel_counters,
@@ -40,6 +41,7 @@ __all__ = [
     "kernel_cache_info",
     "kernel_counters",
     "kernel_provenance",
+    "numpy_or_none",
     "publish_kernel_metrics",
     "record_kernel_call",
     "reset_kernel_counters",

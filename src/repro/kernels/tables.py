@@ -39,6 +39,7 @@ ran so provenance manifests can state it (see :func:`kernel_provenance`).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from array import array
@@ -48,9 +49,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.plru import find_plru, is_power_of_two, position, set_position
 
 try:  # numpy accelerates table compilation; tables themselves are stdlib.
+    # REPRO_FORCE_NO_NUMPY=1 takes the ImportError arm deliberately so the
+    # pure-Python compile path (and every caller's no-numpy behaviour) can
+    # be exercised in CI on machines that do have numpy installed.
+    if os.environ.get("REPRO_FORCE_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_FORCE_NO_NUMPY")
     import numpy as _np
-except ImportError:  # pragma: no cover - numpy is a hard dep, but be safe
+except ImportError:
     _np = None
+
+
+def numpy_or_none():
+    """The numpy module this process compiles with, or ``None``.
+
+    The single numpy seam for the kernel layer *and* the columnar engine:
+    tests monkeypatch ``tables._np`` (or set ``REPRO_FORCE_NO_NUMPY=1``
+    before import) and every consumer that routes through this accessor
+    sees the same answer at call time.
+    """
+    return _np
 
 __all__ = [
     "KERNEL_CACHE_CAPACITY",
@@ -62,6 +79,7 @@ __all__ = [
     "kernel_cache_info",
     "kernel_counters",
     "kernel_provenance",
+    "numpy_or_none",
     "publish_kernel_metrics",
     "record_kernel_call",
     "reset_kernel_counters",
@@ -101,6 +119,7 @@ def reset_kernel_counters() -> None:
             cache_misses=0,
             lut_calls=0,
             walk_calls=0,
+            columnar_calls=0,
         )
 
 
@@ -114,9 +133,11 @@ def kernel_counters() -> Dict[str, float]:
 
 
 def record_kernel_call(mode: str) -> None:
-    """Count one simulator/policy dispatch (``"lut"`` or ``"walk"``)."""
-    if mode not in ("lut", "walk"):
-        raise ValueError(f"kernel mode must be 'lut' or 'walk', got {mode!r}")
+    """Count one simulator/policy dispatch (``lut``/``walk``/``columnar``)."""
+    if mode not in ("lut", "walk", "columnar"):
+        raise ValueError(
+            f"kernel mode must be 'lut', 'walk' or 'columnar', got {mode!r}"
+        )
     with _LOCK:
         _COUNTERS[f"{mode}_calls"] += 1
 
@@ -411,11 +432,16 @@ def kernel_cache_info() -> Dict[str, object]:
 def kernel_provenance() -> Dict[str, object]:
     """The kernel facts a provenance manifest should record.
 
-    Which kernel modes ran (``lut_calls`` / ``walk_calls``), compile
-    activity and cache traffic, plus whether numpy-backed compilation was
-    available — enough to state which kernel produced a traced run.
+    Which kernel modes ran (``lut_calls`` / ``walk_calls`` /
+    ``columnar_calls``), compile activity and cache traffic, plus whether
+    numpy-backed compilation was available — enough to state which kernel
+    produced a traced run.
     """
     counters = kernel_counters()
+    modes_used = [
+        mode for mode in ("lut", "walk", "columnar")
+        if counters[f"{mode}_calls"]
+    ]
     return {
         "numpy": _np is not None,
         "max_table_assoc": MAX_TABLE_ASSOC,
@@ -423,9 +449,8 @@ def kernel_provenance() -> Dict[str, object]:
         "cache_size": len(_IPV_CACHE),
         "counters": counters,
         "mode": (
-            "lut" if counters["lut_calls"] and not counters["walk_calls"]
-            else "walk" if counters["walk_calls"] and not counters["lut_calls"]
-            else "mixed" if counters["lut_calls"] or counters["walk_calls"]
+            modes_used[0] if len(modes_used) == 1
+            else "mixed" if modes_used
             else "unused"
         ),
     }
@@ -458,3 +483,7 @@ def publish_kernel_metrics(registry) -> None:
     registry.gauge(
         "repro_kernel_walk_calls", "Simulations on the bit-walk reference"
     ).set(counters["walk_calls"])
+    registry.gauge(
+        "repro_kernel_columnar_calls",
+        "Simulations dispatched to the columnar batch engine",
+    ).set(counters["columnar_calls"])

@@ -121,7 +121,8 @@ def flatten_bench_kernels(bench: dict) -> Dict[str, float]:
     for row in bench.get("sim_throughput", ()):
         k = row.get("assoc")
         for field in ("lut_accesses_per_sec", "walk_accesses_per_sec",
-                      "speedup"):
+                      "columnar_accesses_per_sec", "speedup",
+                      "columnar_speedup"):
             if field in row:
                 metrics[f"sim.k{k}.{field}"] = float(row[field])
     ga = bench.get("ga_generation") or {}
@@ -129,6 +130,11 @@ def flatten_bench_kernels(bench: dict) -> Dict[str, float]:
                   "speedup"):
         if field in ga:
             metrics[f"ga.{field}"] = float(ga[field])
+    pop = bench.get("population_batch") or {}
+    for field in ("walk_sec", "columnar_sec", "speedup",
+                  "lane_accesses_per_sec"):
+        if field in pop:
+            metrics[f"pop.{field}"] = float(pop[field])
     return metrics
 
 
@@ -211,8 +217,14 @@ def compare_entries(
     Each delta dict: ``metric``, ``prev``, ``cur``, ``delta_frac``
     (signed fractional change), ``direction`` (``"better"`` / ``"worse"``
     / ``"flat"``), and ``regression`` (worse by more than ``threshold``).
-    Metrics present in only one entry are skipped — a renamed metric is
-    not a regression.
+
+    Metrics present in only one entry are *reported*, not skipped: a
+    metric that vanished (``direction="removed"``, ``cur=None``) is
+    flagged as a regression, because silently dropping it is exactly how
+    a collapsed ``*_per_sec`` series would evade the gate; a new metric
+    (``direction="added"``, ``prev=None``) is informational only.  For
+    both, ``delta_frac`` is ``None``.  Common metrics come first (sorted),
+    then removed, then added.
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
@@ -235,6 +247,24 @@ def compare_entries(
             "delta_frac": delta_frac,
             "direction": direction,
             "regression": worse and magnitude > threshold,
+        })
+    for metric in sorted(set(prev_metrics) - set(cur_metrics)):
+        deltas.append({
+            "metric": metric,
+            "prev": prev_metrics[metric],
+            "cur": None,
+            "delta_frac": None,
+            "direction": "removed",
+            "regression": True,
+        })
+    for metric in sorted(set(cur_metrics) - set(prev_metrics)):
+        deltas.append({
+            "metric": metric,
+            "prev": None,
+            "cur": cur_metrics[metric],
+            "delta_frac": None,
+            "direction": "added",
+            "regression": False,
         })
     return deltas
 
@@ -275,9 +305,14 @@ def format_deltas(deltas: Sequence[dict]) -> str:
     for d in deltas:
         marker = ("!! REGRESSION" if d["regression"]
                   else "  (worse)" if d["direction"] == "worse"
+                  else "  (added)" if d["direction"] == "added"
                   else "")
+        prev = "(absent)" if d["prev"] is None else f"{d['prev']:.4g}"
+        cur = "(absent)" if d["cur"] is None else f"{d['cur']:.4g}"
+        frac = ("        " if d["delta_frac"] is None
+                else f"{d['delta_frac']:>+8.1%}")
         lines.append(
-            f"  {d['metric']:<{width}}  {d['prev']:>14.4g} -> "
-            f"{d['cur']:>14.4g}  {d['delta_frac']:>+8.1%}{marker}"
+            f"  {d['metric']:<{width}}  {prev:>14} -> "
+            f"{cur:>14}  {frac}{marker}"
         )
     return "\n".join(lines)

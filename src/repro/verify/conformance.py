@@ -41,6 +41,8 @@ from ..policies.registry import make_policy, policy_names
 from .differential import (
     Divergence,
     check_belady_dominance,
+    check_columnar_equality,
+    check_duel_columnar_equality,
     check_lut_walk_equality,
     diff_stream,
 )
@@ -411,6 +413,24 @@ def verify_policy(
                     f"{num_sets}x{assoc}: {mismatch}"
                 )
 
+            # Columnar-engine identity on the same cells (reported into
+            # the same bucket, prefixed).  Single-IPV lanes for the
+            # GIPPR family; the access-serial duel path for binary duels.
+            columnar_mismatch = None
+            if name in ("plru", "gippr"):
+                entries = kwargs.get("ipv") or [0] * (assoc + 1)
+                columnar_mismatch = check_columnar_equality(
+                    num_sets, assoc, entries, accesses
+                )
+            elif name == "dgippr" and len(kwargs.get("ipvs", ())) == 2:
+                columnar_mismatch = check_duel_columnar_equality(
+                    num_sets, assoc, kwargs["ipvs"], accesses
+                )
+            if columnar_mismatch is not None:
+                report.lut_walk_failures.append(
+                    f"{num_sets}x{assoc}: columnar: {columnar_mismatch}"
+                )
+
     # Run-level: Belady dominance (demand-fetch, non-bypassing policies).
     if (
         name != "belady"
@@ -466,6 +486,16 @@ def verify_all(
             drift, checked = check_golden_corpus(goldens_path)
         report.golden_drift = drift
         report.goldens_checked = checked
+        # The columnar corpus rides the same gate (only when the default
+        # corpus location is in use — an explicit path points at the main
+        # corpus only).
+        if goldens_path is None:
+            from .goldens import check_columnar_goldens
+
+            with span("verify.columnar_goldens"):
+                col_drift, col_checked = check_columnar_goldens()
+            report.golden_drift = report.golden_drift + col_drift
+            report.goldens_checked += col_checked
     report.wall_time_sec = time.perf_counter() - started
     return report
 

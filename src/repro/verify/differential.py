@@ -38,6 +38,8 @@ __all__ = [
     "run_differential",
     "diff_stream",
     "check_lut_walk_equality",
+    "check_columnar_equality",
+    "check_duel_columnar_equality",
     "check_belady_dominance",
 ]
 
@@ -233,6 +235,129 @@ def check_lut_walk_equality(
                 f"lut-vs-walk {key} mismatch: "
                 f"lut({lut['kernel_mode']})={lut[key]!r} "
                 f"walk={walk[key]!r}"
+            )
+    return None
+
+
+def check_columnar_equality(
+    num_sets: int,
+    assoc: int,
+    entries: Sequence[int],
+    accesses: Sequence[int],
+) -> Optional[str]:
+    """Bit-identity of the columnar engine against the scalar kernels.
+
+    Runs one IPV over ``accesses`` through the walk reference, the LUT
+    kernel and the columnar batch engine, and compares miss counts, the
+    measured miss-index streams *and* the final recency-position
+    permutation of every set (engine state vs a walk-kernel
+    :class:`~repro.policies.plru.GIPPRPolicy` driven through the
+    production cache).  Returns a mismatch description or ``None``.
+    Trivially ``None`` when the engine is unavailable here (no numpy /
+    unsupported geometry) — its *error* behaviour is covered separately.
+    """
+    from ..engine.columnar import BatchSimulator, columnar_supported
+    from ..ga.fitness import simulate_misses_plru_ipv
+
+    if not columnar_supported(assoc) or not accesses:
+        return None
+    results = {}
+    for mode in ("walk", "lut", "columnar"):
+        indices: List[int] = []
+        misses = simulate_misses_plru_ipv(
+            accesses, num_sets, assoc, entries, warmup=0,
+            miss_indices=indices, kernel=mode,
+        )
+        results[mode] = (misses, indices)
+    for mode in ("lut", "columnar"):
+        for field, got, want in (
+            ("misses", results[mode][0], results["walk"][0]),
+            ("miss_indices", results[mode][1], results["walk"][1]),
+        ):
+            if got != want:
+                if field == "miss_indices":
+                    got, want = len(got), len(want)  # keep the message short
+                return (
+                    f"columnar {mode}-vs-walk {field} mismatch: "
+                    f"{got!r} != {want!r}"
+                )
+    # Final recency positions: engine state vs the production cache.
+    from ..core.ipv import IPV
+    from ..policies.plru import GIPPRPolicy
+
+    simulator = BatchSimulator(num_sets, assoc, [tuple(entries)])
+    simulator.run(accesses)
+    policy = GIPPRPolicy(
+        num_sets, assoc, ipv=IPV(list(entries), name="columnar-check"),
+        kernel="walk",
+    )
+    cache = _build_cache(policy)
+    for block in accesses:
+        cache.access(block)
+    engine_pos = simulator.positions(0)
+    for s in range(num_sets):
+        want = [policy.position_of(s, w) for w in range(assoc)]
+        got = [int(p) for p in engine_pos[s]]
+        if got != want:
+            return (
+                f"columnar final positions mismatch in set {s}: "
+                f"{got} != {want}"
+            )
+    return None
+
+
+def check_duel_columnar_equality(
+    num_sets: int,
+    assoc: int,
+    ipv_pair: Sequence[Sequence[int]],
+    accesses: Sequence[int],
+) -> Optional[str]:
+    """Bit-identity of the duelling engine against the DGIPPR policy.
+
+    Drives one 2-vector set-dueling lane through
+    :class:`~repro.engine.columnar.DuelBatchSimulator` and the scalar
+    :class:`~repro.policies.plru.DGIPPRPolicy` +
+    :class:`~repro.cache.cache.SetAssociativeCache` pair, comparing miss
+    counts, the final PSEL value and the final position permutation —
+    PSEL is global-access-order state, so this is the check that pins the
+    engine's access-serial duel path.  Returns a description or ``None``
+    (trivially when the engine is unavailable or the pair is not binary).
+    """
+    from ..engine.columnar import DuelBatchSimulator, columnar_supported
+
+    if not columnar_supported(assoc) or len(ipv_pair) != 2 or not accesses:
+        return None
+    from ..core.ipv import IPV
+    from ..policies.plru import DGIPPRPolicy
+
+    simulator = DuelBatchSimulator(
+        num_sets, assoc, [tuple(tuple(v) for v in ipv_pair)]
+    )
+    engine_misses = int(simulator.run(accesses)[0])
+    policy = DGIPPRPolicy(
+        num_sets, assoc,
+        ipvs=[IPV(list(v), name=f"duel{i}") for i, v in enumerate(ipv_pair)],
+        kernel="walk",
+    )
+    cache = _build_cache(policy)
+    misses = sum(not cache.access(block) for block in accesses)
+    if engine_misses != misses:
+        return (
+            f"duel columnar misses mismatch: engine {engine_misses} != "
+            f"policy {misses}"
+        )
+    psel = int(simulator.psel[0])
+    want_psel = policy.selector.psel.value
+    if psel != want_psel:
+        return f"duel columnar PSEL mismatch: engine {psel} != {want_psel}"
+    engine_pos = simulator.positions(0)
+    for s in range(num_sets):
+        want = [policy.position_of(s, w) for w in range(assoc)]
+        got = [int(p) for p in engine_pos[s]]
+        if got != want:
+            return (
+                f"duel columnar final positions mismatch in set {s}: "
+                f"{got} != {want}"
             )
     return None
 

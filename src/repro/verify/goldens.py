@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple, Union
 __all__ = [
     "GOLDEN_SCHEMA",
     "DEFAULT_GOLDENS_PATH",
+    "COLUMNAR_GOLDEN_SCHEMA",
+    "DEFAULT_COLUMNAR_GOLDENS_PATH",
     "golden_matrix",
     "golden_key",
     "compute_golden",
@@ -32,6 +34,11 @@ __all__ = [
     "write_golden_corpus",
     "load_golden_corpus",
     "check_golden_corpus",
+    "columnar_golden_matrix",
+    "columnar_golden_key",
+    "compute_columnar_golden",
+    "write_columnar_golden_corpus",
+    "check_columnar_goldens",
 ]
 
 #: Bump when the corpus layout changes.
@@ -218,3 +225,272 @@ def check_golden_corpus(
         if key not in current:
             drift.append(f"{key}: committed but no longer in the matrix")
     return drift, checked
+
+
+# ----------------------------------------------------------------------
+# Columnar-engine corpus: kernel-identity goldens.
+#
+# A second, smaller corpus pinning the columnar batch engine against the
+# scalar kernels.  Each multi-lane cell commits the per-lane miss counts
+# once; the checker recomputes them through *every* kernel (walk, LUT and
+# the columnar engine — including a deliberately ragged chunk size) and
+# names the engine that drifted.  Duel cells pin the access-serial PSEL
+# path (final counter value included) the set-lockstep scheduling cannot
+# cover.
+# ----------------------------------------------------------------------
+COLUMNAR_GOLDEN_SCHEMA = "repro-columnar-goldens/1"
+
+DEFAULT_COLUMNAR_GOLDENS_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "tests"
+    / "goldens"
+    / "columnar_goldens.json"
+)
+
+#: Deliberately prime and far below any trace length: every chunk
+#: boundary lands mid-trace, so ragged step-transpose tails are pinned.
+COLUMNAR_GOLDEN_BATCH = 193
+
+COLUMNAR_GOLDEN_STREAMS: Tuple[str, ...] = (
+    "cyclic-over-capacity",
+    "zipf-hot",
+    "single-set-hammer",
+)
+COLUMNAR_DUEL_STREAMS: Tuple[str, ...] = ("duel-flip", "zipf-hot")
+
+#: (kind, stream, seed, num_sets, assoc, n, warmup); kind "ipv" pins the
+#: lockstep batch engine, "duel" the access-serial PSEL engine.
+ColumnarCell = Tuple[str, str, int, int, int, int, int]
+
+_COLUMNAR_GEOMETRIES: Tuple[Tuple[int, int], ...] = (
+    (16, 2), (8, 4), (8, 8), (4, 16)
+)
+
+
+def _columnar_lanes(assoc: int) -> List[Tuple[int, ...]]:
+    """The IPV lanes a cell batches: classic LRU, LIP, a deterministic
+    stress vector, and a duplicate lane (pins table deduplication)."""
+    from ..core.ipv import lip_ipv, lru_ipv
+    from .conformance import _stress_ipv_entries
+
+    return [
+        tuple(lru_ipv(assoc).entries),
+        tuple(lip_ipv(assoc).entries),
+        tuple(_stress_ipv_entries(assoc, salt=7)),
+        tuple(lru_ipv(assoc).entries),
+    ]
+
+
+def _columnar_duel_lanes(assoc: int) -> List[Tuple[Tuple[int, ...], ...]]:
+    from ..core.ipv import lip_ipv, lru_ipv
+    from .conformance import _stress_ipv_entries
+
+    lru = tuple(lru_ipv(assoc).entries)
+    lip = tuple(lip_ipv(assoc).entries)
+    stress = tuple(_stress_ipv_entries(assoc, salt=9))
+    return [(lru, lip), (lip, stress)]
+
+
+def columnar_golden_matrix() -> List[ColumnarCell]:
+    """The full, ordered list of columnar cells."""
+    cells: List[ColumnarCell] = []
+    for num_sets, assoc in _COLUMNAR_GEOMETRIES:
+        for stream in COLUMNAR_GOLDEN_STREAMS:
+            cells.append(
+                ("ipv", stream, GOLDEN_SEED, num_sets, assoc, 1200, 200)
+            )
+    for num_sets, assoc in ((8, 4), (4, 16)):
+        for stream in COLUMNAR_DUEL_STREAMS:
+            cells.append(
+                ("duel", stream, GOLDEN_SEED, num_sets, assoc, 1200, 200)
+            )
+    return cells
+
+
+def columnar_golden_key(cell: ColumnarCell) -> str:
+    kind, stream, seed, num_sets, assoc, n, warmup = cell
+    return f"{kind}|{stream}|s{seed}|{num_sets}x{assoc}|n{n}|w{warmup}"
+
+
+def compute_columnar_golden(cell: ColumnarCell, engine: str = "columnar"):
+    """One cell's value through one engine.
+
+    ``ipv`` cells return the per-lane miss-count list; ``engine`` selects
+    ``"columnar"`` (ragged-chunk batch run), ``"walk"`` or ``"lut"``
+    (scalar loop per lane).  ``duel`` cells return
+    ``{"misses": [...], "psel": [...]}`` via the duel engine
+    (``"columnar"``) or the production DGIPPR policy (any other value).
+    """
+    from .streams import generate_stream
+
+    kind, stream, seed, num_sets, assoc, n, warmup = cell
+    accesses = generate_stream(stream, seed, n, num_sets, assoc)
+    if kind == "ipv":
+        lanes = _columnar_lanes(assoc)
+        if engine == "columnar":
+            from ..engine.columnar import BatchSimulator, ColumnarTrace
+
+            simulator = BatchSimulator(num_sets, assoc, lanes, warmup)
+            trace = ColumnarTrace(
+                accesses, num_sets, batch_accesses=COLUMNAR_GOLDEN_BATCH
+            )
+            return [int(m) for m in simulator.run(trace)]
+        from ..ga.fitness import simulate_misses_plru_ipv
+
+        return [
+            simulate_misses_plru_ipv(
+                accesses, num_sets, assoc, entries, warmup, kernel=engine
+            )
+            for entries in lanes
+        ]
+    if kind != "duel":
+        raise ValueError(f"unknown columnar golden kind {kind!r}")
+    pairs = _columnar_duel_lanes(assoc)
+    if engine == "columnar":
+        from ..engine.columnar import DuelBatchSimulator
+
+        simulator = DuelBatchSimulator(num_sets, assoc, pairs)
+        misses = simulator.run(accesses, warmup=warmup)
+        return {
+            "misses": [int(m) for m in misses],
+            "psel": [int(p) for p in simulator.psel],
+        }
+    from ..cache.cache import SetAssociativeCache
+    from ..core.ipv import IPV
+    from ..policies.plru import DGIPPRPolicy
+
+    misses: List[int] = []
+    psels: List[int] = []
+    for pair in pairs:
+        policy = DGIPPRPolicy(
+            num_sets, assoc,
+            ipvs=[IPV(list(v), name=f"g{i}") for i, v in enumerate(pair)],
+            kernel="walk",
+        )
+        cache = SetAssociativeCache(
+            num_sets, assoc, policy, block_size=1, name="goldens"
+        )
+        count = 0
+        for i, block in enumerate(accesses):
+            hit = cache.access(block)
+            if not hit and i >= warmup:
+                count += 1
+        misses.append(count)
+        psels.append(policy.selector.psel.value)
+    return {"misses": misses, "psel": psels}
+
+
+def write_columnar_golden_corpus(
+    path: Union[str, Path, None] = None,
+    with_manifest: bool = True,
+) -> Path:
+    """Atomically (re)write the committed columnar corpus.
+
+    Refuses to write when the engines disagree — a corpus pinning a
+    divergent engine would institutionalise the bug it exists to catch.
+    """
+    path = Path(path) if path is not None else DEFAULT_COLUMNAR_GOLDENS_PATH
+    entries: Dict[str, object] = {}
+    for cell in columnar_golden_matrix():
+        key = columnar_golden_key(cell)
+        value = compute_columnar_golden(cell, engine="columnar")
+        reference = compute_columnar_golden(
+            cell, engine="walk" if cell[0] == "ipv" else "scalar"
+        )
+        if value != reference:
+            raise AssertionError(
+                f"{key}: columnar {value!r} != reference {reference!r}; "
+                f"refusing to write a divergent corpus"
+            )
+        entries[key] = value
+    payload = {
+        "schema": COLUMNAR_GOLDEN_SCHEMA,
+        "batch_accesses": COLUMNAR_GOLDEN_BATCH,
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    if with_manifest:
+        from ..obs.provenance import build_manifest, write_manifest
+
+        write_manifest(
+            path,
+            build_manifest(
+                extra={
+                    "columnar_goldens": {
+                        "schema": COLUMNAR_GOLDEN_SCHEMA,
+                        "entries": len(entries),
+                        "batch_accesses": COLUMNAR_GOLDEN_BATCH,
+                    }
+                }
+            ),
+        )
+    return path
+
+
+def check_columnar_goldens(
+    path: Union[str, Path, None] = None,
+) -> Tuple[List[str], int]:
+    """Recompute the columnar corpus through every engine; name drifters.
+
+    Each committed cell is recomputed via the columnar engine *and* its
+    scalar references (walk + LUT for ipv cells, the DGIPPR production
+    path for duel cells); any engine disagreeing with the committed value
+    is reported by name.  Skipped entirely (no drift, 0 checked) when the
+    engine is unavailable — scalar coverage of those cells lives in the
+    main corpus.
+    """
+    from ..engine.columnar import columnar_supported
+
+    target = (
+        Path(path) if path is not None else DEFAULT_COLUMNAR_GOLDENS_PATH
+    )
+    if not columnar_supported(MAX_ASSOC_PROBE):
+        return [], 0
+    try:
+        with open(target) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return [f"columnar golden corpus missing: {target}"], 0
+    if payload.get("schema") != COLUMNAR_GOLDEN_SCHEMA:
+        return [
+            f"{target}: unknown columnar goldens schema "
+            f"{payload.get('schema')!r}"
+        ], 0
+    committed: Dict[str, object] = dict(payload.get("entries", {}))
+    drift: List[str] = []
+    checked = 0
+    current = {
+        columnar_golden_key(cell): cell for cell in columnar_golden_matrix()
+    }
+    for key, cell in current.items():
+        if key not in committed:
+            drift.append(f"{key}: not in committed columnar corpus")
+            continue
+        expected = committed[key]
+        checked += 1
+        engines = (
+            ("columnar", "walk", "lut") if cell[0] == "ipv"
+            else ("columnar", "scalar")
+        )
+        for engine in engines:
+            actual = compute_columnar_golden(cell, engine=engine)
+            if actual != expected:
+                drift.append(
+                    f"{key}: {engine} {actual!r} != committed {expected!r}"
+                )
+    for key in committed:
+        if key not in current:
+            drift.append(
+                f"{key}: committed but no longer in the columnar matrix"
+            )
+    return drift, checked
+
+
+#: Probe associativity for "is the columnar engine available at all":
+#: the widest geometry in the matrix (k=16 needs numpy for its tables).
+MAX_ASSOC_PROBE = 16

@@ -1,0 +1,292 @@
+"""Bit-identity and behaviour tests for :mod:`repro.engine.columnar`.
+
+The columnar engine's contract is *exactness*, not approximation: every
+miss count, miss index, final recency position and PSEL value must match
+the scalar walk reference bit for bit — across associativities, ragged
+chunk tails, warmup windows, duplicate lanes and set-dueling.  These
+tests are therefore equality proofs over randomized and adversarial
+streams, plus the no-numpy / bad-input error contract.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.core.ipv import IPV, lip_ipv, lru_ipv
+from repro.engine.columnar import (
+    BatchSimulator,
+    ColumnarTrace,
+    ColumnarUnavailable,
+    DuelBatchSimulator,
+    columnar_supported,
+    require_numpy,
+    simulate_misses_plru_columnar,
+)
+from repro.ga.fitness import simulate_misses_plru_ipv
+from repro.kernels import tables as ktables
+from repro.policies import DGIPPRPolicy, GIPPRPolicy
+
+numpy_missing = ktables.numpy_or_none() is None
+needs_numpy = pytest.mark.skipif(
+    numpy_missing, reason="columnar engine requires numpy"
+)
+
+GEOMETRIES = [(16, 2), (8, 4), (8, 8), (4, 16)]
+
+
+def stress_ipv(k, salt=7):
+    rng = random.Random(salt + k)
+    return tuple(rng.randrange(k) for _ in range(k + 1))
+
+
+def make_stream(n, num_sets, assoc, seed, skew=False):
+    rng = random.Random(seed)
+    footprint = 3 * num_sets * assoc
+    if skew:
+        # Hammer one set: the deepest column dwarfs the rest, the worst
+        # case for the prefix-width scheduling.
+        return [
+            (rng.randrange(footprint) & ~(num_sets - 1))
+            if rng.random() < 0.8 else rng.randrange(footprint)
+            for _ in range(n)
+        ]
+    return [rng.randrange(footprint) for _ in range(n)]
+
+
+@needs_numpy
+class TestSingleLaneIdentity:
+    @pytest.mark.parametrize("num_sets,assoc", GEOMETRIES)
+    @pytest.mark.parametrize("skew", [False, True])
+    def test_misses_match_walk_and_lut(self, num_sets, assoc, skew):
+        stream = make_stream(4000, num_sets, assoc, seed=assoc, skew=skew)
+        for entries in (
+            tuple(lru_ipv(assoc).entries),
+            tuple(lip_ipv(assoc).entries),
+            stress_ipv(assoc),
+        ):
+            walk = simulate_misses_plru_ipv(
+                stream, num_sets, assoc, entries, 400, kernel="walk"
+            )
+            lut = simulate_misses_plru_ipv(
+                stream, num_sets, assoc, entries, 400, kernel="lut"
+            )
+            col = simulate_misses_plru_columnar(
+                stream, num_sets, assoc, entries, 400
+            )
+            assert col == walk == lut
+
+    @pytest.mark.parametrize("batch", [1, 37, 256, 1 << 16])
+    def test_ragged_chunk_tails(self, batch):
+        """Chunk size must never affect results (incl. batch=1)."""
+        num_sets, assoc = 8, 8
+        stream = make_stream(1500, num_sets, assoc, seed=5)
+        entries = stress_ipv(assoc)
+        walk = simulate_misses_plru_ipv(
+            stream, num_sets, assoc, entries, 100, kernel="walk"
+        )
+        col = simulate_misses_plru_columnar(
+            stream, num_sets, assoc, entries, 100, batch_accesses=batch
+        )
+        assert col == walk
+
+    @pytest.mark.parametrize("warmup", [0, 1, 999, 2999])
+    def test_warmup_windows(self, warmup):
+        num_sets, assoc = 8, 4
+        stream = make_stream(3000, num_sets, assoc, seed=11)
+        entries = stress_ipv(assoc)
+        walk = simulate_misses_plru_ipv(
+            stream, num_sets, assoc, entries, warmup, kernel="walk"
+        )
+        col = simulate_misses_plru_columnar(
+            stream, num_sets, assoc, entries, warmup
+        )
+        assert col == walk
+
+    def test_miss_indices_match_walk(self):
+        num_sets, assoc = 8, 8
+        stream = make_stream(2500, num_sets, assoc, seed=3)
+        entries = stress_ipv(assoc)
+        walk_idx, col_idx = [], []
+        walk = simulate_misses_plru_ipv(
+            stream, num_sets, assoc, entries, 200,
+            kernel="walk", miss_indices=walk_idx,
+        )
+        col = simulate_misses_plru_columnar(
+            stream, num_sets, assoc, entries, 200,
+            miss_indices=col_idx, batch_accesses=193,
+        )
+        assert col == walk
+        assert col_idx == walk_idx
+        assert len(col_idx) == col
+
+    def test_positions_match_policy(self):
+        """Final recency state decodes to the scalar policy's positions."""
+        num_sets, assoc = 8, 8
+        stream = make_stream(2000, num_sets, assoc, seed=21)
+        entries = stress_ipv(assoc)
+        simulator = BatchSimulator(num_sets, assoc, [entries])
+        simulator.run(stream)
+        policy = GIPPRPolicy(
+            num_sets, assoc, ipv=IPV(list(entries), name="t"), kernel="walk"
+        )
+        cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+        for a in stream:
+            cache.access(a)
+        pos = simulator.positions(0)
+        for s in range(num_sets):
+            for w in range(assoc):
+                assert int(pos[s, w]) == policy.position_of(s, w)
+
+
+@needs_numpy
+class TestMultiLane:
+    def test_lanes_match_scalar_including_duplicates(self):
+        num_sets, assoc = 8, 8
+        stream = make_stream(3000, num_sets, assoc, seed=8)
+        lanes = [
+            tuple(lru_ipv(assoc).entries),
+            stress_ipv(assoc),
+            tuple(lru_ipv(assoc).entries),  # duplicate: shares tables
+            tuple(lip_ipv(assoc).entries),
+        ]
+        simulator = BatchSimulator(num_sets, assoc, lanes, warmup=300)
+        assert simulator._tables.unique == 3  # duplicate lane deduped
+        trace = ColumnarTrace(stream, num_sets, batch_accesses=193)
+        misses = simulator.run(trace)
+        for i, entries in enumerate(lanes):
+            walk = simulate_misses_plru_ipv(
+                stream, num_sets, assoc, entries, 300, kernel="walk"
+            )
+            assert int(misses[i]) == walk
+
+    def test_trace_reuse_across_populations(self):
+        num_sets, assoc = 8, 4
+        stream = make_stream(1200, num_sets, assoc, seed=13)
+        trace = ColumnarTrace(stream, num_sets)
+        first = BatchSimulator(num_sets, assoc, [stress_ipv(assoc)])
+        second = BatchSimulator(num_sets, assoc, [stress_ipv(assoc, salt=9)])
+        m1 = int(first.run(trace)[0])
+        m2 = int(second.run(trace)[0])
+        assert m1 == simulate_misses_plru_ipv(
+            stream, num_sets, assoc, stress_ipv(assoc), 0, kernel="walk"
+        )
+        assert m2 == simulate_misses_plru_ipv(
+            stream, num_sets, assoc, stress_ipv(assoc, salt=9), 0,
+            kernel="walk",
+        )
+
+    def test_multi_lane_miss_indices(self):
+        num_sets, assoc = 8, 4
+        stream = make_stream(1500, num_sets, assoc, seed=17)
+        lanes = [stress_ipv(assoc), tuple(lru_ipv(assoc).entries)]
+        simulator = BatchSimulator(num_sets, assoc, lanes, warmup=100)
+        misses, indices = simulator.run(
+            ColumnarTrace(stream, num_sets, batch_accesses=101),
+            collect_miss_indices=True,
+        )
+        for i, entries in enumerate(lanes):
+            walk_idx = []
+            walk = simulate_misses_plru_ipv(
+                stream, num_sets, assoc, entries, 100,
+                kernel="walk", miss_indices=walk_idx,
+            )
+            assert int(misses[i]) == walk
+            assert indices[i] == walk_idx
+
+
+@needs_numpy
+class TestDuelBatch:
+    @pytest.mark.parametrize("num_sets,assoc", [(16, 4), (16, 16)])
+    def test_matches_dgippr_policy(self, num_sets, assoc):
+        stream = make_stream(3000, num_sets, assoc, seed=assoc + 1)
+        pairs = [
+            (tuple(lru_ipv(assoc).entries), tuple(lip_ipv(assoc).entries)),
+            (tuple(lip_ipv(assoc).entries), stress_ipv(assoc, salt=9)),
+        ]
+        simulator = DuelBatchSimulator(num_sets, assoc, pairs)
+        misses = simulator.run(stream, warmup=300)
+        for lane, (a, b) in enumerate(pairs):
+            policy = DGIPPRPolicy(
+                num_sets, assoc,
+                ipvs=[IPV(list(a), name="a"), IPV(list(b), name="b")],
+                kernel="walk",
+            )
+            cache = SetAssociativeCache(num_sets, assoc, policy, block_size=1)
+            for addr in stream[:300]:
+                cache.access(addr)
+            cache.reset_stats()
+            for addr in stream[300:]:
+                cache.access(addr)
+            assert int(misses[lane]) == cache.stats.misses
+            # PSEL is global-order state: its final value must agree too.
+            assert int(simulator.psel[lane]) == policy.selector.psel.value
+
+    def test_each_lane_needs_two_ipvs(self):
+        with pytest.raises(ValueError):
+            DuelBatchSimulator(16, 4, [])
+
+
+@needs_numpy
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BatchSimulator(12, 4, [stress_ipv(4)])
+        with pytest.raises(ValueError, match="unsupported"):
+            BatchSimulator(16, 32, [stress_ipv(32)])
+
+    def test_empty_lanes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchSimulator(16, 4, [])
+
+    def test_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            BatchSimulator(16, 4, [stress_ipv(4)], warmup=-1)
+
+    def test_trace_set_mismatch(self):
+        trace = ColumnarTrace([1, 2, 3], 16)
+        simulator = BatchSimulator(8, 4, [stress_ipv(4)])
+        with pytest.raises(ValueError, match="binned for 16 sets"):
+            simulator.run(trace)
+
+    def test_trace_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ColumnarTrace([1], 12)
+        with pytest.raises(ValueError, match="non-negative"):
+            ColumnarTrace([-1], 16)
+        with pytest.raises(ValueError, match="batch_accesses"):
+            ColumnarTrace([1], 16, batch_accesses=0)
+
+    def test_empty_trace(self):
+        simulator = BatchSimulator(16, 4, [stress_ipv(4)])
+        misses = simulator.run(ColumnarTrace([], 16))
+        assert int(misses[0]) == 0
+
+
+class TestNoNumpy:
+    """Without numpy the engine must refuse loudly, never degrade."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(ktables, "_np", None)
+
+    def test_require_numpy_raises(self, no_numpy):
+        with pytest.raises(ColumnarUnavailable, match="requires numpy"):
+            require_numpy()
+
+    def test_supported_is_false(self, no_numpy):
+        assert not columnar_supported(4)
+
+    def test_simulator_raises_clearly(self, no_numpy):
+        with pytest.raises(ColumnarUnavailable, match="REPRO_FORCE_NO_NUMPY"):
+            BatchSimulator(16, 4, [stress_ipv(4)])
+        with pytest.raises(ColumnarUnavailable):
+            ColumnarTrace([1, 2], 16)
+        with pytest.raises(ColumnarUnavailable):
+            DuelBatchSimulator(16, 4, [(stress_ipv(4), stress_ipv(4, 9))])
+
+    def test_fitness_kernel_columnar_raises(self, no_numpy):
+        with pytest.raises(ColumnarUnavailable):
+            simulate_misses_plru_ipv(
+                [1, 2, 3], 16, 4, (0,) * 5, 0, kernel="columnar"
+            )

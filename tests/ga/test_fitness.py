@@ -154,3 +154,128 @@ class TestMLPAwareFitness:
                 mlp_aware=True,
                 burstiness=1.5,
             )
+
+
+class TestWarmupWindowValidation:
+    """warmup >= len(addresses) used to yield a silently empty measured
+    window (0 misses for every IPV); it must raise instead."""
+
+    @pytest.mark.parametrize("sim", [
+        simulate_misses_lru_ipv, simulate_misses_plru_ipv,
+    ])
+    def test_warmup_consuming_trace_raises(self, sim):
+        entries = tuple(lru_ipv(16).entries)
+        with pytest.raises(ValueError, match="measured window is empty"):
+            sim(list(range(100)), 8, 16, entries, warmup=100)
+        with pytest.raises(ValueError, match="measured window is empty"):
+            sim(list(range(100)), 8, 16, entries, warmup=500)
+        with pytest.raises(ValueError, match="measured window is empty"):
+            sim([], 8, 16, entries, warmup=0)
+
+    @pytest.mark.parametrize("sim", [
+        simulate_misses_lru_ipv, simulate_misses_plru_ipv,
+    ])
+    def test_negative_warmup_raises(self, sim):
+        entries = tuple(lru_ipv(16).entries)
+        with pytest.raises(ValueError, match="non-negative"):
+            sim(list(range(100)), 8, 16, entries, warmup=-1)
+
+    def test_walk_and_lut_kernels_validate_too(self):
+        entries = tuple(lru_ipv(16).entries)
+        for kernel in ("walk", "lut", "columnar"):
+            with pytest.raises(ValueError, match="measured window"):
+                simulate_misses_plru_ipv(
+                    list(range(50)), 8, 16, entries, warmup=50, kernel=kernel
+                )
+
+    def test_last_access_measured_is_fine(self):
+        entries = tuple(lru_ipv(16).entries)
+        assert simulate_misses_plru_ipv(
+            list(range(100)), 8, 16, entries, warmup=99
+        ) == 1
+
+
+class TestColumnarKernel:
+    """kernel="columnar" and the batched evaluate_many path."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return default_config(trace_length=4000)
+
+    def test_kernel_validation_accepts_columnar(self, config):
+        evaluator = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="columnar"
+        )
+        assert evaluator.kernel == "columnar"
+        with pytest.raises(ValueError):
+            FitnessEvaluator(["429.mcf"], config=config, kernel="vector")
+
+    def test_columnar_sim_matches_walk(self, config):
+        rng = random.Random(4)
+        addresses = [rng.randrange(600) for _ in range(6000)]
+        for ipv in [lru_ipv(16), lip_ipv(16), GIPPR_WI_VECTOR]:
+            walk = simulate_misses_plru_ipv(
+                addresses, 8, 16, tuple(ipv.entries), 500, kernel="walk"
+            )
+            col = simulate_misses_plru_ipv(
+                addresses, 8, 16, tuple(ipv.entries), 500, kernel="columnar"
+            )
+            assert col == walk, ipv.name
+
+    def test_columnar_fitness_identical_to_walk(self, config):
+        walk = FitnessEvaluator(
+            ["462.libquantum", "429.mcf"], config=config, kernel="walk"
+        )
+        col = FitnessEvaluator(
+            ["462.libquantum", "429.mcf"], config=config, kernel="columnar"
+        )
+        for ipv in [lru_ipv(16), IPV([0] * 16 + [15]), GIPPR_WI_VECTOR]:
+            assert col.evaluate(ipv) == walk.evaluate(ipv)
+
+    def test_evaluate_many_matches_evaluate_exactly(self, config):
+        evaluator = FitnessEvaluator(
+            ["462.libquantum", "429.mcf"], config=config, kernel="columnar"
+        )
+        population = [
+            lru_ipv(16), lip_ipv(16), IPV([0] * 16 + [15]), GIPPR_WI_VECTOR,
+            lru_ipv(16),  # duplicate lane
+        ]
+        batched = evaluator.evaluate_many(population)
+        serial = [evaluator.evaluate(ipv) for ipv in population]
+        assert batched == serial  # bit-identical, not approx
+
+    def test_evaluate_many_auto_batches_only_large(self, config):
+        from repro.engine.columnar import columnar_supported
+
+        evaluator = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="auto"
+        )
+        small = [lru_ipv(16)] * 2
+        large = [lru_ipv(16), lip_ipv(16), GIPPR_WI_VECTOR,
+                 IPV([0] * 16 + [15])]
+        assert not evaluator._columnar_batchable(len(small))
+        if columnar_supported(16):
+            assert evaluator._columnar_batchable(len(large))
+        assert evaluator.evaluate_many(large) == [
+            evaluator.evaluate(ipv) for ipv in large
+        ]
+
+    def test_evaluate_many_falls_back_scalar(self, config):
+        evaluator = FitnessEvaluator(
+            ["429.mcf"], config=config, substrate="lru"
+        )
+        population = [lru_ipv(16), lip_ipv(16)]
+        assert not evaluator._columnar_batchable(len(population))
+        assert evaluator.evaluate_many(population) == [
+            evaluator.evaluate(ipv) for ipv in population
+        ]
+
+    def test_evaluate_many_validates_and_handles_empty(self, config):
+        evaluator = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="columnar"
+        )
+        assert evaluator.evaluate_many([]) == []
+        with pytest.raises(ValueError):
+            evaluator.evaluate_many([[0] * 9])
+        with pytest.raises(ValueError):
+            evaluator.evaluate_many([[99] * 17])

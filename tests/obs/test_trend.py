@@ -93,7 +93,7 @@ def test_compare_entries_direction_aware():
     cur = _entry({"thr_per_sec": 50.0, "wall_sec": 8.0, "new": 2.0})
     deltas = {d["metric"]: d for d in compare_entries(prev, cur)}
 
-    assert set(deltas) == {"thr_per_sec", "wall_sec"}  # renames skipped
+    assert set(deltas) == {"thr_per_sec", "wall_sec", "gone", "new"}
     # Throughput halved: worse, and past the 15% default threshold.
     assert deltas["thr_per_sec"]["direction"] == "worse"
     assert deltas["thr_per_sec"]["regression"] is True
@@ -101,6 +101,25 @@ def test_compare_entries_direction_aware():
     # Wall time dropped 20%: better.
     assert deltas["wall_sec"]["direction"] == "better"
     assert deltas["wall_sec"]["regression"] is False
+    # A vanished metric is a regression (a collapsed series must not
+    # evade the gate by disappearing); a new one is informational.
+    assert deltas["gone"]["direction"] == "removed"
+    assert deltas["gone"]["regression"] is True
+    assert deltas["gone"] == {
+        "metric": "gone", "prev": 1.0, "cur": None,
+        "delta_frac": None, "direction": "removed", "regression": True,
+    }
+    assert deltas["new"] == {
+        "metric": "new", "prev": None, "cur": 2.0,
+        "delta_frac": None, "direction": "added", "regression": False,
+    }
+
+
+def test_compare_entries_orders_common_then_removed_then_added():
+    prev = _entry({"b_sec": 1.0, "a_sec": 2.0, "zap": 1.0})
+    cur = _entry({"b_sec": 1.0, "a_sec": 2.0, "arrival": 3.0})
+    order = [d["metric"] for d in compare_entries(prev, cur)]
+    assert order == ["a_sec", "b_sec", "zap", "arrival"]
 
 
 def test_compare_entries_threshold_and_flat():
@@ -147,6 +166,15 @@ def test_format_deltas_marks_regressions():
     text = format_deltas(deltas)
     assert "!! REGRESSION" in text
     assert "+100.0%" in text
+
+
+def test_format_deltas_renders_removed_and_added():
+    deltas = compare_entries(_entry({"gone_sec": 3.0}),
+                             _entry({"new_per_sec": 7.0}))
+    text = format_deltas(deltas)
+    assert "gone_sec" in text and "(absent)" in text
+    assert "!! REGRESSION" in text  # the removal
+    assert "new_per_sec" in text and "(added)" in text
     assert format_deltas([]) == "(no comparable metrics)"
 
 

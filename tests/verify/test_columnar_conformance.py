@@ -1,0 +1,118 @@
+"""Columnar-engine conformance cells and the columnar golden corpus.
+
+Two layers of pinning: the differential checks compare columnar against
+walk *and* LUT (misses, miss indices, final positions, PSEL) on live
+streams, and the committed golden corpus freezes exact miss counts per
+(kind, stream, geometry, engine) so any engine divergence — including
+one that affects all engines identically-wrongly — shows up as drift.
+"""
+
+import pytest
+
+from repro.engine.columnar import columnar_supported
+from repro.kernels.tables import numpy_or_none
+from repro.verify.differential import (
+    check_columnar_equality,
+    check_duel_columnar_equality,
+)
+from repro.verify.goldens import (
+    COLUMNAR_GOLDEN_BATCH,
+    DEFAULT_COLUMNAR_GOLDENS_PATH,
+    check_columnar_goldens,
+    columnar_golden_key,
+    columnar_golden_matrix,
+    compute_columnar_golden,
+)
+from repro.verify.streams import generate_stream
+
+needs_numpy = pytest.mark.skipif(
+    numpy_or_none() is None, reason="columnar engine requires numpy"
+)
+
+
+def stream_for(num_sets, assoc, name="random-uniform", seed=11, n=2500):
+    return generate_stream(name, seed, n, num_sets, assoc)
+
+
+@needs_numpy
+class TestDifferentialChecks:
+    @pytest.mark.parametrize("num_sets,assoc", [(16, 2), (8, 4), (8, 8),
+                                                (4, 16)])
+    def test_columnar_equality_on_grid(self, num_sets, assoc):
+        import random
+
+        rng = random.Random(assoc)
+        entries = [rng.randrange(assoc) for _ in range(assoc + 1)]
+        accesses = stream_for(num_sets, assoc)
+        failure = check_columnar_equality(
+            num_sets, assoc, entries, accesses
+        )
+        assert failure is None, failure
+
+    @pytest.mark.parametrize("num_sets,assoc", [(8, 4), (4, 16)])
+    def test_duel_columnar_equality_on_grid(self, num_sets, assoc):
+        pair = (
+            tuple([0] * (assoc + 1)),
+            tuple([assoc - 1] * (assoc + 1)),
+        )
+        accesses = stream_for(num_sets, assoc, seed=23)
+        failure = check_duel_columnar_equality(
+            num_sets, assoc, pair, accesses
+        )
+        assert failure is None, failure
+
+    def test_checks_skip_without_support(self, monkeypatch):
+        from repro.kernels import tables as ktables
+
+        monkeypatch.setattr(ktables, "_np", None)
+        assert check_columnar_equality(8, 16, [0] * 17, [1, 2, 3]) is None
+        assert check_duel_columnar_equality(
+            8, 16, ([0] * 17, [1] * 17), [1, 2, 3]
+        ) is None
+
+    def test_checks_skip_empty_stream(self):
+        assert check_columnar_equality(8, 4, [0] * 5, []) is None
+
+
+@needs_numpy
+class TestColumnarGoldens:
+    def test_matrix_shape(self):
+        matrix = columnar_golden_matrix()
+        kinds = {cell[0] for cell in matrix}
+        assert kinds == {"ipv", "duel"}
+        assocs = {cell[4] for cell in matrix}
+        assert {2, 4, 8, 16} <= assocs
+        # Prime chunk size: every stream exercises ragged batch tails.
+        assert COLUMNAR_GOLDEN_BATCH == 193
+        keys = [columnar_golden_key(cell) for cell in matrix]
+        assert len(keys) == len(set(keys))
+
+    def test_committed_corpus_matches(self):
+        assert DEFAULT_COLUMNAR_GOLDENS_PATH.exists(), (
+            "columnar golden corpus missing; run scripts/regen_goldens.py"
+        )
+        drift, checked = check_columnar_goldens()
+        assert drift == [], drift
+        assert checked == len(columnar_golden_matrix())
+
+    def test_engines_agree_on_one_cell(self):
+        cell = columnar_golden_matrix()[0]
+        columnar = compute_columnar_golden(cell, engine="columnar")
+        walk = compute_columnar_golden(cell, engine="walk")
+        lut = compute_columnar_golden(cell, engine="lut")
+        assert columnar == walk == lut
+
+    def test_duel_cell_pins_psel(self):
+        duel_cells = [c for c in columnar_golden_matrix() if c[0] == "duel"]
+        assert duel_cells, "matrix must include multi-lane PSEL duels"
+        result = compute_columnar_golden(duel_cells[0], engine="columnar")
+        scalar = compute_columnar_golden(duel_cells[0], engine="scalar")
+        assert result == scalar
+        assert "psel" in result and "misses" in result
+
+    def test_check_skips_cleanly_without_numpy(self, monkeypatch):
+        from repro.kernels import tables as ktables
+
+        monkeypatch.setattr(ktables, "_np", None)
+        drift, checked = check_columnar_goldens()
+        assert drift == [] and checked == 0
