@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels trend-check figures report wn-vectors examples clean
+.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels smoke-analytics trend-check figures report wn-vectors examples clean
 
 # Targets that run pytest / the library directly need the src layout on the
 # import path; the smoke scripts insert it themselves but inherit it too.
@@ -71,6 +71,14 @@ smoke-obs:
 # path is >=2x faster at k=16, and policy CacheStats agree lut-vs-walk.
 smoke-kernels:
 	$(PYTHON) scripts/smoke_kernels.py
+
+# Cache-dynamics analytics check: the vectorized Mattson profiler is
+# bit-identical to the trace.analysis oracles (random + SPEC-archetype
+# streams), columnar engine counters reconcile exactly with scalar
+# CacheStats (batch and duel), the metrics/manifest/event flush surfaces
+# validate, and counters=True stays within its 5% overhead budget.
+smoke-analytics:
+	$(PYTHON) scripts/smoke_analytics.py
 
 figures:
 	$(PYTHON) scripts/export_results.py --outdir results

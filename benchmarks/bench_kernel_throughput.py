@@ -193,6 +193,65 @@ def measure_population_batch(
     }
 
 
+def measure_analytics_profile(
+    accesses: int = DEFAULT_ACCESSES,
+    oracle_accesses: int = 60_000,
+    num_sets: int = NUM_SETS,
+) -> dict:
+    """Vectorized Mattson profiler vs the ``trace.analysis`` oracle.
+
+    The vectorized single pass runs over the full stream; the
+    O(n x footprint) OrderedDict oracle is timed on a prefix (running it
+    at a million accesses would take minutes) and the two are compared
+    as per-access rates.  Bit-equality of the global stack-distance
+    histogram and the per-set reuse histogram is asserted on the prefix
+    — the speed claim is only meaningful if the numbers match.
+    """
+    from repro.obs.analytics import profile_trace
+    from repro.trace.analysis import (
+        per_set_reuse_histogram,
+        stack_distance_histogram,
+    )
+    from repro.trace.record import Trace
+
+    stream = make_stream(accesses, num_sets, 16, seed=17)
+    prefix = stream[: min(oracle_accesses, accesses)]
+    prefix_trace = Trace(prefix, name="bench-prefix")
+
+    t0 = time.perf_counter()
+    profile = profile_trace(stream, num_sets=num_sets)
+    profile_sec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    oracle_hist = stack_distance_histogram(prefix_trace)
+    oracle_reuse = per_set_reuse_histogram(prefix_trace, num_sets)
+    oracle_sec = time.perf_counter() - t0
+
+    prefix_profile = profile_trace(prefix, num_sets=num_sets)
+    if prefix_profile.stack_distance_histogram() != oracle_hist:
+        raise AssertionError(
+            "vectorized stack-distance histogram diverges from the oracle"
+        )
+    if prefix_profile.per_set_reuse_histogram() != oracle_reuse:
+        raise AssertionError(
+            "vectorized per-set reuse histogram diverges from the oracle"
+        )
+
+    profile_rate = accesses / profile_sec
+    oracle_rate = len(prefix) / oracle_sec
+    return {
+        "accesses": accesses,
+        "oracle_accesses": len(prefix),
+        "num_sets": num_sets,
+        "footprint": profile.footprint,
+        "profile_sec": profile_sec,
+        "oracle_sec": oracle_sec,
+        "profile_accesses_per_sec": profile_rate,
+        "oracle_accesses_per_sec": oracle_rate,
+        "speedup_vs_oracle": profile_rate / oracle_rate,
+    }
+
+
 def measure_ga_generation(trace_length: int = 6_000) -> dict:
     """Wall-time of a short GA run, walk vs LUT evaluator; same best."""
     from repro.eval import default_config
@@ -286,6 +345,24 @@ if pytest is not None:
         # Batching a population must beat evaluating its lanes one by one.
         assert row["speedup"] > 1.0
 
+    def test_kernel_analytics_profile(benchmark):
+        from repro.kernels.tables import numpy_or_none
+
+        if numpy_or_none() is None:
+            pytest.skip("vectorized profiler needs numpy")
+        accesses = max(10_000, int(60_000 * _scale()))
+        row = benchmark.pedantic(
+            measure_analytics_profile,
+            kwargs={"accesses": accesses, "oracle_accesses": 20_000},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["speedup_vs_oracle"] = row["speedup_vs_oracle"]
+        benchmark.extra_info["profile_accesses_per_sec"] = row[
+            "profile_accesses_per_sec"
+        ]
+        # The vectorized pass must beat the OrderedDict stack walk.
+        assert row["speedup_vs_oracle"] > 1.0
+
     def test_kernel_ga_generation(benchmark):
         # Note: each *new* k=16 vector pays a ~20 ms table compile, so the
         # LUT only wins once traces are long enough to amortize it (the
@@ -321,6 +398,14 @@ def collect(accesses: int, ga_trace_length: int) -> dict:
     }
     if columnar_supported(16):
         results["population_batch"] = measure_population_batch(
+            accesses=accesses
+        )
+    from repro.kernels.tables import numpy_or_none
+
+    if numpy_or_none() is not None:
+        # The speed claim is about the vectorized path; without numpy the
+        # profiler falls back to the oracle walk and the row is meaningless.
+        results["analytics_profile"] = measure_analytics_profile(
             accesses=accesses
         )
     return results
@@ -391,6 +476,14 @@ def main(argv=None) -> int:
             f" | columnar {pop['columnar_sec']:.2f}s"
             f" | {pop['speedup']:.1f}x"
             f" | {pop['lane_accesses_per_sec']:,.0f} lane-acc/s"
+        )
+    prof = results.get("analytics_profile")
+    if prof is not None:
+        print(
+            f"  analytics profile: {prof['profile_accesses_per_sec']:,.0f}"
+            f" acc/s | oracle {prof['oracle_accesses_per_sec']:,.0f} acc/s"
+            f" | {prof['speedup_vs_oracle']:.1f}x"
+            f" | footprint {prof['footprint']}"
         )
     ga = results["ga_generation"]
     print(

@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--status-json", default=None, metavar="PATH",
         help="publish live run status here (watch with `repro obs watch`)",
     )
+    evolve.add_argument(
+        "--convergence-json", default=None, metavar="PATH",
+        help="write per-generation convergence telemetry (fitness "
+             "distribution, diversity, eval throughput) here; render it "
+             "with `repro obs analyze --convergence PATH`",
+    )
 
     sub.add_parser("overhead", help="Section 3.6 storage-overhead table")
 
@@ -315,6 +321,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="only consider entries from this source (e.g. bench-kernels)",
     )
 
+    obs_analyze = obs_sub.add_parser(
+        "analyze", help="miss-curve and GA-convergence analytics report",
+        description="Profile a benchmark trace with the vectorized "
+                    "Mattson profiler (LRU miss curve, stack-distance "
+                    "and working-set stats) and/or render a GA "
+                    "convergence log written by `repro evolve "
+                    "--convergence-json`.  Reports render to the "
+                    "terminal and optionally persist as JSON and "
+                    "figure-ready CSV.",
+    )
+    obs_analyze.add_argument(
+        "--benchmark", default=None, metavar="NAME",
+        help="profile this benchmark's synthetic trace (e.g. 429.mcf)",
+    )
+    obs_analyze.add_argument("--simpoint", type=int, default=0,
+                             help="simpoint index (default 0)")
+    obs_analyze.add_argument("--length", type=int, default=30_000,
+                             help="trace length in accesses (default 30000)")
+    obs_analyze.add_argument(
+        "--sets", type=int, default=None, metavar="N",
+        help="also compute per-set histograms for an N-set cache "
+             "(power of two)",
+    )
+    obs_analyze.add_argument("--max-distance", type=int, default=4096,
+                             help="stack-distance cap (default 4096)")
+    obs_analyze.add_argument("--seed", type=int, default=None,
+                             help="trace derivation seed (default: config)")
+    obs_analyze.add_argument(
+        "--convergence", default=None, metavar="PATH",
+        help="include this GA convergence log in the report",
+    )
+    obs_analyze.add_argument("--json", default=None, metavar="PATH",
+                             help="write the report JSON here")
+    obs_analyze.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write figure CSVs here (miss curve; convergence series "
+             "lands next to it with a .convergence.csv suffix)",
+    )
+
     return parser
 
 
@@ -385,6 +430,7 @@ def _cmd_evolve(args) -> int:
             seed=args.seed,
             workers=args.workers,
             status_path=args.status_json,
+            convergence_path=args.convergence_json,
             on_generation=lambda g, f: logger.info(
                 "generation %d: best fitness %.4f", g, f
             ),
@@ -395,6 +441,13 @@ def _cmd_evolve(args) -> int:
         logger.info("folded stacks written to %s", args.profile_folded)
     print(transition_text(result.best))
     print(f"fitness (mean speedup over LRU): {result.best_fitness:.4f}")
+    if result.convergence:
+        from .obs.analytics import render_convergence
+
+        print("convergence:")
+        print(render_convergence(result.convergence))
+    if args.convergence_json:
+        logger.info("convergence log written to %s", args.convergence_json)
     return 0
 
 
@@ -680,6 +733,9 @@ def _cmd_obs(args) -> int:
     if args.obs_command == "trend":
         return _cmd_obs_trend(args)
 
+    if args.obs_command == "analyze":
+        return _cmd_obs_analyze(args)
+
     raise AssertionError(f"unhandled obs command {args.obs_command}")
 
 
@@ -696,6 +752,59 @@ def _cmd_obs_watch(args) -> int:
         interval=args.interval,
         iterations=1 if args.once else None,
     )
+
+
+def _cmd_obs_analyze(args) -> int:
+    from .obs.analytics import (
+        build_report,
+        profile_trace,
+        render_report,
+        write_report,
+    )
+
+    if args.benchmark is None and args.convergence is None:
+        print("nothing to analyze: pass --benchmark and/or --convergence",
+              file=sys.stderr)
+        return 2
+
+    profile_payload = None
+    meta = {}
+    if args.benchmark is not None:
+        benchmark = get_benchmark(args.benchmark)
+        config = default_config(trace_length=args.length)
+        seed = args.seed if args.seed is not None else config.seed
+        if not 0 <= args.simpoint < len(benchmark.simpoints):
+            raise ValueError(
+                f"{benchmark.name} has {len(benchmark.simpoints)} "
+                f"simpoints; --simpoint {args.simpoint} is out of range"
+            )
+        trace = benchmark.trace(
+            args.simpoint, config.trace_length, config.capacity_blocks,
+            seed=seed,
+        )
+        profile = profile_trace(
+            trace, num_sets=args.sets, max_distance=args.max_distance
+        )
+        profile_payload = profile.to_json()
+        meta.update(
+            benchmark=benchmark.name, simpoint=args.simpoint,
+            length=args.length, seed=seed,
+        )
+    if args.convergence is not None:
+        meta["convergence_log"] = str(args.convergence)
+
+    report = build_report(
+        profile=profile_payload,
+        convergence_path=args.convergence,
+        meta=meta,
+    )
+    print(render_report(report))
+    write_report(report, json_path=args.json, csv_path=args.csv)
+    if args.json:
+        logger.info("report JSON written to %s", args.json)
+    if args.csv:
+        logger.info("figure CSV written to %s", args.csv)
+    return 0
 
 
 def _cmd_obs_trend(args) -> int:

@@ -54,6 +54,8 @@ from ..kernels import tables as _tables
 
 __all__ = [
     "DEFAULT_BATCH_ACCESSES",
+    "DEFAULT_DEPTH_SAMPLE",
+    "BatchCounters",
     "BatchSimulator",
     "ColumnarTrace",
     "ColumnarUnavailable",
@@ -68,6 +70,79 @@ __all__ = [
 #: ingestion path feeds chunks of this size), while keeping the per-chunk
 #: numpy call overhead amortized.
 DEFAULT_BATCH_ACCESSES = 1 << 16
+
+#: Default hit-depth sampling stride for :class:`BatchCounters`: depths
+#: are decoded on every ``depth_sample``-th lockstep step (a systematic
+#: sample over per-set access ranks).  1 is exhaustive; the default keeps
+#: the counters-enabled overhead inside the ``make smoke-analytics``
+#: budget on the lockstep engine.
+DEFAULT_DEPTH_SAMPLE = 8
+
+
+class BatchCounters:
+    """Per-lane/per-set counters accumulated during one engine run.
+
+    All arrays are numpy ``int64``.  Counters cover the **entire**
+    stream — warmup included — so for a ``warmup=0`` run the per-lane
+    totals reconcile exactly with a scalar
+    :class:`~repro.cache.stats.CacheStats` over the same trace
+    (``fills == misses`` here: this engine never bypasses).
+    ``measured_misses`` repeats the simulator's warmup-filtered return
+    value so one object carries both views.
+
+    ``hit_depth[lane, d]`` counts hits whose pre-promotion recency
+    position was ``d``, sampled every ``depth_sample`` steps
+    (``depth_sample == 1`` means exhaustive, in which case each row sums
+    to the lane's hit count).  Duel runs add ``duel_flips`` (follower
+    selection sign changes of PSEL) and the final ``psel`` values.
+    """
+
+    __slots__ = ("kind", "lanes", "num_sets", "assoc", "warmup",
+                 "accesses", "set_accesses", "hits", "misses", "evictions",
+                 "cold_fills", "hit_depth", "depth_sample",
+                 "measured_misses", "duel_flips", "psel")
+
+    def __init__(self, kind, lanes, num_sets, assoc, warmup, accesses,
+                 set_accesses, misses, cold_fills, hit_depth, depth_sample,
+                 measured_misses, duel_flips=None, psel=None):
+        self.kind = kind
+        self.lanes = lanes
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.warmup = warmup
+        self.accesses = accesses
+        self.set_accesses = set_accesses
+        self.misses = misses
+        self.hits = set_accesses[None, :] - misses
+        self.cold_fills = cold_fills
+        self.evictions = misses - cold_fills
+        self.hit_depth = hit_depth
+        self.depth_sample = depth_sample
+        self.measured_misses = measured_misses
+        self.duel_flips = duel_flips
+        self.psel = psel
+
+    def totals(self, lane: int) -> Dict[str, int]:
+        """Whole-stream totals for one lane (CacheStats-comparable)."""
+        hits = int(self.hits[lane].sum())
+        misses = int(self.misses[lane].sum())
+        out = {
+            "accesses": self.accesses,
+            "hits": hits,
+            "misses": misses,
+            "fills": misses,
+            "cold_fills": int(self.cold_fills[lane].sum()),
+            "evictions": int(self.evictions[lane].sum()),
+            "hit_rate": hits / self.accesses if self.accesses else 0.0,
+            "measured_misses": int(self.measured_misses[lane]),
+        }
+        if self.duel_flips is not None:
+            out["duel_flips"] = int(self.duel_flips[lane])
+        return out
+
+    def hit_depth_histogram(self, lane: int):
+        """Sampled pre-promotion recency-depth counts (length assoc)."""
+        return [int(c) for c in self.hit_depth[lane]]
 
 
 class ColumnarUnavailable(RuntimeError):
@@ -304,11 +379,15 @@ class BatchSimulator:
         self.warmup = warmup
         self.lanes = len(entries_list)
         self._tables = _LaneTables(assoc, entries_list)
+        #: :class:`BatchCounters` from the last ``run(counters=True)``.
+        self.counters: Optional[BatchCounters] = None
 
     def run(
         self,
         trace,
         collect_miss_indices: bool = False,
+        counters: bool = False,
+        depth_sample: int = DEFAULT_DEPTH_SAMPLE,
     ):
         """Replay ``trace`` through every lane from cold state.
 
@@ -318,6 +397,14 @@ class BatchSimulator:
         with ``collect_miss_indices`` a ``(misses, indices)`` tuple where
         ``indices[lane]`` is the sorted list of measured-miss access
         indices (exactly what the scalar ``miss_indices`` output yields).
+
+        ``counters=True`` additionally accumulates a
+        :class:`BatchCounters` on ``self.counters`` (hits, misses,
+        evictions and cold fills per lane and set, plus a hit-depth
+        histogram sampled every ``depth_sample`` steps).  The miss counts
+        and final state are bit-identical with or without counters; the
+        extra cost per step is one chunk-local accumulate and two list
+        appends of arrays the kernel computes anyway.
         """
         np = require_numpy()
         from ..obs.spans import span
@@ -329,11 +416,17 @@ class BatchSimulator:
                 f"trace was binned for {trace.num_sets} sets, "
                 f"simulator has {self.num_sets}"
             )
+        if counters and depth_sample < 1:
+            raise ValueError("depth_sample must be >= 1")
+        self.counters = None
         with span("engine.columnar_run", lanes=self.lanes,
-                  accesses=trace.n):
-            return self._run(np, trace, collect_miss_indices)
+                  accesses=trace.n, counters=int(counters)):
+            return self._run(np, trace, collect_miss_indices, counters,
+                             depth_sample)
 
-    def _run(self, np, trace: ColumnarTrace, collect_miss_indices: bool):
+    def _run(self, np, trace: ColumnarTrace, collect_miss_indices: bool,
+             counters: bool = False,
+             depth_sample: int = DEFAULT_DEPTH_SAMPLE):
         L, S, k = self.lanes, self.num_sets, self.assoc
         t = self._tables
         shift = t.shift
@@ -346,6 +439,12 @@ class BatchSimulator:
         lane_base = t.table_base[:, None]
         miss_lanes: List = []
         miss_gidx: List = []
+        if counters:
+            set_accesses = np.zeros(S, dtype=np.int64)
+            miss_ls = np.zeros((L, S), dtype=np.int64)
+            depth_counts = np.zeros(L * k + 1, dtype=np.int64)
+            pos_i64 = t.pos.astype(np.int64)
+            lane_k = (np.arange(L, dtype=np.int64) * k)[:, None]
         for chunk in trace.chunks:
             cols = chunk.cols
             offsets = chunk.step_offsets
@@ -356,6 +455,18 @@ class BatchSimulator:
             st = state[:, cols]
             tg = tags[:, cols, :]
             nf = nfill[:, cols]
+            if counters:
+                # Step-major miss buffer, one plane per lockstep step:
+                # a slice write per step plus one vectorized sum over
+                # the step axis at chunk end.  This beats a per-step
+                # `+=` scatter (a numpy call per step) and a ragged
+                # buffer + masked bincount (a fancy-index pass over
+                # every access) — both blow the 5 % overhead budget.
+                miss_buf = np.zeros(
+                    (L, chunk.max_depth, cols.size), dtype=bool
+                )
+                sw_frames: List = []
+                hit_frames: List = []
             for j in range(chunk.max_depth):
                 o0, o1 = int(offsets[j]), int(offsets[j + 1])
                 w = o1 - o0
@@ -378,10 +489,20 @@ class BatchSimulator:
                     is_hit, hit_way.astype(np.int32),
                     np.where(cold, nfj, victim_t.take(stj)),
                 )
-                flat = lane_base + ((stj.astype(np.int64) << shift) | way)
+                sw = (stj.astype(np.int64) << shift) | way
+                flat = lane_base + sw
                 new_state = np.where(
                     is_hit, hit_t.take(flat), fill_t.take(flat)
                 )
+                if counters:
+                    miss_buf[:, j, :w] = miss
+                    if j % depth_sample == 0:
+                        # On a hit, way == hit_way, so `sw` already
+                        # indexes the pre-promotion (state, way) cell the
+                        # pos table decodes; misses are masked out of the
+                        # histogram at chunk end.
+                        sw_frames.append(sw)
+                        hit_frames.append(is_hit)
                 # Hits rewrite the resident tag with itself, so the tag
                 # scatter needs no mask at all.
                 np.put_along_axis(
@@ -400,7 +521,37 @@ class BatchSimulator:
             state[:, cols] = st
             tags[:, cols, :] = tg
             nfill[:, cols] = nf
+            if counters:
+                # Per-set access counts without touching the address
+                # arrays: column c of this chunk is active on exactly the
+                # steps whose width exceeds c (widths are non-increasing).
+                widths = np.diff(offsets)
+                if widths.size:
+                    per_col = np.searchsorted(
+                        -widths, -np.arange(cols.size, dtype=np.int64),
+                        side="left",
+                    )
+                    set_accesses[cols] += per_col
+                if chunk.max_depth:
+                    miss_ls[:, cols] += miss_buf.sum(
+                        axis=1, dtype=np.int64
+                    )
+                if sw_frames:
+                    sw_all = np.concatenate(sw_frames, axis=1)
+                    hit_all = np.concatenate(hit_frames, axis=1)
+                    sel = np.where(
+                        hit_all, pos_i64.take(sw_all) + lane_k, L * k
+                    )
+                    depth_counts += np.bincount(
+                        sel.ravel(), minlength=L * k + 1
+                    )
         self.final_state = state
+        if counters:
+            self.counters = BatchCounters(
+                "batch", L, S, k, warmup, trace.n, set_accesses, miss_ls,
+                nfill.astype(np.int64), depth_counts[:L * k].reshape(L, k),
+                depth_sample, misses.copy(),
+            )
         if not collect_miss_indices:
             return misses
         indices: List[List[int]] = [[] for _ in range(L)]
@@ -496,11 +647,21 @@ class DuelBatchSimulator:
         self._psel_lo = -(1 << (counter_bits - 1))
         self._psel_hi = (1 << (counter_bits - 1)) - 1
         self.psel = np.zeros(self.lanes, dtype=np.int64)
+        #: :class:`BatchCounters` from the last ``run(counters=True)``.
+        self.counters: Optional[BatchCounters] = None
 
-    def run(self, addresses: Sequence[int], warmup: int = 0):
+    def run(self, addresses: Sequence[int], warmup: int = 0,
+            counters: bool = False):
         """Replay ``addresses`` through every duelling lane from cold
         state; returns per-lane measured miss counts (``int64``,
-        shape ``(lanes,)``)."""
+        shape ``(lanes,)``).
+
+        ``counters=True`` additionally accumulates a
+        :class:`BatchCounters` on ``self.counters``, including per-lane
+        PSEL flip counts (sign changes of the selector) and an *exact*
+        hit-depth histogram (``depth_sample == 1``: the access-serial
+        loop makes per-access appends essentially free).
+        """
         np = require_numpy()
         from ..obs.spans import span
 
@@ -516,7 +677,15 @@ class DuelBatchSimulator:
         psel[:] = 0
         lanes = np.arange(L)
         leaders = self.leaders
-        with span("engine.columnar_duel", lanes=L, accesses=len(addresses)):
+        self.counters = None
+        if counters:
+            hits_set = np.zeros((L, S), dtype=np.int64)
+            flips = np.zeros(L, dtype=np.int64)
+            prev_sign = psel >= 0
+            idx_frames: List = []
+            hit_frames: List = []
+        with span("engine.columnar_duel", lanes=L, accesses=len(addresses),
+                  counters=int(counters)):
             for i, address in enumerate(addresses):
                 address = int(address)
                 si = address & mask
@@ -560,7 +729,42 @@ class DuelBatchSimulator:
                 nfill[:, si] = nf + cold
                 if i >= warmup:
                     misses += miss
+                if counters:
+                    hits_set[:, si] += is_hit
+                    idx_frames.append(idx)
+                    hit_frames.append(is_hit)
+                    if leader >= 0:
+                        # PSEL only moves on leader-set accesses, so the
+                        # selector sign can only flip here.
+                        sign = psel >= 0
+                        flips += sign != prev_sign
+                        prev_sign = sign
         self.final_state = state
+        if counters:
+            n = len(addresses)
+            if n:
+                addr_arr = np.fromiter(
+                    (int(a) for a in addresses), dtype=np.int64, count=n
+                )
+                accesses_per_set = np.bincount(addr_arr & mask, minlength=S)
+                idx_all = np.stack(idx_frames, axis=0)
+                hit_all = np.stack(hit_frames, axis=0)
+                depth = t.pos.astype(np.int64).take(idx_all)
+                sel = np.where(
+                    hit_all,
+                    depth + (np.arange(L, dtype=np.int64) * k)[None, :],
+                    L * k,
+                )
+                depth_counts = np.bincount(sel.ravel(), minlength=L * k + 1)
+            else:
+                accesses_per_set = np.zeros(S, dtype=np.int64)
+                depth_counts = np.zeros(L * k + 1, dtype=np.int64)
+            self.counters = BatchCounters(
+                "duel", L, S, k, warmup, n, accesses_per_set,
+                accesses_per_set[None, :] - hits_set, nfill.copy(),
+                depth_counts[:L * k].reshape(L, k),
+                1, misses.copy(), duel_flips=flips, psel=psel.copy(),
+            )
         return misses
 
     def positions(self, lane: int):

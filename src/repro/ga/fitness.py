@@ -37,6 +37,8 @@ __all__ = [
     "simulate_misses_plru_ipv",
     "FitnessEvaluator",
     "clear_workload_memo",
+    "columnar_memo_stats",
+    "publish_columnar_memo_gauges",
 ]
 
 
@@ -290,8 +292,15 @@ def simulate_misses_plru_ipv(
 _WORKLOAD_MEMO: "OrderedDict[tuple, list]" = OrderedDict()
 _POSITIONS_MEMO: "OrderedDict[tuple, list]" = OrderedDict()
 _BASELINE_MEMO: "OrderedDict[tuple, tuple]" = OrderedDict()
+_COLUMNAR_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
 _WORKLOAD_MEMO_LIMIT = 64
 _BASELINE_MEMO_LIMIT = 256
+#: Step-transposed layouts are the largest memoized objects (a few x the
+#: address list), so their LRU bound is the tightest: 32 comfortably
+#: covers a 29-benchmark matrix at one geometry without letting a
+#: num_sets sweep accumulate every layout it ever built.
+_COLUMNAR_MEMO_LIMIT = 32
+_COLUMNAR_MEMO_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def clear_workload_memo() -> None:
@@ -299,6 +308,68 @@ def clear_workload_memo() -> None:
     _WORKLOAD_MEMO.clear()
     _POSITIONS_MEMO.clear()
     _BASELINE_MEMO.clear()
+    _COLUMNAR_MEMO.clear()
+    for key in _COLUMNAR_MEMO_STATS:
+        _COLUMNAR_MEMO_STATS[key] = 0
+
+
+def _shared_columnar_trace(key: tuple, addresses, num_sets: int):
+    """Bounded LRU memo of :class:`~repro.engine.columnar.ColumnarTrace`.
+
+    Keyed by the trace *derivation* (benchmark, simpoint, length,
+    capacity, seed) plus ``num_sets`` — never by address-list identity,
+    so evaluators rebuilt across GA generations (or sweep points) reuse
+    layouts instead of growing one dict per instance without limit.
+    """
+    trace = _COLUMNAR_MEMO.get(key)
+    if trace is None:
+        from ..engine.columnar import ColumnarTrace
+
+        _COLUMNAR_MEMO_STATS["misses"] += 1
+        trace = ColumnarTrace(addresses, num_sets)
+        _COLUMNAR_MEMO[key] = trace
+        while len(_COLUMNAR_MEMO) > _COLUMNAR_MEMO_LIMIT:
+            _COLUMNAR_MEMO.popitem(last=False)
+            _COLUMNAR_MEMO_STATS["evictions"] += 1
+    else:
+        _COLUMNAR_MEMO_STATS["hits"] += 1
+        _COLUMNAR_MEMO.move_to_end(key)
+    return trace
+
+
+def columnar_memo_stats() -> dict:
+    """Snapshot of the ColumnarTrace memo: size, limit, hit/miss/evict."""
+    lookups = _COLUMNAR_MEMO_STATS["hits"] + _COLUMNAR_MEMO_STATS["misses"]
+    return {
+        "size": len(_COLUMNAR_MEMO),
+        "limit": _COLUMNAR_MEMO_LIMIT,
+        "hits": _COLUMNAR_MEMO_STATS["hits"],
+        "misses": _COLUMNAR_MEMO_STATS["misses"],
+        "evictions": _COLUMNAR_MEMO_STATS["evictions"],
+        "hit_rate": (
+            _COLUMNAR_MEMO_STATS["hits"] / lookups if lookups else 0.0
+        ),
+    }
+
+
+def publish_columnar_memo_gauges(registry) -> None:
+    """Export the memo stats as ``repro_columnar_memo_*`` gauges.
+
+    Gauges are *set* from the snapshot (idempotent republish), matching
+    :func:`repro.kernels.tables.publish_kernel_gauges`.
+    """
+    stats = columnar_memo_stats()
+    for field, help_text in (
+        ("size", "ColumnarTrace memo entries resident"),
+        ("limit", "ColumnarTrace memo LRU bound"),
+        ("hits", "ColumnarTrace memo lookup hits"),
+        ("misses", "ColumnarTrace memo lookup misses"),
+        ("evictions", "ColumnarTrace memo LRU evictions"),
+        ("hit_rate", "ColumnarTrace memo hit rate"),
+    ):
+        registry.gauge(
+            f"repro_columnar_memo_{field}", help_text
+        ).set(stats[field])
 
 
 def _memo_get(memo: OrderedDict, key, limit: int, build):
@@ -465,6 +536,9 @@ class FitnessEvaluator:
         self._workloads: List[
             Tuple[str, float, List[int], int, Optional[List[int]]]
         ] = []
+        # Parallel (name, simpoint) keys: the workload's derivation
+        # identity, used to address the shared ColumnarTrace memo.
+        self._workload_keys: List[Tuple[str, int]] = []
         cfg = self.config
         for name in self.benchmark_names:
             benchmark = SPEC_BENCHMARKS[name]
@@ -489,6 +563,7 @@ class FitnessEvaluator:
                 self._workloads.append(
                     (name, weight, addresses, measured_instructions, positions)
                 )
+                self._workload_keys.append((name, simpoint))
         # Baseline: true LRU (the paper computes speedup over LRU), via the
         # cross-evaluator memo so repeated instantiations (GA workers, WN1
         # folds over overlapping training sets) never re-simulate it.
@@ -512,10 +587,6 @@ class FitnessEvaluator:
                 self._lru_cycles[name] = (
                     self._lru_cycles.get(name, 0.0) + weight * cycles
                 )
-        # Lazily-built ColumnarTrace per workload index (evaluate_many):
-        # the step-transposed layout is a pure function of the trace and
-        # geometry, so one build serves every generation's population.
-        self._columnar_traces: Dict[int, object] = {}
 
     def _simulate(self, addresses, num_sets, assoc, entries, warmup,
                   miss_indices=None):
@@ -643,13 +714,18 @@ class FitnessEvaluator:
         return columnar_supported(self.config.assoc)
 
     def _columnar_trace(self, index: int, addresses: List[int]):
-        trace = self._columnar_traces.get(index)
-        if trace is None:
-            from ..engine.columnar import ColumnarTrace
+        """The workload's step-transposed layout, via the bounded memo.
 
-            trace = ColumnarTrace(addresses, self.config.num_sets)
-            self._columnar_traces[index] = trace
-        return trace
+        The layout is a pure function of the trace derivation and
+        geometry, so one build serves every generation's population —
+        and, through the module-level LRU, every *evaluator* with the
+        same derivation (GA workers, sweep points).
+        """
+        cfg = self.config
+        name, simpoint = self._workload_keys[index]
+        key = (name, simpoint, cfg.trace_length, cfg.capacity_blocks,
+               cfg.seed, cfg.num_sets)
+        return _shared_columnar_trace(key, addresses, cfg.num_sets)
 
     def evaluate_many(self, ipvs: Sequence) -> List[float]:
         """Fitness of many IPVs, batched through the columnar engine.

@@ -17,6 +17,7 @@ pickled trace set), and results come back in submission order — so
 from __future__ import annotations
 
 import random
+import time
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -40,11 +41,15 @@ class GAResult:
         best_fitness: float,
         history: List[float],
         evaluations: int,
+        convergence: Optional[List[dict]] = None,
     ):
         self.best = best
         self.best_fitness = best_fitness
         self.history = history  # best fitness per generation
         self.evaluations = evaluations
+        #: Per-generation convergence records (best/median/p90, diversity,
+        #: eval throughput) — see :mod:`repro.obs.analytics.convergence`.
+        self.convergence = convergence if convergence is not None else []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -102,6 +107,7 @@ def evolve_ipv(
     on_generation: Optional[Callable[[int, float], None]] = None,
     telemetry: Union[None, bool, str, Path] = None,
     status_path: Union[None, str, Path] = None,
+    convergence_path: Union[None, str, Path] = None,
 ) -> GAResult:
     """Evolve an IPV against ``evaluator``.
 
@@ -116,6 +122,13 @@ def evolve_ipv(
     the best fitness and survives the run.  The whole search is wrapped in
     ``ga.run`` / ``ga.generation`` / ``ga.breed`` / ``ga.evaluate`` spans
     when a recorder is installed (no-ops otherwise).
+
+    Every run computes per-generation convergence records (fitness
+    best/median/p90, population diversity, eval throughput — see
+    :func:`repro.obs.analytics.generation_stats`); they ride along on
+    ``GAResult.convergence``, feed the live status fields, and with
+    ``convergence_path`` are additionally persisted as an atomically
+    rewritten JSON log that ``repro obs analyze`` renders.
     """
     k = evaluator.k
     length = k + 1
@@ -133,6 +146,17 @@ def evolve_ipv(
         evaluator, workers=workers, telemetry=telemetry
     )
     evaluate_all = pop_eval.evaluate_all
+
+    from ..obs.analytics.convergence import ConvergenceLog, generation_stats
+
+    convergence: List[dict] = []
+    conv_log = None
+    if convergence_path is not None:
+        conv_log = ConvergenceLog(
+            convergence_path,
+            meta={"k": k, "seed": seed, "population": population_size,
+                  "generations": generations, "workers": workers},
+        )
 
     evaluations = 0
     history: List[float] = []
@@ -166,11 +190,22 @@ def evolve_ipv(
                     fresh = next_population[elite:]
                     with span("ga.evaluate", gen=generation,
                               batch=len(fresh)):
+                        eval_start = time.perf_counter()
                         fresh_scores = evaluate_all(fresh)
+                        eval_elapsed = time.perf_counter() - eval_start
                     evaluations += len(fresh)
                     scored = scored[:elite] + list(zip(fresh_scores, fresh))
                     scored.sort(key=lambda p: p[0], reverse=True)
                     history.append(scored[0][0])
+                    record = generation_stats(
+                        generation, scored,
+                        evaluations=evaluations,
+                        batch_evaluations=len(fresh),
+                        elapsed_sec=eval_elapsed,
+                    )
+                    convergence.append(record)
+                    if conv_log is not None:
+                        conv_log.append(record)
                     gen_span.set(best_fitness=scored[0][0])
                 if status is not None:
                     status.update(
@@ -179,6 +214,10 @@ def evolve_ipv(
                         jobs_total=generations,
                         best_fitness=scored[0][0],
                         evaluations=evaluations,
+                        fitness_median=record["median"],
+                        fitness_p90=record["p90"],
+                        unique_fraction=record["unique_fraction"],
+                        eval_per_sec=record["eval_per_sec"],
                     )
                 if on_generation is not None:
                     on_generation(generation, scored[0][0])
@@ -196,4 +235,5 @@ def evolve_ipv(
         best_fitness,
         history,
         evaluations,
+        convergence=convergence,
     )

@@ -33,12 +33,25 @@ zero-overhead when disabled:
 * :mod:`repro.obs.trend` — append-only ``BENCH_history.jsonl`` perf
   history keyed by git revision, with a regression comparator behind
   ``repro obs trend --check``.
+* :mod:`repro.obs.analytics` — cache-dynamics analytics: the vectorized
+  Mattson miss-curve/stack-distance profiler, columnar-engine counter
+  flushing, GA convergence telemetry, and the ``repro obs analyze``
+  report builder.
 
 The hot path (:meth:`repro.cache.cache.SetAssociativeCache.access`) pays a
 single ``is not None`` check when tracing is off; the budget is enforced by
 :func:`repro.obs.overhead.disabled_overhead_ratio` and ``make smoke-obs``.
 """
 
+from .analytics import (
+    ConvergenceLog,
+    MattsonProfile,
+    build_report,
+    generation_stats,
+    profile_trace,
+    publish_batch_counters,
+    reconcile_with_stats,
+)
 from .events import (
     EVENT_KINDS,
     EVENT_SCHEMA,
@@ -89,6 +102,13 @@ from .trend import (
 )
 
 __all__ = [
+    "ConvergenceLog",
+    "MattsonProfile",
+    "build_report",
+    "generation_stats",
+    "profile_trace",
+    "publish_batch_counters",
+    "reconcile_with_stats",
     "SpanRecorder",
     "current_recorder",
     "install_recorder",

@@ -1,0 +1,165 @@
+"""Assemble miss-curve + convergence reports (the ``obs analyze`` backend).
+
+One report document joins the two halves this package produces — a
+:class:`~repro.obs.analytics.profile.MattsonProfile` of a workload and a
+GA convergence log — plus figure-ready CSV renderers for both, so a
+single ``repro obs analyze`` invocation answers "what does this trace
+want from a cache" and "what did the GA do about it" side by side.
+Everything here is stdlib-only formatting over already-computed numbers;
+the heavy lifting happened in :mod:`.profile` / :mod:`.convergence`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .convergence import (
+    convergence_csv,
+    read_convergence,
+    render_convergence,
+)
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "miss_curve_csv",
+    "render_profile",
+    "render_report",
+    "write_report",
+]
+
+#: Bump when the combined-report layout changes.
+REPORT_SCHEMA = "repro-analytics-report/1"
+
+
+def build_report(
+    profile: Optional[dict] = None,
+    convergence: Optional[Sequence[dict]] = None,
+    convergence_path: Union[None, str, Path] = None,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Combine a profile payload and convergence records into one report.
+
+    ``profile`` is ``MattsonProfile.to_json()`` output; ``convergence``
+    is a record list (or pass ``convergence_path`` to load a
+    :class:`~repro.obs.analytics.convergence.ConvergenceLog` file).
+    Either half may be absent — analyzing a trace needs no GA run and
+    vice versa.
+    """
+    if convergence is None and convergence_path is not None:
+        convergence = read_convergence(convergence_path)
+    report = {"schema": REPORT_SCHEMA}
+    if meta:
+        report["meta"] = dict(meta)
+    if profile is not None:
+        report["profile"] = profile
+    if convergence is not None:
+        report["convergence"] = list(convergence)
+    return report
+
+
+def miss_curve_csv(profile: dict) -> str:
+    """Figure-ready CSV of a profile's miss curve.
+
+    Columns ``capacity_blocks,misses,miss_rate`` — one row per point of
+    the (possibly capacity-subsampled) curve in the profile payload.
+    """
+    lines = ["capacity_blocks,misses,miss_rate"]
+    for capacity, misses, rate in profile.get("miss_curve_points", ()):
+        lines.append(f"{capacity},{misses},{rate:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def _pick_curve_rows(points: Sequence[Sequence[float]], limit: int = 10):
+    """An evenly spaced sample of curve rows for terminal display."""
+    if len(points) <= limit:
+        return list(points)
+    step = (len(points) - 1) / (limit - 1)
+    picked = [points[round(i * step)] for i in range(limit - 1)]
+    picked.append(points[-1])
+    return picked
+
+
+def render_profile(profile: dict) -> str:
+    """Terminal summary of a profile payload."""
+    ws = profile.get("working_set", {})
+    lines = []
+    accesses = ws.get("accesses", 0)
+    lines.append(
+        f"  accesses  {accesses}  footprint {ws.get('footprint', '?')} "
+        f"blocks  cold {ws.get('cold_fraction', 0.0):.1%}"
+    )
+    mean_sd = ws.get("mean_stack_distance")
+    if mean_sd is not None:
+        lines.append(
+            f"  stack-dist mean {mean_sd:.1f}, "
+            f"p50 {ws.get('p50_stack_distance')}, "
+            f"p90 {ws.get('p90_stack_distance')}, "
+            f"max {ws.get('max_stack_distance')}"
+        )
+    points = profile.get("miss_curve_points", [])
+    if points:
+        lines.append(f"  miss curve ({len(points)} points):")
+        lines.append(f"    {'capacity':>10} {'misses':>12} {'MR(c)':>8}")
+        for capacity, misses, rate in _pick_curve_rows(points):
+            lines.append(
+                f"    {int(capacity):>10} {int(misses):>12} {rate:>8.2%}"
+            )
+    return "\n".join(lines)
+
+
+def render_report(report: dict) -> str:
+    """Terminal rendering of a combined report."""
+    sections = []
+    meta = report.get("meta")
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        sections.append(f"analytics report ({pairs})")
+    else:
+        sections.append("analytics report")
+    profile = report.get("profile")
+    if profile is not None:
+        sections.append("workload profile:")
+        sections.append(render_profile(profile))
+    convergence = report.get("convergence")
+    if convergence is not None:
+        sections.append("GA convergence:")
+        sections.append(render_convergence(convergence))
+    if profile is None and convergence is None:
+        sections.append("(empty report)")
+    return "\n".join(sections)
+
+
+def write_report(
+    report: dict,
+    json_path: Union[None, str, Path] = None,
+    csv_path: Union[None, str, Path] = None,
+) -> None:
+    """Persist a report: JSON document and/or figure CSVs.
+
+    ``csv_path`` writes the miss curve there and, when convergence
+    records are present, the per-generation series next to it with a
+    ``.convergence.csv`` suffix — one flag, both figures.
+    """
+    if json_path is not None:
+        path = Path(json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if csv_path is not None:
+        path = Path(csv_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profile = report.get("profile")
+        if profile is not None:
+            with open(path, "w") as handle:
+                handle.write(miss_curve_csv(profile))
+        convergence = report.get("convergence")
+        if convergence is not None:
+            conv_path = path.with_suffix(".convergence.csv")
+            if profile is None:
+                conv_path = path
+            with open(conv_path, "w") as handle:
+                handle.write(convergence_csv(convergence))

@@ -127,26 +127,50 @@ class Histogram:
         self.sum = 0.0
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record ``value``; ``weight`` observes it ``weight`` times at once.
+
+        Weighted observation is how pre-aggregated counts (e.g. the
+        columnar engine's hit-depth arrays) flush into a histogram without
+        a Python-level loop per event.  NaN values and NaN/negative
+        weights are rejected loudly: silently binning NaN into ``+Inf``
+        (or subtracting counts) would corrupt every downstream
+        percentile.  ``weight=0`` is a no-op by design.
+        """
+        if value != value:
+            raise ValueError("cannot observe NaN")
+        if not weight >= 0:  # catches negatives and NaN weights alike
+            raise ValueError(f"observation weight must be >= 0, got {weight}")
+        if weight == 0:
+            return
         with self._lock:
-            self.count += 1
-            self.sum += value
+            self.count += weight
+            self.sum += value * weight
             # Linear scan: bucket lists here are tiny (positions, distances).
             for i, bound in enumerate(self.bounds):
                 if value <= bound:
-                    self.bucket_counts[i] += 1
+                    self.bucket_counts[i] += weight
                     return
-            self.bucket_counts[-1] += 1
+            self.bucket_counts[-1] += weight
 
     def merge_raw(
-        self, bucket_counts: Sequence[int], count: int, total: float
+        self, bucket_counts: Sequence[int], count: int, total: float,
+        bounds: Optional[Sequence[float]] = None,
     ) -> None:
         """Add another histogram's raw buckets (cross-process merge).
 
         Used by :func:`repro.obs.shipping.merge_registry_payload` to sum a
         worker's histogram snapshot into the parent's.  The bucket layout
-        must match — mismatched bounds raise rather than mis-bin.
+        must match — pass the source's ``bounds`` so disagreement raises
+        rather than mis-binning (equal bucket *counts* with different
+        bounds would otherwise merge silently).
         """
+        if bounds is not None:
+            incoming = sorted(float(b) for b in bounds)
+            if incoming != self.bounds:
+                raise ValueError(
+                    f"histogram merge: bounds {incoming} != {self.bounds}"
+                )
         if len(bucket_counts) != len(self.bucket_counts):
             raise ValueError(
                 f"histogram merge: {len(bucket_counts)} buckets != "

@@ -249,7 +249,8 @@ def merge_registry_payload(
                     name, value["bounds"], help_text, labels
                 )
                 hist.merge_raw(
-                    value["bucket_counts"], value["count"], value["sum"]
+                    value["bucket_counts"], value["count"], value["sum"],
+                    bounds=value["bounds"],
                 )
             else:
                 raise ValueError(f"unknown instrument type {kind!r} for {name!r}")

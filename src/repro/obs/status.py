@@ -189,6 +189,19 @@ def render_status(status: dict, now: Optional[float] = None) -> str:
     best = status.get("best_fitness")
     if best is not None:
         lines.append(f"  best      {best:.4f} fitness so far")
+    median = status.get("fitness_median")
+    if median is not None:
+        p90 = status.get("fitness_p90")
+        line = f"  fitness   median {median:.4f}"
+        if p90 is not None:
+            line += f", p90 {p90:.4f}"
+        lines.append(line)
+    unique = status.get("unique_fraction")
+    if unique is not None:
+        lines.append(f"  diversity {unique:.0%} unique genotypes")
+    eval_rate = status.get("eval_per_sec")
+    if eval_rate is not None:
+        lines.append(f"  evals     {eval_rate:.1f}/s last generation")
     workers = status.get("workers")
     if isinstance(workers, dict) and workers:
         alive = sum(1 for w in workers.values() if w.get("alive", True))

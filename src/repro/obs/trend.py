@@ -135,6 +135,11 @@ def flatten_bench_kernels(bench: dict) -> Dict[str, float]:
                   "lane_accesses_per_sec"):
         if field in pop:
             metrics[f"pop.{field}"] = float(pop[field])
+    prof = bench.get("analytics_profile") or {}
+    for field in ("profile_accesses_per_sec", "oracle_accesses_per_sec",
+                  "speedup_vs_oracle"):
+        if field in prof:
+            metrics[f"analytics.{field}"] = float(prof[field])
     return metrics
 
 

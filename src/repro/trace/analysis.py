@@ -3,6 +3,12 @@
 These are the diagnostics used to validate that the synthetic SPEC stand-ins
 have the reuse behaviour their archetypes claim (tests) and to drive PDP's
 protecting-distance intuition at trace level.
+
+These walks are the *oracles*: simple, obviously-correct pure Python,
+O(accesses x footprint) for the stack distance.  For profiling at scale
+(miss curves over millions of accesses) use their vectorized twins in
+:mod:`repro.obs.analytics.profile`, which are pinned bit-identical to
+these functions by ``tests/obs`` and ``make smoke-analytics``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ def stack_distance_histogram(
     ``max_distance``.  Uses an ordered dict as the LRU stack: move-to-front
     on touch, position lookup by scan capped at ``max_distance``.
     """
+    if max_distance < 1:
+        raise ValueError(f"max_distance must be positive, got {max_distance}")
     histogram: Dict[int, int] = {}
     stack: "OrderedDict[int, None]" = OrderedDict()
     for address in trace.address_list():
@@ -60,6 +68,8 @@ def per_set_reuse_histogram(
     This is PDP's unit of protecting distance.  Returns a histogram list of
     length ``max_distance + 1`` (the last bucket accumulates overflow).
     """
+    if max_distance < 1:
+        raise ValueError(f"max_distance must be positive, got {max_distance}")
     histogram = [0] * (max_distance + 1)
     set_clock = [0] * num_sets
     last_touch: Dict[int, int] = {}

@@ -279,3 +279,107 @@ class TestColumnarKernel:
             evaluator.evaluate_many([[0] * 9])
         with pytest.raises(ValueError):
             evaluator.evaluate_many([[99] * 17])
+
+
+class TestColumnarMemo:
+    """The bounded module-level ColumnarTrace memo behind _columnar_trace."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_memo(self):
+        from repro.ga.fitness import clear_workload_memo
+
+        clear_workload_memo()
+        yield
+        clear_workload_memo()
+
+    def _insert(self, key, addresses=(1, 2, 3), num_sets=2):
+        from repro.ga.fitness import _shared_columnar_trace
+
+        return _shared_columnar_trace(key, list(addresses), num_sets)
+
+    def test_hit_returns_same_object_and_counts(self):
+        from repro.ga.fitness import columnar_memo_stats
+
+        first = self._insert(("b", 0))
+        second = self._insert(("b", 0))
+        assert first is second
+        stats = columnar_memo_stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_lru_eviction_at_limit(self):
+        from repro.ga.fitness import (
+            _COLUMNAR_MEMO,
+            _COLUMNAR_MEMO_LIMIT,
+            columnar_memo_stats,
+        )
+
+        for i in range(_COLUMNAR_MEMO_LIMIT):
+            self._insert(("bench", i))
+        self._insert(("bench", 0))  # refresh the oldest entry
+        self._insert(("bench", _COLUMNAR_MEMO_LIMIT))  # forces one evict
+        stats = columnar_memo_stats()
+        assert stats["size"] == _COLUMNAR_MEMO_LIMIT
+        assert stats["evictions"] == 1
+        # The refreshed key survived; the true LRU victim did not.
+        assert ("bench", 0) in _COLUMNAR_MEMO
+        assert ("bench", 1) not in _COLUMNAR_MEMO
+
+    def test_clear_resets_memo_and_stats(self):
+        from repro.ga.fitness import clear_workload_memo, columnar_memo_stats
+
+        self._insert(("b", 0))
+        self._insert(("b", 0))
+        clear_workload_memo()
+        stats = columnar_memo_stats()
+        assert stats["size"] == 0
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+        assert stats["hit_rate"] == 0.0
+
+    def test_publish_gauges_idempotent(self):
+        from repro.ga.fitness import (
+            columnar_memo_stats,
+            publish_columnar_memo_gauges,
+        )
+        from repro.obs.metrics import MetricsRegistry, parse_prometheus
+
+        self._insert(("b", 0))
+        self._insert(("b", 0))
+        registry = MetricsRegistry()
+        publish_columnar_memo_gauges(registry)
+        publish_columnar_memo_gauges(registry)  # set, not inc
+        parsed = parse_prometheus(registry.to_prometheus())
+        stats = columnar_memo_stats()
+        for field in ("size", "limit", "hits", "misses", "evictions",
+                      "hit_rate"):
+            name = f"repro_columnar_memo_{field}"
+            assert parsed[(name, ())] == pytest.approx(stats[field])
+
+    def test_evaluators_share_trace_by_derivation(self):
+        from repro.engine.columnar import columnar_supported
+        from repro.ga.fitness import columnar_memo_stats
+
+        if not columnar_supported(16):
+            pytest.skip("columnar engine requires numpy")
+        config = default_config(trace_length=600)
+        population = [lru_ipv(16), lip_ipv(16), GIPPR_WI_VECTOR,
+                      IPV([0] * 16 + [15])]
+        first = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="columnar"
+        )
+        first.evaluate_many(population)
+        after_first = columnar_memo_stats()
+        workloads = len(first._workload_keys)  # one trace per simpoint
+        assert after_first["size"] == workloads
+        # A rebuilt evaluator with the same derivation reuses the layouts.
+        second = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="columnar"
+        )
+        second.evaluate_many(population)
+        after_second = columnar_memo_stats()
+        assert after_second["size"] == workloads
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]

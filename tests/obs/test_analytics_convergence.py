@@ -1,0 +1,201 @@
+"""GA convergence telemetry and the combined analytics report."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.analytics.convergence import (
+    CONVERGENCE_SCHEMA,
+    ConvergenceLog,
+    convergence_csv,
+    generation_stats,
+    read_convergence,
+    render_convergence,
+)
+from repro.obs.analytics.report import (
+    REPORT_SCHEMA,
+    build_report,
+    miss_curve_csv,
+    render_report,
+    write_report,
+)
+
+
+def scored_population():
+    """Descending-fitness (fitness, entries) list, evolve_ipv's shape."""
+    return [
+        (3.0, (0, 0, 0, 0, 0)),
+        (2.0, (0, 0, 0, 0, 1)),
+        (2.0, (0, 0, 0, 0, 1)),
+        (1.0, (1, 1, 1, 1, 1)),
+    ]
+
+
+class TestGenerationStats:
+    def test_fitness_summary(self):
+        record = generation_stats(3, scored_population())
+        assert record["generation"] == 3
+        assert record["population"] == 4
+        assert record["best"] == 3.0
+        assert record["worst"] == 1.0
+        assert record["median"] == 2.0
+        assert record["p90"] == 3.0
+        assert record["mean"] == pytest.approx(2.0)
+        assert record["std"] == pytest.approx(math.sqrt(0.5))
+        assert record["best_entries"] == [0, 0, 0, 0, 0]
+
+    def test_diversity(self):
+        record = generation_stats(0, scored_population())
+        assert record["unique_fraction"] == pytest.approx(3 / 4)
+        # Hamming to best: 0 + 1 + 1 + 5 mismatches over 4*5 positions.
+        assert record["mean_hamming_to_best"] == pytest.approx(7 / 20)
+
+    def test_throughput(self):
+        record = generation_stats(
+            1, scored_population(),
+            evaluations=40, batch_evaluations=10, elapsed_sec=2.0,
+        )
+        assert record["evaluations"] == 40
+        assert record["eval_per_sec"] == pytest.approx(5.0)
+        zero = generation_stats(1, scored_population())
+        assert zero["eval_per_sec"] == 0.0
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            generation_stats(0, [])
+
+
+class TestConvergenceLog:
+    def test_append_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "conv.json"
+        log = ConvergenceLog(path, meta={"seed": 7})
+        for generation in range(3):
+            log.append(generation_stats(generation, scored_population()))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == CONVERGENCE_SCHEMA
+        assert payload["meta"] == {"seed": 7}
+        records = read_convergence(path)
+        assert [r["generation"] for r in records] == [0, 1, 2]
+
+    def test_every_append_is_a_valid_document(self, tmp_path):
+        path = tmp_path / "conv.json"
+        log = ConvergenceLog(path)
+        for generation in range(2):
+            log.append(generation_stats(generation, scored_population()))
+            json.loads(path.read_text())  # never a torn tail
+
+    def test_unwritable_path_degrades_to_noop(self, tmp_path, caplog):
+        log = ConvergenceLog(tmp_path / "missing" / "x" / "conv.json")
+        # Make mkdir fail by occupying the parent path with a file.
+        (tmp_path / "missing").write_text("a file, not a directory")
+        with caplog.at_level("WARNING"):
+            log.append(generation_stats(0, scored_population()))
+            log.append(generation_stats(1, scored_population()))
+        assert len(log.records) == 2  # in-memory records survive
+        assert sum(
+            "unwritable" in r.message for r in caplog.records
+        ) == 1  # warned once, not per append
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "other/1", "records": []}\n')
+        with pytest.raises(ValueError, match=CONVERGENCE_SCHEMA):
+            read_convergence(path)
+
+
+class TestRenderers:
+    def test_csv_fields_and_rows(self):
+        records = [generation_stats(g, scored_population()) for g in (0, 1)]
+        csv = convergence_csv(records)
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("generation,best,median,p90")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "0"
+
+    def test_render_table(self):
+        out = render_convergence(
+            [generation_stats(0, scored_population())]
+        )
+        assert "gen" in out and "eval/s" in out
+        assert render_convergence([]) == "(no convergence records)"
+
+
+class TestReport:
+    def _profile_payload(self):
+        from repro.obs.analytics import profile_trace
+
+        return profile_trace([1, 2, 1, 3, 1, 2], num_sets=2).to_json()
+
+    def test_build_and_render_both_halves(self, tmp_path):
+        conv_path = tmp_path / "conv.json"
+        log = ConvergenceLog(conv_path)
+        log.append(generation_stats(0, scored_population()))
+        report = build_report(
+            profile=self._profile_payload(),
+            convergence_path=conv_path,
+            meta={"benchmark": "x"},
+        )
+        assert report["schema"] == REPORT_SCHEMA
+        rendered = render_report(report)
+        assert "workload profile:" in rendered
+        assert "GA convergence:" in rendered
+        assert "benchmark=x" in rendered
+
+    def test_empty_report_renders(self):
+        assert "(empty report)" in render_report(build_report())
+
+    def test_miss_curve_csv(self):
+        csv = miss_curve_csv(self._profile_payload())
+        lines = csv.strip().split("\n")
+        assert lines[0] == "capacity_blocks,misses,miss_rate"
+        first = lines[1].split(",")
+        assert first[0] == "0" and first[1] == "6"
+
+    def test_write_report_files(self, tmp_path):
+        report = build_report(
+            profile=self._profile_payload(),
+            convergence=[generation_stats(0, scored_population())],
+        )
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "curve.csv"
+        write_report(report, json_path=json_path, csv_path=csv_path)
+        assert json.loads(json_path.read_text())["schema"] == REPORT_SCHEMA
+        assert csv_path.read_text().startswith("capacity_blocks")
+        conv_csv = tmp_path / "curve.convergence.csv"
+        assert conv_csv.read_text().startswith("generation,")
+
+    def test_write_convergence_only_uses_csv_path(self, tmp_path):
+        report = build_report(
+            convergence=[generation_stats(0, scored_population())]
+        )
+        csv_path = tmp_path / "conv.csv"
+        write_report(report, csv_path=csv_path)
+        assert csv_path.read_text().startswith("generation,")
+
+
+class TestEvolveIntegration:
+    def test_evolve_ipv_emits_convergence(self, tmp_path):
+        from repro.eval import default_config
+        from repro.ga.fitness import FitnessEvaluator
+        from repro.ga.genetic import evolve_ipv
+
+        evaluator = FitnessEvaluator(
+            benchmarks=["429.mcf"],
+            config=default_config(trace_length=800),
+        )
+        conv_path = tmp_path / "conv.json"
+        result = evolve_ipv(
+            evaluator, population_size=6, initial_population_size=8,
+            generations=2, seed=3, convergence_path=conv_path,
+        )
+        assert len(result.convergence) == len(result.history)
+        for record in result.convergence:
+            assert record["best"] >= record["median"] >= record["worst"]
+            assert 0.0 < record["unique_fraction"] <= 1.0
+        # Best series must match the existing history surface.
+        assert [r["best"] for r in result.convergence] == result.history
+        records = read_convergence(conv_path)
+        assert [r["generation"] for r in records] == (
+            [r["generation"] for r in result.convergence]
+        )

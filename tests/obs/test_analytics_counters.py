@@ -1,0 +1,245 @@
+"""Columnar-engine counters: reconciliation, flush surfaces, sampling."""
+
+import random
+
+import pytest
+
+from repro.kernels import tables as ktables
+
+numpy_missing = ktables.numpy_or_none() is None
+needs_numpy = pytest.mark.skipif(
+    numpy_missing, reason="columnar engine requires numpy"
+)
+
+NUM_SETS = 8
+ASSOC = 8
+
+
+def make_stream(n, seed=0):
+    rng = random.Random(seed)
+    footprint = 2 * NUM_SETS * ASSOC
+    return [rng.randrange(footprint) for _ in range(n)]
+
+
+def lanes():
+    from repro.core.ipv import lip_ipv, lru_ipv
+
+    rng = random.Random(5)
+    return [
+        tuple(lru_ipv(ASSOC).entries),
+        tuple(lip_ipv(ASSOC).entries),
+        tuple(rng.randrange(ASSOC) for _ in range(ASSOC + 1)),
+    ]
+
+
+@pytest.fixture
+def batch_run():
+    from repro.engine.columnar import BatchSimulator
+
+    stream = make_stream(4_000, seed=1)
+    simulator = BatchSimulator(NUM_SETS, ASSOC, lanes())
+    misses, miss_indices = simulator.run(
+        stream, collect_miss_indices=True, counters=True
+    )
+    return stream, simulator, misses, miss_indices
+
+
+@needs_numpy
+class TestBatchCounters:
+    def test_reconciles_with_scalar_cache(self, batch_run):
+        from repro.cache import SetAssociativeCache
+        from repro.core.ipv import IPV
+        from repro.obs.analytics import reconcile_with_stats
+        from repro.policies import GIPPRPolicy
+
+        stream, simulator, misses, _ = batch_run
+        counters = simulator.counters
+        for lane, entries in enumerate(lanes()):
+            policy = GIPPRPolicy(
+                NUM_SETS, ASSOC, ipv=IPV(list(entries)), kernel="walk"
+            )
+            cache = SetAssociativeCache(
+                NUM_SETS, ASSOC, policy, block_size=1
+            )
+            for address in stream:
+                cache.access(address)
+            assert reconcile_with_stats(counters, lane, cache.stats) == []
+            totals = counters.totals(lane)
+            assert totals["measured_misses"] == int(misses[lane])
+            assert totals["fills"] == totals["misses"]
+            assert totals["hit_rate"] == pytest.approx(
+                totals["hits"] / totals["accesses"]
+            )
+
+    def test_counters_do_not_perturb_misses(self):
+        from repro.engine.columnar import BatchSimulator
+
+        stream = make_stream(3_000, seed=2)
+        simulator = BatchSimulator(NUM_SETS, ASSOC, lanes())
+        plain = simulator.run(stream)
+        assert simulator.counters is None
+        counted = simulator.run(stream, counters=True)
+        assert (plain == counted).all()
+        assert simulator.counters is not None
+
+    def test_set_accesses_match_bincount(self, batch_run):
+        stream, simulator, _, _ = batch_run
+        counters = simulator.counters
+        mask = NUM_SETS - 1
+        expected = [0] * NUM_SETS
+        for address in stream:
+            expected[address & mask] += 1
+        assert list(counters.set_accesses) == expected
+
+    def test_depth_histogram_sums_to_hits_when_exhaustive(self):
+        from repro.engine.columnar import BatchSimulator
+
+        stream = make_stream(2_000, seed=3)
+        simulator = BatchSimulator(NUM_SETS, ASSOC, lanes())
+        simulator.run(stream, counters=True, depth_sample=1)
+        counters = simulator.counters
+        for lane in range(len(lanes())):
+            assert (
+                sum(counters.hit_depth_histogram(lane))
+                == counters.totals(lane)["hits"]
+            )
+
+    def test_rejects_bad_depth_sample(self):
+        from repro.engine.columnar import BatchSimulator
+
+        simulator = BatchSimulator(NUM_SETS, ASSOC, lanes())
+        with pytest.raises(ValueError, match="depth_sample"):
+            simulator.run(make_stream(100), counters=True, depth_sample=0)
+
+    def test_reconcile_reports_mismatch(self, batch_run):
+        from repro.obs.analytics import reconcile_with_stats
+
+        _, simulator, _, _ = batch_run
+
+        class FakeStats:
+            accesses = hits = misses = evictions = 0
+
+        with pytest.raises(ValueError, match="does not reconcile"):
+            reconcile_with_stats(simulator.counters, 0, FakeStats())
+        problems = reconcile_with_stats(
+            simulator.counters, 0, FakeStats(), raise_on_mismatch=False
+        )
+        assert problems and problems[0].startswith("accesses")
+
+
+@needs_numpy
+class TestDuelCounters:
+    def test_reconciles_with_dgippr(self):
+        from repro.cache import SetAssociativeCache
+        from repro.core.ipv import IPV
+        from repro.engine.columnar import DuelBatchSimulator
+        from repro.obs.analytics import reconcile_with_stats
+        from repro.policies import DGIPPRPolicy
+
+        stream = make_stream(3_000, seed=4)
+        all_lanes = lanes()
+        pairs = [(all_lanes[0], all_lanes[1]), (all_lanes[1], all_lanes[2])]
+        simulator = DuelBatchSimulator(NUM_SETS, ASSOC, pairs)
+        misses = simulator.run(stream, counters=True)
+        counters = simulator.counters
+        assert counters.kind == "duel"
+        for lane, (a, b) in enumerate(pairs):
+            policy = DGIPPRPolicy(
+                NUM_SETS, ASSOC,
+                ipvs=[IPV(list(a), name="a"), IPV(list(b), name="b")],
+                kernel="walk",
+            )
+            cache = SetAssociativeCache(
+                NUM_SETS, ASSOC, policy, block_size=1
+            )
+            for address in stream:
+                cache.access(address)
+            assert reconcile_with_stats(counters, lane, cache.stats) == []
+            assert int(misses[lane]) == cache.stats.misses
+            assert int(counters.psel[lane]) == policy.selector.psel.value
+            assert counters.duel_flips[lane] >= 0
+
+    def test_empty_stream(self):
+        from repro.engine.columnar import DuelBatchSimulator
+
+        all_lanes = lanes()
+        simulator = DuelBatchSimulator(
+            NUM_SETS, ASSOC, [(all_lanes[0], all_lanes[1])]
+        )
+        misses = simulator.run([], counters=True)
+        assert int(misses[0]) == 0
+        assert simulator.counters.totals(0)["accesses"] == 0
+
+
+@needs_numpy
+class TestFlushSurfaces:
+    def test_publish_gauges_and_histogram(self, batch_run):
+        from repro.obs.analytics import publish_batch_counters
+        from repro.obs.metrics import MetricsRegistry, parse_prometheus
+
+        _, simulator, _, _ = batch_run
+        counters = simulator.counters
+        registry = MetricsRegistry()
+        publish_batch_counters(counters, registry, lane_names=["a", "b", "c"])
+        publish_batch_counters(counters, registry, lane_names=["a", "b", "c"])
+        parsed = parse_prometheus(registry.to_prometheus())
+        lane_a = (("engine", "batch"), ("lane", "a"))
+        totals = counters.totals(0)
+        # Republishing sets gauges, so totals must not have doubled.
+        assert parsed[("repro_engine_hits", lane_a)] == totals["hits"]
+        assert parsed[("repro_engine_misses", lane_a)] == totals["misses"]
+        assert parsed[("repro_engine_accesses", (("engine", "batch"),))] == (
+            counters.accesses
+        )
+
+    def test_publish_rejects_wrong_lane_count(self, batch_run):
+        from repro.obs.analytics import publish_batch_counters
+        from repro.obs.metrics import MetricsRegistry
+
+        _, simulator, _, _ = batch_run
+        with pytest.raises(ValueError, match="lane names"):
+            publish_batch_counters(
+                simulator.counters, MetricsRegistry(), lane_names=["x"]
+            )
+
+    def test_manifest_extra_is_json_safe(self, batch_run):
+        import json
+
+        from repro.obs.analytics.counters import counters_manifest_extra
+
+        _, simulator, _, _ = batch_run
+        extra = counters_manifest_extra(simulator.counters)
+        assert extra["schema"] == "repro-engine-counters/1"
+        assert len(extra["lanes"]) == 3
+        for entry in extra["lanes"]:
+            assert entry["hits"] + entry["misses"] == entry["accesses"]
+        json.dumps(extra)
+
+    def test_sampled_events_validate_and_locate(self, batch_run):
+        from repro.obs.analytics.counters import sampled_miss_events
+
+        stream, simulator, _, miss_indices = batch_run
+        events = sampled_miss_events(
+            stream, miss_indices[0], NUM_SETS, sample=8, policy=0
+        )
+        assert events
+        mask = NUM_SETS - 1
+        for event in events:
+            payload = event.to_dict()
+            assert payload["kind"] == "miss"
+            assert payload["block"] == stream[payload["access"]]
+            assert payload["set"] == payload["block"] & mask
+            assert payload["policy"] == 0
+
+    def test_sampled_events_limit_and_validation(self, batch_run):
+        from repro.obs.analytics.counters import sampled_miss_events
+
+        stream, _, _, miss_indices = batch_run
+        events = sampled_miss_events(
+            stream, miss_indices[0], NUM_SETS, sample=1, limit=5
+        )
+        assert len(events) == 5
+        with pytest.raises(ValueError):
+            sampled_miss_events(stream, [], NUM_SETS, sample=0)
+        with pytest.raises(ValueError):
+            sampled_miss_events(stream, [], 3, sample=1)

@@ -63,6 +63,35 @@ class TestInstruments:
         with pytest.raises(ValueError):
             registry.histogram("dupes", bounds=[1, 1])
 
+    def test_histogram_weighted_observe(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 2, 4])
+        hist.observe(1, weight=3)
+        hist.observe(3, weight=2)
+        assert hist.bucket_counts == [3, 0, 2, 0]
+        assert hist.count == 5
+        assert hist.sum == 9
+        # weight=0 is a no-op, not an error (empty bins flush cleanly).
+        hist.observe(100, weight=0)
+        assert hist.count == 5
+
+    def test_histogram_rejects_nan_value(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1])
+        with pytest.raises(ValueError, match="NaN"):
+            hist.observe(math.nan)
+
+    @pytest.mark.parametrize("weight", [-1, -0.5, math.nan])
+    def test_histogram_rejects_bad_weight(self, weight):
+        hist = MetricsRegistry().histogram("h", bounds=[1])
+        with pytest.raises(ValueError):
+            hist.observe(1, weight=weight)
+
+    def test_merge_raw_validates_bounds(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 2])
+        hist.merge_raw([1, 0, 0], 1, 0.5, bounds=[1, 2])
+        assert hist.count == 1
+        with pytest.raises(ValueError, match="bounds"):
+            hist.merge_raw([1, 0, 0], 1, 0.5, bounds=[1, 3])
+
 
 class TestExporters:
     def _populated(self):

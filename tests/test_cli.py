@@ -160,3 +160,56 @@ class TestObservabilityCommands:
             ["--log-level", "debug", "policies"]
         )
         assert args.log_level == "debug"
+
+
+class TestObsAnalyze:
+    def test_requires_an_input(self, capsys):
+        assert main(["obs", "analyze"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_benchmark_profile_with_outputs(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "curve.csv"
+        code = main([
+            "obs", "analyze",
+            "--benchmark", "429.mcf",
+            "--length", "2000", "--sets", "16",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "workload profile:" in rendered
+        assert "miss curve" in rendered
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro-analytics-report/1"
+        assert payload["meta"]["benchmark"] == "429.mcf"
+        assert payload["profile"]["working_set"]["accesses"] == 2000
+        assert payload["profile"]["num_sets"] == 16
+        assert csv_path.read_text().startswith("capacity_blocks")
+
+    def test_convergence_only(self, tmp_path, capsys):
+        from repro.obs.analytics import ConvergenceLog, generation_stats
+
+        log_path = tmp_path / "conv.json"
+        log = ConvergenceLog(log_path)
+        scored = [(2.0, (0, 1)), (1.0, (1, 1))]
+        for generation in range(2):
+            log.append(generation_stats(generation, scored))
+        csv_path = tmp_path / "conv.csv"
+        code = main([
+            "obs", "analyze",
+            "--convergence", str(log_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert "GA convergence:" in capsys.readouterr().out
+        assert csv_path.read_text().startswith("generation,")
+
+    def test_simpoint_out_of_range(self):
+        with pytest.raises(ValueError, match="simpoint"):
+            main([
+                "obs", "analyze",
+                "--benchmark", "429.mcf", "--simpoint", "99",
+                "--length", "500",
+            ])

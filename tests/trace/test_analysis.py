@@ -59,3 +59,64 @@ class TestColdMisses:
     def test_matches_footprint(self):
         trace = Trace([1, 1, 2, 3])
         assert cold_miss_count(trace) == 3
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        assert stack_distance_histogram(Trace([])) == {}
+        assert per_set_reuse_histogram(Trace([]), num_sets=4) == [0] * 257
+
+    def test_single_address(self):
+        assert stack_distance_histogram(Trace([7])) == {-1: 1}
+        histogram = per_set_reuse_histogram(Trace([7]), num_sets=1)
+        assert sum(histogram) == 0
+
+    def test_num_sets_one_reuse_is_global(self):
+        trace = Trace([1, 2, 1, 2])
+        histogram = per_set_reuse_histogram(trace, num_sets=1)
+        assert histogram[2] == 2  # every reuse is two global accesses back
+
+    def test_max_distance_one_clamps_everything(self):
+        trace = Trace([1, 2, 3, 1, 2, 3])
+        histogram = stack_distance_histogram(trace, max_distance=1)
+        assert histogram == {-1: 3, 1: 3}
+        reuse = per_set_reuse_histogram(trace, num_sets=1, max_distance=1)
+        assert reuse == [0, 3]
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive_max_distance(self, bad):
+        with pytest.raises(ValueError, match="max_distance"):
+            stack_distance_histogram(Trace([1]), max_distance=bad)
+        with pytest.raises(ValueError, match="max_distance"):
+            per_set_reuse_histogram(Trace([1]), num_sets=2, max_distance=bad)
+
+
+class TestVectorizedTwinAgreement:
+    """The obs.analytics profiler is pinned bit-identical to these walks."""
+
+    def _assert_match(self, addresses, num_sets, max_distance=32):
+        from repro.obs.analytics import profile_trace
+
+        trace = Trace(list(addresses))
+        profile = profile_trace(
+            addresses, num_sets=num_sets, max_distance=max_distance
+        )
+        assert profile.stack_distance_histogram() == (
+            stack_distance_histogram(trace, max_distance=max_distance)
+        )
+        assert profile.per_set_reuse_histogram() == (
+            per_set_reuse_histogram(trace, num_sets)
+        )
+
+    def test_random_stream(self):
+        import random
+
+        rng = random.Random(99)
+        addresses = [rng.randrange(300) for _ in range(4_000)]
+        self._assert_match(addresses, num_sets=8)
+
+    def test_spec_archetype_stream(self):
+        from repro.workloads import get_benchmark
+
+        trace = get_benchmark("429.mcf").trace(0, 4_000, 256, seed=1)
+        self._assert_match(trace.address_list(), num_sets=16)
