@@ -46,6 +46,7 @@ scalar path the caller did not ask for (the scalar fallbacks live behind
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dueling import assign_leader_sets
@@ -60,16 +61,75 @@ __all__ = [
     "ColumnarTrace",
     "ColumnarUnavailable",
     "DuelBatchSimulator",
+    "columnar_config",
     "columnar_supported",
     "require_numpy",
+    "resolve_batch_accesses",
+    "resolve_min_lanes",
     "simulate_misses_plru_columnar",
 ]
 
 #: Accesses per preprocessing chunk.  Bounds the transposed layout's
 #: working memory to O(chunk) regardless of trace length (the streaming
 #: ingestion path feeds chunks of this size), while keeping the per-chunk
-#: numpy call overhead amortized.
+#: numpy call overhead amortized.  Chosen from the bench-kernels chunk
+#: sweep: throughput is flat from ~16k up (the transpose is
+#: bincount/argsort-bound), so the smallest flat point wins on memory.
 DEFAULT_BATCH_ACCESSES = 1 << 16
+
+#: ``kernel="auto"`` batches through the columnar engine only at or above
+#: this many lanes — below it the per-run numpy setup outweighs the
+#: amortized trace pass and the scalar LUT path wins (bench-kernels
+#: ``population_scaling`` row: the crossover sits between 2 and 8 lanes
+#: on every host measured).
+DEFAULT_AUTO_MIN_LANES = 4
+
+
+def _env_positive_int(name: str) -> Optional[int]:
+    """``$name`` as a positive int, or ``None`` (unset/blank/invalid)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def resolve_batch_accesses(value: Optional[int] = None) -> int:
+    """Columnar chunk size: kwarg > ``$REPRO_COLUMNAR_BATCH_ACCESSES`` >
+    :data:`DEFAULT_BATCH_ACCESSES`.  Pure env parsing — works (and is
+    recorded in build manifests) even when numpy is absent."""
+    if value is not None:
+        if value < 1:
+            raise ValueError("batch_accesses must be positive")
+        return int(value)
+    env = _env_positive_int("REPRO_COLUMNAR_BATCH_ACCESSES")
+    return env if env is not None else DEFAULT_BATCH_ACCESSES
+
+
+def resolve_min_lanes(
+    value: Optional[int] = None, default: int = DEFAULT_AUTO_MIN_LANES
+) -> int:
+    """Auto-batch lane threshold: kwarg > ``$REPRO_COLUMNAR_MIN_LANES`` >
+    ``default`` (:data:`DEFAULT_AUTO_MIN_LANES`, or the caller's own
+    fallback — :class:`~repro.ga.fitness.FitnessEvaluator` passes its
+    overridable class attribute)."""
+    if value is not None:
+        if value < 1:
+            raise ValueError("columnar_min_lanes must be positive")
+        return int(value)
+    env = _env_positive_int("REPRO_COLUMNAR_MIN_LANES")
+    return env if env is not None else default
+
+
+def columnar_config() -> dict:
+    """The effective columnar tuning knobs (for build manifests)."""
+    return {
+        "batch_accesses": resolve_batch_accesses(),
+        "min_lanes": resolve_min_lanes(),
+    }
 
 #: Default hit-depth sampling stride for :class:`BatchCounters`: depths
 #: are decoded on every ``depth_sample``-th lockstep step (a systematic
@@ -231,15 +291,14 @@ class ColumnarTrace:
         self,
         addresses: Sequence[int],
         num_sets: int,
-        batch_accesses: int = DEFAULT_BATCH_ACCESSES,
+        batch_accesses: Optional[int] = None,
     ):
         np = require_numpy()
         if not is_power_of_two(num_sets):
             raise ValueError(
                 f"num_sets must be a power of two, got {num_sets}"
             )
-        if batch_accesses < 1:
-            raise ValueError("batch_accesses must be positive")
+        batch_accesses = resolve_batch_accesses(batch_accesses)
         addrs = np.ascontiguousarray(addresses, dtype=np.int64)
         if addrs.ndim != 1:
             raise ValueError("addresses must be a flat sequence")
@@ -584,7 +643,7 @@ def simulate_misses_plru_columnar(
     entries: Sequence[int],
     warmup: int,
     miss_indices: Optional[List[int]] = None,
-    batch_accesses: int = DEFAULT_BATCH_ACCESSES,
+    batch_accesses: Optional[int] = None,
 ) -> int:
     """Single-lane columnar twin of the scalar PLRU-IPV simulators.
 

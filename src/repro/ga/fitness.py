@@ -497,7 +497,10 @@ class FitnessEvaluator:
 
     #: ``kernel="auto"`` batches through the columnar engine only at or
     #: above this many lanes — below it the per-run numpy setup outweighs
-    #: the amortized trace pass and the scalar LUT path wins.
+    #: the amortized trace pass and the scalar LUT path wins.  Class-level
+    #: default; per-instance it resolves through ``columnar_min_lanes`` /
+    #: ``$REPRO_COLUMNAR_MIN_LANES`` (see
+    #: :func:`repro.engine.columnar.resolve_min_lanes`).
     COLUMNAR_AUTO_MIN_LANES = 4
 
     def __init__(
@@ -508,6 +511,7 @@ class FitnessEvaluator:
         mlp_aware: bool = False,
         burstiness: float = 0.5,
         kernel: str = "auto",
+        columnar_min_lanes: Optional[int] = None,
     ):
         if substrate not in ("plru", "lru"):
             raise ValueError("substrate must be 'plru' or 'lru'")
@@ -518,6 +522,11 @@ class FitnessEvaluator:
             )
         self.substrate = substrate
         self.kernel = kernel
+        from ..engine.columnar import resolve_min_lanes
+
+        self.columnar_min_lanes = resolve_min_lanes(
+            columnar_min_lanes, default=self.COLUMNAR_AUTO_MIN_LANES
+        )
         self.config = config or default_config(trace_length=30_000)
         self.benchmark_names = list(benchmarks or benchmark_names())
         self.timing: LinearCPIModel = self.config.timing
@@ -652,6 +661,7 @@ class FitnessEvaluator:
             "mlp_aware": self.mlp_aware,
             "burstiness": self.burstiness,
             "kernel": self.kernel,
+            "columnar_min_lanes": self.columnar_min_lanes,
         }
 
     @classmethod
@@ -669,6 +679,7 @@ class FitnessEvaluator:
             mlp_aware=spec["mlp_aware"],
             burstiness=spec["burstiness"],
             kernel=spec["kernel"],
+            columnar_min_lanes=spec.get("columnar_min_lanes"),
         )
 
     def evaluate(self, ipv) -> float:
@@ -707,7 +718,7 @@ class FitnessEvaluator:
             return False
         if self.kernel == "columnar":
             return True
-        if self.kernel != "auto" or lanes < self.COLUMNAR_AUTO_MIN_LANES:
+        if self.kernel != "auto" or lanes < self.columnar_min_lanes:
             return False
         from ..engine.columnar import columnar_supported
 

@@ -25,6 +25,7 @@ from ..core.ipv import IPV
 from ..obs.spans import span
 from .fitness import FitnessEvaluator
 from .parallel import PopulationEvaluator
+from .surrogate import FitnessMemo, SurrogatePrefilter
 
 __all__ = ["GAResult", "evolve_ipv", "crossover", "mutate"]
 
@@ -42,6 +43,8 @@ class GAResult:
         history: List[float],
         evaluations: int,
         convergence: Optional[List[dict]] = None,
+        surrogate: Optional[dict] = None,
+        memo: Optional[dict] = None,
     ):
         self.best = best
         self.best_fitness = best_fitness
@@ -50,6 +53,10 @@ class GAResult:
         #: Per-generation convergence records (best/median/p90, diversity,
         #: eval throughput) — see :mod:`repro.obs.analytics.convergence`.
         self.convergence = convergence if convergence is not None else []
+        #: :meth:`SurrogatePrefilter.stats` snapshot (``None`` when the
+        #: run was unfiltered) and :meth:`FitnessMemo.stats` snapshot.
+        self.surrogate = surrogate
+        self.memo = memo
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -108,6 +115,12 @@ def evolve_ipv(
     telemetry: Union[None, bool, str, Path] = None,
     status_path: Union[None, str, Path] = None,
     convergence_path: Union[None, str, Path] = None,
+    surrogate: Union[None, bool, SurrogatePrefilter] = None,
+    surrogate_keep: float = 0.1,
+    surrogate_audit: int = 32,
+    surrogate_rho_floor: float = 0.5,
+    memo: Optional[FitnessMemo] = None,
+    feature_cache: Union[None, bool, str, Path] = True,
 ) -> GAResult:
     """Evolve an IPV against ``evaluator``.
 
@@ -122,6 +135,25 @@ def evolve_ipv(
     the best fitness and survives the run.  The whole search is wrapped in
     ``ga.run`` / ``ga.generation`` / ``ga.breed`` / ``ga.evaluate`` spans
     when a recorder is installed (no-ops otherwise).
+
+    Every batch is routed through a cross-generation :class:`FitnessMemo`
+    keyed by the canonical IPV tuple, so duplicate genomes — common once
+    the population converges — are never re-simulated; pass ``memo`` to
+    share one memo across several searches (e.g. GA then hill climb).
+    The memoized values are the exact simulator floats, so results stay
+    bit-identical to a memo-less run.
+
+    ``surrogate`` enables the analytic prefilter (``True`` builds a
+    :class:`SurrogatePrefilter` from the evaluator with ``surrogate_keep``
+    / ``surrogate_audit`` / ``surrogate_rho_floor``; pass a prefilter
+    instance for full control): each batch is ranked by the closed-form
+    miss-rate model and only the top ``surrogate_keep`` fraction plus a
+    random control sample is simulated.  The control sample's
+    surrogate-vs-simulated Spearman rho rides on the live status; if it
+    falls below the floor the prefilter deactivates itself and the rest
+    of the run simulates everything.  Candidates that survive the filter
+    carry bit-identical simulated fitness — the surrogate only decides
+    *who* gets simulated, never what their fitness is.
 
     Every run computes per-generation convergence records (fitness
     best/median/p90, population diversity, eval throughput — see
@@ -145,7 +177,27 @@ def evolve_ipv(
     pop_eval = PopulationEvaluator(
         evaluator, workers=workers, telemetry=telemetry
     )
-    evaluate_all = pop_eval.evaluate_all
+    fitness_memo = memo if memo is not None else FitnessMemo()
+    prefilter: Optional[SurrogatePrefilter]
+    if isinstance(surrogate, SurrogatePrefilter):
+        prefilter = surrogate
+    elif surrogate:
+        prefilter = SurrogatePrefilter.from_evaluator(
+            evaluator, keep=surrogate_keep, audit=surrogate_audit,
+            rho_floor=surrogate_rho_floor, seed=seed,
+            cache_dir=feature_cache,
+        )
+    else:
+        prefilter = None
+
+    def score_batch(batch: List[Tuple[int, ...]]):
+        """(fitness, entries) pairs for the simulated subset of ``batch``
+        (the whole batch when no prefilter is active)."""
+        if prefilter is not None:
+            return prefilter.evaluate_batch(pop_eval, fitness_memo, batch)
+        return list(zip(
+            fitness_memo.evaluate_all(pop_eval, batch), batch
+        ))
 
     from ..obs.analytics.convergence import ConvergenceLog, generation_stats
 
@@ -170,7 +222,7 @@ def evolve_ipv(
                     population=len(population), workers_requested=workers,
                 )
             with span("ga.init_population", size=len(population)):
-                scored = list(zip(evaluate_all(population), population))
+                scored = score_batch(population)
             evaluations += len(population)
             scored.sort(key=lambda p: p[0], reverse=True)
             for generation in range(generations):
@@ -191,16 +243,16 @@ def evolve_ipv(
                     with span("ga.evaluate", gen=generation,
                               batch=len(fresh)):
                         eval_start = time.perf_counter()
-                        fresh_scores = evaluate_all(fresh)
+                        fresh_scored = score_batch(fresh)
                         eval_elapsed = time.perf_counter() - eval_start
                     evaluations += len(fresh)
-                    scored = scored[:elite] + list(zip(fresh_scores, fresh))
+                    scored = scored[:elite] + fresh_scored
                     scored.sort(key=lambda p: p[0], reverse=True)
                     history.append(scored[0][0])
                     record = generation_stats(
                         generation, scored,
                         evaluations=evaluations,
-                        batch_evaluations=len(fresh),
+                        batch_evaluations=len(fresh_scored),
                         elapsed_sec=eval_elapsed,
                     )
                     convergence.append(record)
@@ -208,16 +260,28 @@ def evolve_ipv(
                         conv_log.append(record)
                     gen_span.set(best_fitness=scored[0][0])
                 if status is not None:
+                    extra = {}
+                    if prefilter is not None:
+                        pstats = prefilter.stats()
+                        extra = {
+                            "surrogate_scored": pstats["scored"],
+                            "surrogate_simulated": pstats["simulated"],
+                            "surrogate_skipped": pstats["skipped"],
+                            "surrogate_active": pstats["active"],
+                            "surrogate_rho": pstats["rho"],
+                        }
                     status.update(
                         phase=f"generation {generation + 1}/{generations}",
                         jobs_done=generation + 1,
                         jobs_total=generations,
                         best_fitness=scored[0][0],
                         evaluations=evaluations,
+                        memo_hits=fitness_memo.hits,
                         fitness_median=record["median"],
                         fitness_p90=record["p90"],
                         unique_fraction=record["unique_fraction"],
                         eval_per_sec=record["eval_per_sec"],
+                        **extra,
                     )
                 if on_generation is not None:
                     on_generation(generation, scored[0][0])
@@ -226,9 +290,20 @@ def evolve_ipv(
 
     best_fitness, best_entries = scored[0]
     if status is not None:
+        final_extra = {}
+        if prefilter is not None:
+            pstats = prefilter.stats()
+            final_extra = {
+                "surrogate_scored": pstats["scored"],
+                "surrogate_simulated": pstats["simulated"],
+                "surrogate_skipped": pstats["skipped"],
+                "surrogate_active": pstats["active"],
+                "surrogate_rho": pstats["rho"],
+            }
         status.finalize(
             phase="done", jobs_done=len(history), jobs_total=generations,
             best_fitness=best_fitness, evaluations=evaluations,
+            memo_hits=fitness_memo.hits, **final_extra,
         )
     return GAResult(
         IPV(best_entries, name=f"evolved-s{seed}"),
@@ -236,4 +311,6 @@ def evolve_ipv(
         history,
         evaluations,
         convergence=convergence,
+        surrogate=prefilter.stats() if prefilter is not None else None,
+        memo=fitness_memo.stats(),
     )

@@ -15,12 +15,17 @@ import pytest
 from repro.cache import SetAssociativeCache
 from repro.core.ipv import IPV, lip_ipv, lru_ipv
 from repro.engine.columnar import (
+    DEFAULT_AUTO_MIN_LANES,
+    DEFAULT_BATCH_ACCESSES,
     BatchSimulator,
     ColumnarTrace,
     ColumnarUnavailable,
     DuelBatchSimulator,
+    columnar_config,
     columnar_supported,
     require_numpy,
+    resolve_batch_accesses,
+    resolve_min_lanes,
     simulate_misses_plru_columnar,
 )
 from repro.ga.fitness import simulate_misses_plru_ipv
@@ -261,6 +266,72 @@ class TestValidation:
         simulator = BatchSimulator(16, 4, [stress_ipv(4)])
         misses = simulator.run(ColumnarTrace([], 16))
         assert int(misses[0]) == 0
+
+
+class TestConfigResolution:
+    """Chunk-size / auto-batch knobs: kwarg > environment > default."""
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR_BATCH_ACCESSES", raising=False)
+        monkeypatch.delenv("REPRO_COLUMNAR_MIN_LANES", raising=False)
+        assert resolve_batch_accesses() == DEFAULT_BATCH_ACCESSES
+        assert resolve_min_lanes() == DEFAULT_AUTO_MIN_LANES
+        assert columnar_config() == {
+            "batch_accesses": DEFAULT_BATCH_ACCESSES,
+            "min_lanes": DEFAULT_AUTO_MIN_LANES,
+        }
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BATCH_ACCESSES", "2048")
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_LANES", "9")
+        assert resolve_batch_accesses() == 2048
+        assert resolve_min_lanes() == 9
+        assert columnar_config() == {"batch_accesses": 2048, "min_lanes": 9}
+
+    def test_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BATCH_ACCESSES", "2048")
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_LANES", "9")
+        assert resolve_batch_accesses(512) == 512
+        assert resolve_min_lanes(2) == 2
+
+    @pytest.mark.parametrize("raw", ["", "  ", "abc", "0", "-5", "1.5"])
+    def test_invalid_env_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_COLUMNAR_BATCH_ACCESSES", raw)
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_LANES", raw)
+        assert resolve_batch_accesses() == DEFAULT_BATCH_ACCESSES
+        assert resolve_min_lanes() == DEFAULT_AUTO_MIN_LANES
+
+    def test_invalid_kwarg_raises(self):
+        with pytest.raises(ValueError, match="batch_accesses"):
+            resolve_batch_accesses(0)
+        with pytest.raises(ValueError, match="min_lanes"):
+            resolve_min_lanes(-1)
+
+    def test_caller_default_for_min_lanes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR_MIN_LANES", raising=False)
+        assert resolve_min_lanes(default=7) == 7
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_LANES", "3")
+        assert resolve_min_lanes(default=7) == 3
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar engine needs numpy")
+    def test_trace_resolves_chunk_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_BATCH_ACCESSES", "8")
+        trace = ColumnarTrace(list(range(20)), 16)
+        assert trace.batch_accesses == 8
+        assert len(trace.chunks) == 3  # 8 + 8 + ragged 4
+        explicit = ColumnarTrace(list(range(20)), 16, batch_accesses=16)
+        assert explicit.batch_accesses == 16
+        assert len(explicit.chunks) == 2
+
+    @pytest.mark.skipif(numpy_missing, reason="columnar engine needs numpy")
+    def test_chunking_is_bit_identical(self, monkeypatch):
+        """The chunk size is a memory/throughput knob, never a result knob."""
+        addresses = make_stream(600, 16, 4, seed=3)
+        lanes = [stress_ipv(4), lru_ipv(4)]
+        simulator = BatchSimulator(16, 4, lanes, warmup=50)
+        baseline = list(simulator.run(ColumnarTrace(addresses, 16)))
+        monkeypatch.setenv("REPRO_COLUMNAR_BATCH_ACCESSES", "64")
+        assert list(simulator.run(ColumnarTrace(addresses, 16))) == baseline
 
 
 class TestNoNumpy:

@@ -260,6 +260,43 @@ class TestColumnarKernel:
             evaluator.evaluate(ipv) for ipv in large
         ]
 
+    def test_min_lanes_kwarg_env_precedence(self, config, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR_MIN_LANES", raising=False)
+        evaluator = FitnessEvaluator(["429.mcf"], config=config)
+        assert evaluator.columnar_min_lanes == (
+            FitnessEvaluator.COLUMNAR_AUTO_MIN_LANES
+        )
+        monkeypatch.setenv("REPRO_COLUMNAR_MIN_LANES", "2")
+        from_env = FitnessEvaluator(["429.mcf"], config=config)
+        assert from_env.columnar_min_lanes == 2
+        explicit = FitnessEvaluator(
+            ["429.mcf"], config=config, columnar_min_lanes=7
+        )
+        assert explicit.columnar_min_lanes == 7
+
+    def test_min_lanes_gates_auto_batching(self, config):
+        from repro.engine.columnar import columnar_supported
+
+        if not columnar_supported(16):
+            pytest.skip("columnar engine needs numpy")
+        eager = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="auto", columnar_min_lanes=2
+        )
+        assert eager._columnar_batchable(2)
+        lazy = FitnessEvaluator(
+            ["429.mcf"], config=config, kernel="auto", columnar_min_lanes=64
+        )
+        assert not lazy._columnar_batchable(63)
+
+    def test_min_lanes_survives_spec_round_trip(self, config):
+        evaluator = FitnessEvaluator(
+            ["429.mcf"], config=config, columnar_min_lanes=9
+        )
+        spec = evaluator.spec()
+        assert spec["columnar_min_lanes"] == 9
+        rebuilt = FitnessEvaluator.from_spec(spec)
+        assert rebuilt.columnar_min_lanes == 9
+
     def test_evaluate_many_falls_back_scalar(self, config):
         evaluator = FitnessEvaluator(
             ["429.mcf"], config=config, substrate="lru"
