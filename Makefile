@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-quick bench-kernels conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels smoke-analytics smoke-surrogate trend-check figures report wn-vectors examples clean
+.PHONY: install test test-report bench bench-quick bench-kernels bench-serving conformance conformance-full regen-goldens smoke-parallel smoke-obs smoke-kernels smoke-analytics smoke-surrogate smoke-serving trend-check figures report wn-vectors examples clean
 
 # Targets that run pytest / the library directly need the src layout on the
 # import path; the smoke scripts insert it themselves but inherit it too.
@@ -49,6 +49,14 @@ regen-goldens:
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernel_throughput.py
 
+# Streaming serving-scenario throughput: the sharded columnar front-end
+# on a churning flash-crowd Zipf stream vs the per-access scalar loop,
+# with a tracemalloc flat-memory pass and a {1,2,4} shard sweep, written
+# to BENCH_serving.json (manifest sidecar alongside) and appended to the
+# BENCH_history.jsonl perf trend as the `bench-serving` series.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
 # Soft perf-regression gate: compare the newest BENCH_history.jsonl entry
 # against its predecessor; non-zero exit past the threshold (15% default).
 trend-check:
@@ -88,6 +96,13 @@ smoke-analytics:
 # takes seconds.
 smoke-surrogate:
 	$(PYTHON) scripts/smoke_surrogate.py
+
+# Serving-scenario check: sharded front-end miss counts are bit-identical
+# across shard counts and engines to a single-cache scalar reference, the
+# run_serving report/manifest/status schema holds, seed=None derivation
+# is deterministic, and a bounded ingest queue sheds load visibly.
+smoke-serving:
+	$(PYTHON) scripts/smoke_serving.py
 
 figures:
 	$(PYTHON) scripts/export_results.py --outdir results

@@ -30,10 +30,12 @@ from repro.verify.goldens import (  # noqa: E402
     DEFAULT_GOLDENS_PATH,
     check_columnar_goldens,
     check_golden_corpus,
+    check_serving_goldens,
     golden_matrix,
     load_golden_corpus,
     write_columnar_golden_corpus,
     write_golden_corpus,
+    write_serving_golden_corpus,
 )
 
 
@@ -63,6 +65,10 @@ def main() -> int:
             col_drift, col_checked = check_columnar_goldens()
             drift = drift + col_drift
             checked += col_checked
+        if args.out is None:
+            srv_drift, srv_checked = check_serving_goldens()
+            drift = drift + srv_drift
+            checked += srv_checked
         if drift:
             print(f"golden corpus drift ({len(drift)} entries):",
                   file=sys.stderr)
@@ -104,6 +110,11 @@ def main() -> int:
             with_manifest=not args.no_manifest
         )
         print(f"wrote {col_path} (columnar kernel-identity corpus)")
+    if args.out is None:
+        srv_path = write_serving_golden_corpus(
+            with_manifest=not args.no_manifest
+        )
+        print(f"wrote {srv_path} (serving scenario corpus)")
     return 0
 
 

@@ -275,6 +275,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (+ provenance manifest sidecar) here",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming Zipf key-value serving scenario",
+        description="Stream a bounded-memory Zipf/churn/flash-crowd "
+                    "key-value workload through the sharded serving "
+                    "front-end and report sustained throughput, miss "
+                    "rate and per-shard stats.  seed omitted => a "
+                    "deterministic seed derived from the spec digest "
+                    "(recorded in the provenance manifest).",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=1.2,
+        help="Zipf skew of key popularity (default: 1.2)",
+    )
+    serve.add_argument(
+        "--keys", type=int, default=1 << 14, metavar="N",
+        help="live key slots per tenant (default: 16384)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=1, metavar="N",
+        help="interleaved tenants (default: 1)",
+    )
+    serve.add_argument(
+        "--accesses", type=int, default=1 << 20, metavar="N",
+        help="stream length (default: 1048576)",
+    )
+    serve.add_argument(
+        "--churn", type=int, default=0, metavar="PER_MILLION",
+        help="key-slot retirements per million accesses (default: 0)",
+    )
+    serve.add_argument(
+        "--phases", type=int, default=0, metavar="N",
+        help="evenly spaced flash-crowd phases (default: 0)",
+    )
+    serve.add_argument(
+        "--policy", default="lru",
+        help="lru | lip | static | gippr, or comma-separated IPV "
+             "entries (default: lru)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="set-shards in the front-end (power of two; default: 1)",
+    )
+    serve.add_argument(
+        "--sets", type=int, default=1024, metavar="N",
+        help="cache sets (default: 1024)",
+    )
+    serve.add_argument(
+        "--assoc", type=int, default=16, metavar="K",
+        help="cache associativity (default: 16)",
+    )
+    serve.add_argument(
+        "--engine", choices=("auto", "columnar", "scalar"),
+        default="auto", help="per-shard engine (default: auto)",
+    )
+    serve.add_argument(
+        "--chunk", type=int, default=1 << 16, metavar="N",
+        help="accesses per front-end batch (default: 65536)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="stream seed (default: derived from the spec digest)",
+    )
+    serve.add_argument(
+        "--status", default=None, metavar="PATH",
+        help="publish live run status JSON here (repro obs watch)",
+    )
+    serve.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON report (+ provenance manifest) here",
+    )
+
     obs = sub.add_parser(
         "obs", help="inspect repro.obs artifacts (JSONL traces, metrics)"
     )
@@ -721,6 +793,54 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServingSpec, auto_flash_phases, run_serving
+
+    if "," in args.policy:
+        policy = [int(e) for e in args.policy.split(",")]
+    else:
+        policy = args.policy
+    spec = ServingSpec(
+        keys=args.keys,
+        alpha=args.alpha,
+        tenants=args.tenants,
+        accesses=args.accesses,
+        churn_per_million=args.churn,
+        phases=auto_flash_phases(args.accesses, args.phases),
+        seed=args.seed,
+    )
+    if args.seed is None:
+        print(f"seed: {spec.resolved_seed()} "
+              f"(derived from spec digest {spec.digest()[:12]})")
+    report = run_serving(
+        spec,
+        args.sets,
+        args.assoc,
+        policy=policy,
+        shards=args.shards,
+        engine=args.engine,
+        chunk_accesses=args.chunk,
+        status_path=args.status,
+        report_path=args.report,
+    )
+    print(
+        f"{report.policy} @ {args.sets}x{args.assoc}, "
+        f"{report.shards} shard(s), engine {report.engine} "
+        f"({report.backend} stream)"
+    )
+    print(
+        f"served {report.accesses:,} accesses in {report.wall_sec:.2f}s "
+        f"({report.throughput:,.0f} accesses/sec)"
+    )
+    print(
+        f"misses {report.misses:,} (rate {report.miss_rate:.4f}); "
+        f"shed {report.shed:,}; retired keys {report.retired:,}"
+    )
+    if args.report:
+        print(f"report written to {args.report}")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     import json
     from collections import Counter as _Counter
@@ -928,6 +1048,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")

@@ -5,6 +5,11 @@ cache sets (and many IPV/config lanes) advance in lockstep over an access
 trace, with the per-access policy math served by the precompiled
 transition tables of :mod:`repro.kernels`.  The scalar simulators in
 :mod:`repro.ga.fitness` remain the bit-exact reference.
+
+:mod:`repro.engine.scalar` adds a numpy-free *streaming* scalar
+simulator (:class:`ScalarStreamSimulator`) whose per-batch ``feed``
+matches both the one-shot scalar kernels and the columnar ``feed``
+stream bit-for-bit — the serving front-end's engine of last resort.
 """
 
 from .columnar import (
@@ -16,12 +21,14 @@ from .columnar import (
     require_numpy,
     simulate_misses_plru_columnar,
 )
+from .scalar import ScalarStreamSimulator
 
 __all__ = [
     "BatchSimulator",
     "ColumnarTrace",
     "ColumnarUnavailable",
     "DuelBatchSimulator",
+    "ScalarStreamSimulator",
     "columnar_supported",
     "require_numpy",
     "simulate_misses_plru_columnar",

@@ -138,6 +138,26 @@ def columnar_config() -> dict:
 #: budget on the lockstep engine.
 DEFAULT_DEPTH_SAMPLE = 8
 
+#: Scalar-spill tuning for collapsed traces.  Run collapsing flattens
+#: single-hot-key columns, but a set where *two* hot keys interleave
+#: (A,B,A,B -- period-2, which per-run collapsing cannot merge) still
+#: yields a column hundreds of entries deep, and the lockstep loop then
+#: burns thousands of thin numpy steps on a handful of sets.  Steps at
+#: or past the first step narrower than the break-even
+#: width are instead *spilled* to a per-access scalar loop over those
+#: few columns (same tables, same state arrays -- bit-identical).  A
+#: lockstep step costs roughly one fixed batch of numpy calls regardless
+#: of width, while the scalar loop costs ~1 us per (lane, access); the
+#: break-even step *population* is therefore a constant, so the width
+#: threshold is ``_SPILL_ENTRIES // lanes`` (floored at _SPILL_WIDTH).
+#: Spilling only kicks in when at least _SPILL_MIN_STEPS lockstep steps
+#: are saved and the vectorized prefix keeps at least _SPILL_MIN_CAP
+#: steps (tiny chunks stay fully lockstep).
+_SPILL_WIDTH = 8
+_SPILL_ENTRIES = 24
+_SPILL_MIN_STEPS = 32
+_SPILL_MIN_CAP = 16
+
 
 class BatchCounters:
     """Per-lane/per-set counters accumulated during one engine run.
@@ -260,15 +280,16 @@ class _Chunk:
     """Step-transposed layout of one slice of the access stream."""
 
     __slots__ = ("cols", "step_offsets", "addr_by_step", "gidx_by_step",
-                 "max_depth")
+                 "max_depth", "rep_by_step")
 
     def __init__(self, cols, step_offsets, addr_by_step, gidx_by_step,
-                 max_depth):
+                 max_depth, rep_by_step=None):
         self.cols = cols
         self.step_offsets = step_offsets
         self.addr_by_step = addr_by_step
         self.gidx_by_step = gidx_by_step
         self.max_depth = max_depth
+        self.rep_by_step = rep_by_step
 
 
 #: Addresses below this fit int32 tag arrays — half the memory traffic of
@@ -283,15 +304,30 @@ class ColumnarTrace:
     lanes — this is where GA populations amortize trace decoding.  The
     trace is processed in chunks of ``batch_accesses`` so working memory
     stays O(chunk) even for streams that never materialize fully.
+
+    ``collapse_runs=True`` additionally collapses consecutive duplicate
+    addresses within each set's column into ``(address, repeat)`` pairs.
+    A run of ``n`` identical accesses is one access followed by ``n - 1``
+    guaranteed hits whose promotions walk the IPV's promotion chain, and
+    the way's path bits depend only on the *final* position
+    (:func:`repro.kernels.tables.promotion_orbit`), so the simulator
+    applies whole runs in O(1) — bit-identical misses, miss indices and
+    final state.  This is the antidote to lockstep degeneration on
+    Zipf-skewed streams, where a hot key turns its set's column into one
+    long run and per-step widths collapse to 1.  Counters require the
+    original per-access columns, so ``run(counters=True)`` rejects
+    collapsed traces.
     """
 
-    __slots__ = ("num_sets", "n", "batch_accesses", "chunks", "addr_dtype")
+    __slots__ = ("num_sets", "n", "batch_accesses", "chunks", "addr_dtype",
+                 "collapsed")
 
     def __init__(
         self,
         addresses: Sequence[int],
         num_sets: int,
         batch_accesses: Optional[int] = None,
+        collapse_runs: bool = False,
     ):
         np = require_numpy()
         if not is_power_of_two(num_sets):
@@ -307,6 +343,7 @@ class ColumnarTrace:
         self.num_sets = num_sets
         self.n = int(addrs.size)
         self.batch_accesses = batch_accesses
+        self.collapsed = bool(collapse_runs)
         self.addr_dtype = (
             np.int32
             if not addrs.size or int(addrs.max()) < _INT32_ADDR_LIMIT
@@ -321,9 +358,30 @@ class ColumnarTrace:
     def _transpose(self, np, chunk, base: int, mask: int) -> _Chunk:
         m = chunk.size
         si = chunk & mask
-        counts = np.bincount(si, minlength=self.num_sets)
-        order = np.argsort(si, kind="stable")
+        # Stable argsort picks radix for small int dtypes: an order of
+        # magnitude faster than sorting the int64 set indices directly.
+        sort_key = (
+            si.astype(np.uint16) if self.num_sets <= (1 << 16) else si
+        )
+        order = np.argsort(sort_key, kind="stable")
         sorted_si = si[order]
+        addr_sorted = chunk[order]
+        gidx_sorted = base + order
+        rep = None
+        if self.collapsed and m:
+            # Runs are consecutive equal addresses in set-major order.
+            # Equal addresses imply equal sets, so address inequality
+            # alone delimits runs — set boundaries fall out for free.
+            new_run = np.empty(m, dtype=bool)
+            new_run[0] = True
+            np.not_equal(addr_sorted[1:], addr_sorted[:-1], out=new_run[1:])
+            starts = np.flatnonzero(new_run)
+            rep = np.diff(np.append(starts, m)).astype(np.int32)
+            sorted_si = sorted_si[starts]
+            addr_sorted = addr_sorted[starts]
+            gidx_sorted = gidx_sorted[starts]
+            m = int(starts.size)
+        counts = np.bincount(sorted_si, minlength=self.num_sets)
         start = np.zeros(self.num_sets, dtype=np.int64)
         np.cumsum(counts[:-1], out=start[1:])
         rank = np.arange(m, dtype=np.int64) - start[sorted_si]
@@ -344,13 +402,17 @@ class ColumnarTrace:
         # (rank, column) pair — one vectorized scatter transposes the lot.
         dest = step_offsets[rank] + col_of_set[sorted_si]
         addr_by_step = np.empty(m, dtype=self.addr_dtype)
-        addr_by_step[dest] = chunk[order]
+        addr_by_step[dest] = addr_sorted
         gidx_by_step = np.empty(m, dtype=np.int64)
-        gidx_by_step[dest] = base + order
+        gidx_by_step[dest] = gidx_sorted
+        rep_by_step = None
+        if rep is not None:
+            rep_by_step = np.empty(m, dtype=np.int32)
+            rep_by_step[dest] = rep
         ncols = int(widths[0]) if max_depth else 0
         return _Chunk(
             set_order[:ncols].copy(), step_offsets, addr_by_step,
-            gidx_by_step, max_depth,
+            gidx_by_step, max_depth, rep_by_step,
         )
 
 
@@ -358,19 +420,36 @@ class ColumnarTrace:
 # Compiled lane tables (deduplicated, stacked flat for np.take).
 # ----------------------------------------------------------------------
 class _LaneTables:
-    """Per-unique-IPV hit/fill tables stacked into flat numpy vectors."""
+    """Per-unique-IPV hit/fill tables stacked into flat numpy vectors.
+
+    Also carries the run-collapse tables (promotion orbits per unique IPV
+    plus the per-``k`` path-write tables) so the kernel can apply a whole
+    run of duplicate accesses as one state write.
+    """
 
     __slots__ = ("assoc", "shift", "states", "victim", "pos",
-                 "hit_flat", "fill_flat", "table_base", "unique")
+                 "hit_flat", "fill_flat", "table_base", "unique",
+                 "pos_i64", "orbit_flat", "entry_flat", "cycle_flat",
+                 "orbit_base", "ec_base", "insert_lane",
+                 "path_mask", "path_bits",
+                 "scalar", "lane_unique", "mask_list", "bits_list")
 
     def __init__(self, assoc: int, entries_list: Sequence[Sequence[int]]):
         np = require_numpy()
         unique: Dict[Tuple[int, ...], int] = {}
         stacked_hit = []
         stacked_fill = []
+        stacked_orbit = []
+        stacked_entry = []
+        stacked_cycle = []
+        insert_of: List[int] = []
         base_of: List[int] = []
         victim = pos = None
         shift = states = 0
+        # Per-unique scalar views for the spill path: the compiled
+        # ``array('H')`` tables plus the raw (nested-list) orbit tables.
+        # References only — the numpy stacks below share their buffers.
+        scalar: List[tuple] = []
         for entries in entries_list:
             tables = _tables.compile_tables(assoc, entries)
             if tables is None:  # pragma: no cover - guarded by caller
@@ -386,6 +465,14 @@ class _LaneTables:
                 stacked_fill.append(
                     np.frombuffer(tables.fill, dtype=np.uint16)
                 )
+                orbit, entry, cycle = _tables.promotion_orbit(assoc, key)
+                stacked_orbit.append(
+                    np.asarray(orbit, dtype=np.int64).reshape(-1)
+                )
+                stacked_entry.append(np.asarray(entry, dtype=np.int64))
+                stacked_cycle.append(np.asarray(cycle, dtype=np.int64))
+                insert_of.append(key[assoc])
+                scalar.append((tables, orbit, entry, cycle))
             base_of.append(index)
             if victim is None:
                 victim = np.frombuffer(tables.victim, dtype=np.uint16)
@@ -400,11 +487,30 @@ class _LaneTables:
         # produce live in int32 arrays anyway.
         self.victim = victim.astype(np.int32)
         self.pos = pos
+        self.pos_i64 = pos.astype(np.int64)
         self.hit_flat = np.concatenate(stacked_hit).astype(np.int32)
         self.fill_flat = np.concatenate(stacked_fill).astype(np.int32)
         stride = states * assoc
-        self.table_base = np.asarray(base_of, dtype=np.int64) * stride
+        bases = np.asarray(base_of, dtype=np.int64)
+        self.table_base = bases * stride
         self.unique = len(unique)
+        # Run-collapse tables: per-lane orbit/entry/cycle bases plus the
+        # per-k path-write identity (tiny; see kernels.tables docs).
+        self.orbit_flat = np.concatenate(stacked_orbit)
+        self.entry_flat = np.concatenate(stacked_entry)
+        self.cycle_flat = np.concatenate(stacked_cycle)
+        self.orbit_base = (bases * (2 * assoc * assoc))[:, None]
+        self.ec_base = (bases * assoc)[:, None]
+        self.insert_lane = np.asarray(
+            [insert_of[i] for i in base_of], dtype=np.int64
+        )[:, None]
+        mask, bits = _tables.path_write_tables(assoc)
+        self.path_mask = np.asarray(mask, dtype=np.int32)
+        self.path_bits = np.asarray(bits, dtype=np.int32).reshape(-1)
+        self.scalar = scalar
+        self.lane_unique = base_of
+        self.mask_list = mask
+        self.bits_list = bits
 
 
 # ----------------------------------------------------------------------
@@ -440,6 +546,7 @@ class BatchSimulator:
         self._tables = _LaneTables(assoc, entries_list)
         #: :class:`BatchCounters` from the last ``run(counters=True)``.
         self.counters: Optional[BatchCounters] = None
+        self._stream: Optional[dict] = None
 
     def run(
         self,
@@ -477,25 +584,118 @@ class BatchSimulator:
             )
         if counters and depth_sample < 1:
             raise ValueError("depth_sample must be >= 1")
+        if counters and trace.collapsed:
+            raise ValueError(
+                "counters need per-access columns; build the trace with "
+                "collapse_runs=False"
+            )
         self.counters = None
         with span("engine.columnar_run", lanes=self.lanes,
                   accesses=trace.n, counters=int(counters)):
             return self._run(np, trace, collect_miss_indices, counters,
                              depth_sample)
 
+    def begin_stream(self) -> "BatchSimulator":
+        """Reset to cold state and open an incremental feed.
+
+        Unlike :meth:`run` — which always starts cold — a stream carries
+        the tag/state/fill arrays across :meth:`feed` calls, so a long
+        trace can be pushed through in bounded-memory chunks with results
+        bit-identical to one cold :meth:`run` over the concatenation.
+        Persistent tags are ``int64`` so chunks may mix address widths.
+        """
+        np = require_numpy()
+        L, S, k = self.lanes, self.num_sets, self.assoc
+        self._stream = {
+            "state": np.zeros((L, S), dtype=np.int64),
+            "tags": np.full((L, S, k), -1, dtype=np.int64),
+            "nfill": np.zeros((L, S), dtype=np.int32),
+            "pos": 0,
+            "misses": np.zeros(L, dtype=np.int64),
+        }
+        return self
+
+    def feed(self, addresses, batch_accesses: Optional[int] = None,
+             collapse_runs: bool = False):
+        """Push one batch of the stream through every lane.
+
+        ``addresses`` is a raw address sequence or a pre-binned
+        :class:`ColumnarTrace`.  Opens a stream implicitly on first call
+        (:meth:`begin_stream` resets explicitly).  Returns the per-lane
+        *measured* miss counts for this batch alone (``int64``, shape
+        ``(lanes,)``) — the warmup window is interpreted against the
+        global stream position, so summing the per-batch returns equals
+        the single-shot :meth:`run` result exactly.
+
+        ``collapse_runs=True`` builds the trace with duplicate-run
+        collapsing (see :class:`ColumnarTrace`) — bit-identical results,
+        large speedup on skewed streams.
+        """
+        np = require_numpy()
+        from ..obs.spans import span
+
+        if self._stream is None:
+            self.begin_stream()
+        if not isinstance(addresses, ColumnarTrace):
+            trace = ColumnarTrace(
+                addresses, self.num_sets, batch_accesses,
+                collapse_runs=collapse_runs,
+            )
+        else:
+            trace = addresses
+            if trace.num_sets != self.num_sets:
+                raise ValueError(
+                    f"trace was binned for {trace.num_sets} sets, "
+                    f"simulator has {self.num_sets}"
+                )
+        stream = self._stream
+        with span("engine.columnar_feed", lanes=self.lanes,
+                  accesses=trace.n):
+            misses = self._run(
+                np, trace, False,
+                state=stream["state"], tags=stream["tags"],
+                nfill=stream["nfill"], index_offset=stream["pos"],
+            )
+        stream["pos"] += trace.n
+        stream["misses"] += misses
+        return misses
+
+    @property
+    def stream_pos(self) -> int:
+        """Accesses fed so far on the open stream (0 when none open)."""
+        return 0 if self._stream is None else self._stream["pos"]
+
+    def stream_misses(self):
+        """Cumulative per-lane measured misses over the open stream."""
+        if self._stream is None:
+            raise RuntimeError("no stream open; call feed()/begin_stream()")
+        return self._stream["misses"].copy()
+
+    def end_stream(self):
+        """Close the stream, returning cumulative per-lane misses."""
+        misses = self.stream_misses()
+        self._stream = None
+        return misses
+
     def _run(self, np, trace: ColumnarTrace, collect_miss_indices: bool,
              counters: bool = False,
-             depth_sample: int = DEFAULT_DEPTH_SAMPLE):
+             depth_sample: int = DEFAULT_DEPTH_SAMPLE,
+             state=None, tags=None, nfill=None, index_offset: int = 0):
         L, S, k = self.lanes, self.num_sets, self.assoc
         t = self._tables
         shift = t.shift
-        warmup = self.warmup
+        # Access indices inside `trace` are local; against a stream prefix
+        # of `index_offset` accesses the measured window starts at
+        # local index `warmup - index_offset` (negative: all measured).
+        warmup = self.warmup - index_offset
         victim_t, hit_t, fill_t = t.victim, t.hit_flat, t.fill_flat
-        state = np.zeros((L, S), dtype=np.int32)
-        tags = np.full((L, S, k), -1, dtype=trace.addr_dtype)
-        nfill = np.zeros((L, S), dtype=np.int32)
+        if state is None:
+            state = np.zeros((L, S), dtype=np.int64)
+            tags = np.full((L, S, k), -1, dtype=trace.addr_dtype)
+            nfill = np.zeros((L, S), dtype=np.int32)
         misses = np.zeros(L, dtype=np.int64)
         lane_base = t.table_base[:, None]
+        lane_rows = np.arange(L)[:, None]
         miss_lanes: List = []
         miss_gidx: List = []
         if counters:
@@ -504,16 +704,35 @@ class BatchSimulator:
             depth_counts = np.zeros(L * k + 1, dtype=np.int64)
             pos_i64 = t.pos.astype(np.int64)
             lane_k = (np.arange(L, dtype=np.int64) * k)[:, None]
+        two_k = 2 * k
+        orbit_t, entry_t, cycle_t = t.orbit_flat, t.entry_flat, t.cycle_flat
         for chunk in trace.chunks:
             cols = chunk.cols
             offsets = chunk.step_offsets
             addr_by_step = chunk.addr_by_step
             gidx_by_step = chunk.gidx_by_step
+            rep_by_step = chunk.rep_by_step
             # Chunk-local copies in column order: every step below then
             # touches a contiguous prefix of the column axis.
             st = state[:, cols]
             tg = tags[:, cols, :]
             nf = nfill[:, cols]
+            # Collapsed chunks with a pathologically deep tail (a couple
+            # of interleaved hot keys in one set) cap the lockstep loop
+            # at the first thin step and finish those columns scalar.
+            depth_cap = chunk.max_depth
+            spill_widths = None
+            if (rep_by_step is not None and not counters
+                    and chunk.max_depth >= _SPILL_MIN_CAP + _SPILL_MIN_STEPS):
+                widths_all = np.diff(offsets)
+                thin = np.flatnonzero(
+                    widths_all <= max(_SPILL_WIDTH, _SPILL_ENTRIES // L)
+                )
+                if (thin.size and int(thin[0]) >= _SPILL_MIN_CAP
+                        and chunk.max_depth - int(thin[0])
+                        >= _SPILL_MIN_STEPS):
+                    depth_cap = int(thin[0])
+                    spill_widths = widths_all
             if counters:
                 # Step-major miss buffer, one plane per lockstep step:
                 # a slice write per step plus one vectorized sum over
@@ -526,7 +745,14 @@ class BatchSimulator:
                 )
                 sw_frames: List = []
                 hit_frames: List = []
-            for j in range(chunk.max_depth):
+            col_ar = np.arange(cols.size, dtype=np.int64)[None, :]
+            # One segment-max pass replaces a per-step rep reduce.
+            rep_max = None
+            if rep_by_step is not None and depth_cap:
+                rep_max = np.maximum.reduceat(
+                    rep_by_step, offsets[:depth_cap]
+                ).tolist()
+            for j in range(depth_cap):
                 o0, o1 = int(offsets[j]), int(offsets[j + 1])
                 w = o1 - o0
                 addr = addr_by_step[o0:o1]
@@ -534,25 +760,46 @@ class BatchSimulator:
                 tgj = tg[:, :w, :]
                 stj = st[:, :w]
                 nfj = nf[:, :w]
-                # One [L, w, k] scan for the compare, one for the argmax;
-                # take_along_axis then answers hit/miss without the third
-                # full scan an any() would cost.
+                # One [L, w, k] scan for the compare, then two cheap C
+                # reduces.  (any/argmax beat a take_along_axis here: the
+                # wrapper's Python-side index plumbing costs more than
+                # the extra scan at lockstep widths.)
                 eq = tgj == addr[None, :, None]
+                is_hit = eq.any(axis=2)
                 hit_way = eq.argmax(axis=2)
-                is_hit = np.take_along_axis(
-                    eq, hit_way[:, :, None], axis=2
-                )[:, :, 0]
                 miss = ~is_hit
                 cold = miss & (nfj < k)
                 way = np.where(
-                    is_hit, hit_way.astype(np.int32),
+                    is_hit, hit_way,
                     np.where(cold, nfj, victim_t.take(stj)),
                 )
-                sw = (stj.astype(np.int64) << shift) | way
-                flat = lane_base + sw
-                new_state = np.where(
-                    is_hit, hit_t.take(flat), fill_t.take(flat)
-                )
+                sw = (stj << shift) | way
+                if rep_max is not None and rep_max[j] > 1:
+                    rep_j = rep_by_step[o0:o1]
+                    # Collapsed-run transition: a run of rep identical
+                    # accesses advances the way's position n steps along
+                    # the promotion orbit (n = rep for a hit-led run,
+                    # rep - 1 past the insertion point for a miss-led
+                    # one) and rewrites only its path bits — exactly the
+                    # composed table semantics, applied once per run.
+                    n = rep_j.astype(np.int64)[None, :] - miss
+                    p0 = np.where(
+                        is_hit, t.pos_i64.take(sw), t.insert_lane
+                    )
+                    ec = t.ec_base + p0
+                    e = entry_t.take(ec)
+                    c = cycle_t.take(ec)
+                    idx = np.where(n < two_k, n, e + (n - e) % c)
+                    pfin = orbit_t.take(t.orbit_base + p0 * two_k + idx)
+                    new_state = (
+                        (stj & ~t.path_mask.take(way))
+                        | t.path_bits.take(way * k + pfin)
+                    )
+                else:
+                    flat = lane_base + sw
+                    new_state = np.where(
+                        is_hit, hit_t.take(flat), fill_t.take(flat)
+                    )
                 if counters:
                     miss_buf[:, j, :w] = miss
                     if j % depth_sample == 0:
@@ -563,11 +810,12 @@ class BatchSimulator:
                         sw_frames.append(sw)
                         hit_frames.append(is_hit)
                 # Hits rewrite the resident tag with itself, so the tag
-                # scatter needs no mask at all.
-                np.put_along_axis(
-                    tgj, way[:, :, None].astype(np.intp),
-                    addr[None, :, None], axis=2,
-                )
+                # scatter needs no mask at all.  One fancy assignment —
+                # put_along_axis's Python-side plumbing is
+                # step-dominating at this width (and `tg` need not be
+                # contiguous: a sandwiched advanced index hands back a
+                # transposed layout for L > 1).
+                tg[lane_rows, col_ar[:, :w], way] = addr
                 stj[...] = new_state
                 nfj += cold
                 measured = miss & (gidx >= warmup)[None, :]
@@ -577,6 +825,15 @@ class BatchSimulator:
                     if rows.size:
                         miss_lanes.append(rows)
                         miss_gidx.append(gidx[cells])
+            if spill_widths is not None:
+                sp_misses, sp_rows, sp_gidx = self._spill_tail(
+                    np, chunk, depth_cap, spill_widths, st, tg, nf,
+                    warmup, collect_miss_indices,
+                )
+                misses += np.asarray(sp_misses, dtype=np.int64)
+                if sp_rows:
+                    miss_lanes.append(np.asarray(sp_rows, dtype=np.int64))
+                    miss_gidx.append(np.asarray(sp_gidx, dtype=np.int64))
             state[:, cols] = st
             tags[:, cols, :] = tg
             nfill[:, cols] = nf
@@ -624,6 +881,94 @@ class BatchSimulator:
             for lane in range(L):
                 indices[lane] = gidx[bounds[lane]:bounds[lane + 1]].tolist()
         return misses, indices
+
+    def _spill_tail(self, np, chunk, depth_cap, widths, st, tg, nf,
+                    warmup, collect):
+        """Finish pathologically deep columns with a per-access loop.
+
+        Past ``depth_cap`` every lockstep step is at most ``_SPILL_WIDTH``
+        columns wide, so the numpy per-call overhead dwarfs the work.
+        This walks the surviving columns' remaining entries one access at
+        a time against the same flat tables — the scalar mirror of the
+        vectorized transition (including the run-orbit composition), so
+        results stay bit-identical.  Mutates the chunk-local ``st``,
+        ``tg``, ``nf`` views in place; returns per-lane measured-miss
+        counts plus (lane, gidx) pairs when ``collect`` is set.
+        """
+        t = self._tables
+        k = self.assoc
+        two_k = 2 * k
+        offsets = chunk.step_offsets
+        mask_w, bits_w = t.mask_list, t.bits_list
+        lane_misses = [0] * self.lanes
+        rows: List[int] = []
+        gidxs: List[int] = []
+        # One bulk tolist() of the whole tail keeps the inner loop on
+        # Python ints, like the scalar LUT simulator's feed loop.
+        # Column ci is active on exactly the steps wider than ci
+        # (widths are non-increasing), and its entry at step j sits at
+        # ``offsets[j] + ci``.
+        off0 = int(offsets[depth_cap])
+        addrs = chunk.addr_by_step[off0:].tolist()
+        gs = chunk.gidx_by_step[off0:].tolist()
+        reps = chunk.rep_by_step[off0:].tolist()
+        offs_rel = (offsets[depth_cap:-1] - off0).tolist()
+        ncols = int(widths[depth_cap])
+        col_depths = np.searchsorted(
+            -widths, -np.arange(ncols, dtype=widths.dtype), side="left"
+        ).tolist()
+        for ci in range(ncols):
+            steps_c = col_depths[ci] - depth_cap
+            for lane in range(self.lanes):
+                ct, orbit, entry, cycle = t.scalar[t.lane_unique[lane]]
+                victim, hit, fill = ct.victim, ct.hit, ct.fill
+                pos = ct.pos
+                shift = ct.log2k
+                insert = ct.entries[k]
+                s = int(st[lane, ci])
+                tag_list = tg[lane, ci].tolist()
+                nfv = int(nf[lane, ci])
+                missed = 0
+                for jr in range(steps_c):
+                    o = offs_rel[jr] + ci
+                    a = addrs[o]
+                    g = gs[o]
+                    r = reps[o]
+                    try:
+                        w = tag_list.index(a)
+                        is_hit = True
+                    except ValueError:
+                        is_hit = False
+                        if g >= warmup:
+                            missed += 1
+                            if collect:
+                                rows.append(lane)
+                                gidxs.append(g)
+                        if nfv < k:
+                            w = nfv
+                            nfv += 1
+                        else:
+                            w = victim[s]
+                        tag_list[w] = a
+                    sw = (s << shift) | w
+                    if r > 1:
+                        # Same composed run-orbit transition as the
+                        # vectorized branch, one run at a time.
+                        p0 = pos[sw] if is_hit else insert
+                        n = r if is_hit else r - 1
+                        if n >= two_k:
+                            e = entry[p0]
+                            n = e + (n - e) % cycle[p0]
+                        s = (s & ~mask_w[w]) | bits_w[w][orbit[p0][n]]
+                    elif is_hit:
+                        s = hit[sw]
+                    else:
+                        s = fill[sw]
+                st[lane, ci] = s
+                tg[lane, ci] = tag_list
+                nf[lane, ci] = nfv
+                lane_misses[lane] += missed
+        return lane_misses, rows, gidxs
 
     def positions(self, lane: int):
         """Recency positions ``[set, way]`` decoded from the final state

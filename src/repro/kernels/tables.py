@@ -80,6 +80,8 @@ __all__ = [
     "kernel_counters",
     "kernel_provenance",
     "numpy_or_none",
+    "path_write_tables",
+    "promotion_orbit",
     "publish_kernel_metrics",
     "record_kernel_call",
     "reset_kernel_counters",
@@ -264,6 +266,65 @@ def _base_tables(k: int) -> _BaseTables:
         base = _BaseTables(k)
         _BASE_TABLES[k] = base
     return base
+
+
+def path_write_tables(k: int) -> Tuple[List[int], List[List[int]]]:
+    """``(path_mask, path_bits)`` for associativity ``k``.
+
+    ``path_mask[w]`` holds the plru bits on way ``w``'s leaf-to-root path;
+    ``path_bits[w][x]`` holds those bits valued so that ``w`` decodes to
+    position ``x`` — i.e. ``set_position(s, w, x, k)`` for *any* state
+    ``s`` equals ``(s & ~path_mask[w]) | path_bits[w][x]``.  This is the
+    compilation identity the composed tables are built from, exported for
+    run-collapsed simulation (see :func:`promotion_orbit`).
+    """
+    if not is_power_of_two(k) or k < 2:
+        raise ValueError(f"associativity must be a power of two >= 2, got {k}")
+    base = _base_tables(k)
+    return base.path_mask, base.path_bits
+
+
+def promotion_orbit(
+    k: int, entries: Optional[Sequence[int]] = None
+) -> Tuple[List[List[int]], List[int], List[int]]:
+    """Promotion-chain orbit tables for one IPV.
+
+    ``n`` consecutive hits to the same way advance its recency position
+    along the promotion chain ``p -> V[p]`` — the tags never move, and
+    each hop rewrites only the way's path bits from the new position
+    (:func:`path_write_tables`), so the whole run collapses to a single
+    state write at position ``V^n(p)``.  The chain over ``k`` positions
+    enters a cycle within ``k`` steps, making ``V^n`` O(1) for any ``n``:
+
+    Returns ``(orbit, entry, cycle)`` with ``orbit[p][i] == V^i(p)`` for
+    ``i < 2k``, and for ``n >= 2k``
+    ``V^n(p) == orbit[p][entry[p] + (n - entry[p]) % cycle[p]]``.
+    """
+    entries = _normalize_entries(k, entries)
+    promo = entries[:k]
+    orbit: List[List[int]] = []
+    entry: List[int] = []
+    cycle: List[int] = []
+    for p in range(k):
+        row: List[int] = []
+        seen: Dict[int, int] = {}
+        e = c = -1
+        cur = p
+        for i in range(2 * k):
+            if e < 0:
+                if cur in seen:
+                    e = seen[cur]
+                    c = i - e
+                else:
+                    seen[cur] = i
+            row.append(cur)
+            cur = promo[cur]
+        # A repeat always lands within the first k+1 visits (pigeonhole
+        # over k positions) and 2k >= k + 1 for every k >= 2.
+        orbit.append(row)
+        entry.append(e)
+        cycle.append(c)
+    return orbit, entry, cycle
 
 
 # ----------------------------------------------------------------------

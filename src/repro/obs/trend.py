@@ -287,16 +287,32 @@ def latest_deltas(
 ) -> Optional[dict]:
     """Compare the newest history entry against its predecessor.
 
-    Returns ``None`` with fewer than two entries; otherwise a summary
-    dict: ``prev_revision``, ``cur_revision``, ``deltas``,
-    ``regressions`` (the subset), ``threshold``.
+    The predecessor is the most recent earlier entry *from the same
+    source* as the newest one: histories interleave sources (a
+    ``bench-serving`` row lands between two ``bench-kernels`` rows), and
+    comparing across sources would report every metric as removed/added
+    garbage.  Pass ``source`` to pin which series the "newest entry" is
+    drawn from.
+
+    Returns ``None`` when there is nothing comparable; otherwise a
+    summary dict: ``source``, ``prev_revision``, ``cur_revision``,
+    ``deltas``, ``regressions`` (the subset), ``threshold``.
     """
     entries = read_history(history_path, source=source)
-    if len(entries) < 2:
+    if not entries:
         return None
-    prev, cur = entries[-2], entries[-1]
+    cur = entries[-1]
+    cur_source = cur.get("source")
+    prev = next(
+        (e for e in reversed(entries[:-1])
+         if e.get("source") == cur_source),
+        None,
+    )
+    if prev is None:
+        return None
     deltas = compare_entries(prev, cur, threshold=threshold)
     return {
+        "source": cur_source,
         "prev_revision": prev.get("git_revision", "unknown"),
         "cur_revision": cur.get("git_revision", "unknown"),
         "prev_recorded_at": prev.get("recorded_at"),

@@ -1,0 +1,33 @@
+"""Streaming Zipf key-value serving scenario.
+
+:mod:`repro.serve.workload` generates bounded-memory, deterministic,
+chunk-invariant Zipf/churn/flash-crowd access streams;
+:mod:`repro.serve.frontend` shards them by set index into persistent
+streaming simulators (columnar when numpy is present, scalar otherwise);
+:mod:`repro.serve.service` wires the two into the observability stack
+and backs the ``repro serve`` CLI.
+"""
+
+from .frontend import ShardedFrontend, ShardResult
+from .service import ServingReport, run_serving
+from .workload import (
+    GEN_BLOCK,
+    FlashPhase,
+    ServingSpec,
+    ServingStream,
+    auto_flash_phases,
+    zipf_cdf,
+)
+
+__all__ = [
+    "GEN_BLOCK",
+    "FlashPhase",
+    "ServingReport",
+    "ServingSpec",
+    "ServingStream",
+    "ShardResult",
+    "ShardedFrontend",
+    "auto_flash_phases",
+    "run_serving",
+    "zipf_cdf",
+]

@@ -1,0 +1,254 @@
+"""Serving run driver: stream -> sharded front-end -> observability.
+
+``run_serving`` wires one :class:`~repro.serve.workload.ServingSpec`
+through a :class:`~repro.serve.frontend.ShardedFrontend`:
+
+* phases are span-profiled (``serve.generate`` / ``serve.simulate``
+  under one ``serve.run`` root) so a flamegraph says where the time
+  went;
+* :class:`~repro.obs.status.StatusPublisher` gets live
+  throughput/progress/ETA (``repro obs watch`` renders it);
+* ``repro_serve_*`` gauges land in a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* a provenance manifest (spec digest + resolved seed — derived seeds
+  are *recorded*, per the workloads seeding contract) is written next
+  to the report when a report path is given.
+
+The driver is backend-agnostic: with numpy the stream generates in
+columnar blocks and the shards run the PR-6 batch engine; without it
+both degrade to the pure-Python mirrors with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from ..core.ipv import lip_ipv, lru_ipv, mru_pessimistic_ipv
+from ..core.plru import is_power_of_two
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import span
+from ..obs.status import StatusPublisher
+from .frontend import ShardedFrontend
+from .workload import ServingSpec, ServingStream
+
+__all__ = [
+    "ServingReport",
+    "resolve_policy_entries",
+    "run_serving",
+]
+
+SERVING_POLICIES = ("lru", "lip", "static", "gippr")
+
+
+def resolve_policy_entries(
+    policy: Union[str, Sequence[int]], assoc: int
+) -> Tuple[str, Tuple[int, ...]]:
+    """``(name, IPV entries)`` for a named policy or an explicit vector."""
+    if not isinstance(policy, str):
+        entries = tuple(int(e) for e in policy)
+        return f"ipv{len(entries) - 1}", entries
+    name = policy.lower()
+    if name == "lru":
+        return name, tuple(lru_ipv(assoc).entries)
+    if name == "lip":
+        return name, tuple(lip_ipv(assoc).entries)
+    if name == "static":
+        return name, tuple(mru_pessimistic_ipv(assoc).entries)
+    if name == "gippr":
+        from ..core.vectors import GIPPR_WI_VECTOR
+
+        if assoc != GIPPR_WI_VECTOR.k:
+            raise ValueError(
+                f"gippr is a {GIPPR_WI_VECTOR.k}-way vector; "
+                f"geometry has assoc={assoc}"
+            )
+        return name, tuple(GIPPR_WI_VECTOR.entries)
+    raise ValueError(
+        f"unknown serving policy {policy!r}; "
+        f"known: {', '.join(SERVING_POLICIES)}"
+    )
+
+
+class ServingReport:
+    """Everything a serving run produced, JSON-ready via :meth:`to_dict`."""
+
+    def __init__(self, spec, policy, entries, num_sets, assoc, shards,
+                 engine, backend, accesses, misses, wall_sec, shed,
+                 retired, shard_snapshots, totals_snapshot):
+        self.spec = spec
+        self.policy = policy
+        self.entries = entries
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.shards = shards
+        self.engine = engine
+        self.backend = backend
+        self.accesses = accesses
+        self.misses = misses
+        self.wall_sec = wall_sec
+        self.shed = shed
+        self.retired = retired
+        self.shard_snapshots = shard_snapshots
+        self.totals_snapshot = totals_snapshot
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Sustained accesses/sec over the whole run."""
+        return self.accesses / self.wall_sec if self.wall_sec > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-serving-report/1",
+            "spec": self.spec.digest_payload(),
+            "spec_digest": self.spec.digest(),
+            "seed": self.spec.resolved_seed(),
+            "seed_derived": self.spec.seed is None,
+            "policy": self.policy,
+            "ipv": list(self.entries),
+            "num_sets": self.num_sets,
+            "assoc": self.assoc,
+            "shards": self.shards,
+            "engine": self.engine,
+            "backend": self.backend,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "wall_sec": self.wall_sec,
+            "throughput_accesses_per_sec": self.throughput,
+            "shed_accesses": self.shed,
+            "retired_keys": self.retired,
+            "shards_detail": self.shard_snapshots,
+            "totals": self.totals_snapshot,
+        }
+
+
+def run_serving(
+    spec: ServingSpec,
+    num_sets: int,
+    assoc: int,
+    policy: Union[str, Sequence[int]] = "lru",
+    shards: int = 1,
+    engine: str = "auto",
+    chunk_accesses: int = 1 << 16,
+    status_path: Optional[Union[str, Path]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    report_path: Optional[Union[str, Path]] = None,
+) -> ServingReport:
+    """Drive ``spec``'s stream through a sharded front-end; report.
+
+    ``report_path``, when given, receives the JSON report *and* a
+    provenance manifest sidecar carrying the spec digest and the
+    resolved (possibly derived) seed.
+    """
+    if not is_power_of_two(num_sets) or not is_power_of_two(assoc):
+        raise ValueError(
+            f"geometry must be powers of two, got {num_sets}x{assoc}"
+        )
+    name, entries = resolve_policy_entries(policy, assoc)
+    frontend = ShardedFrontend(
+        num_sets, assoc, entries, shards=shards, engine=engine
+    )
+    stream = ServingStream(spec, backend="auto")
+    publisher = (
+        StatusPublisher(status_path, "serve") if status_path else None
+    )
+    if registry is None:
+        registry = MetricsRegistry("repro_serve")
+    total = spec.accesses
+    done = 0
+    misses = 0
+    start = time.monotonic()
+    with span("serve.run", accesses=total, shards=shards,
+              policy=name, engine=frontend.engine):
+        if publisher:
+            publisher.update(
+                force=True, phase="serving", accesses_total=total,
+                accesses_done=0, policy=name, shards=shards,
+                engine=frontend.engine,
+            )
+        chunks = stream.chunks(chunk_accesses)
+        while True:
+            with span("serve.generate"):
+                chunk = next(chunks, None)
+            if chunk is None:
+                break
+            with span("serve.simulate", accesses=len(chunk)):
+                misses += frontend.process(chunk)
+            done += len(chunk)
+            if publisher:
+                elapsed = time.monotonic() - start
+                rate = done / elapsed if elapsed > 0 else 0.0
+                publisher.update(
+                    phase="serving",
+                    accesses_done=done,
+                    accesses_total=total,
+                    throughput=rate,
+                    miss_rate=misses / done if done else 0.0,
+                    eta_sec=(total - done) / rate if rate else None,
+                )
+    wall = time.monotonic() - start
+    totals = frontend.totals()
+    report = ServingReport(
+        spec, name, entries, num_sets, assoc, shards, frontend.engine,
+        stream.backend, done, misses, wall, frontend.shed_accesses,
+        stream.retired,
+        [r.snapshot() for r in frontend.shard_results()],
+        totals.snapshot(),
+    )
+    rate = report.throughput
+    registry.gauge(
+        "throughput_accesses_per_sec",
+        "Sustained serving throughput over the whole run",
+    ).set(rate)
+    registry.gauge("accesses", "Accesses served").set(done)
+    registry.gauge("misses", "Measured misses").set(misses)
+    registry.gauge("miss_rate", "Misses / accesses").set(report.miss_rate)
+    registry.gauge("shards", "Set-shard count").set(shards)
+    registry.gauge(
+        "shed_accesses", "Accesses shed by backpressure"
+    ).set(frontend.shed_accesses)
+    registry.gauge(
+        "retired_keys", "Key slots churned out of the stream"
+    ).set(stream.retired)
+    if publisher:
+        publisher.finalize(
+            phase="done", accesses_done=done, accesses_total=total,
+            throughput=rate, miss_rate=report.miss_rate, wall_sec=wall,
+        )
+    if report_path is not None:
+        import json
+
+        from ..obs.provenance import build_manifest, write_manifest
+
+        report_path = Path(report_path)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(report_path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        extra = spec.manifest_extra()
+        extra["serving_run"] = {
+            "policy": name,
+            "num_sets": num_sets,
+            "assoc": assoc,
+            "shards": shards,
+            "engine": frontend.engine,
+            "backend": stream.backend,
+            "throughput_accesses_per_sec": rate,
+        }
+        write_manifest(
+            report_path,
+            build_manifest(
+                policy=name,
+                policy_kwargs={"ipv": list(entries)},
+                seed=spec.resolved_seed(),
+                wall_time_sec=wall,
+                extra=extra,
+            ),
+        )
+    return report

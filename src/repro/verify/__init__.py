@@ -40,9 +40,12 @@ from .differential import (
 )
 from .goldens import (
     check_golden_corpus,
+    check_serving_goldens,
     compute_goldens,
     golden_matrix,
+    serving_golden_matrix,
     write_golden_corpus,
+    write_serving_golden_corpus,
 )
 from .invariants import (
     Invariant,
@@ -73,6 +76,7 @@ __all__ = [
     "check_golden_corpus",
     "check_invariants",
     "check_lut_walk_equality",
+    "check_serving_goldens",
     "compute_goldens",
     "default_invariants",
     "diff_stream",
@@ -83,6 +87,7 @@ __all__ = [
     "policy_kwargs",
     "replay_artifact",
     "run_differential",
+    "serving_golden_matrix",
     "shrink_stream",
     "stream_names",
     "verify_all",
@@ -90,4 +95,5 @@ __all__ = [
     "write_artifact",
     "write_conformance_manifest",
     "write_golden_corpus",
+    "write_serving_golden_corpus",
 ]

@@ -490,12 +490,16 @@ def verify_all(
         # corpus location is in use — an explicit path points at the main
         # corpus only).
         if goldens_path is None:
-            from .goldens import check_columnar_goldens
+            from .goldens import check_columnar_goldens, check_serving_goldens
 
             with span("verify.columnar_goldens"):
                 col_drift, col_checked = check_columnar_goldens()
             report.golden_drift = report.golden_drift + col_drift
             report.goldens_checked += col_checked
+            with span("verify.serving_goldens"):
+                srv_drift, srv_checked = check_serving_goldens()
+            report.golden_drift = report.golden_drift + srv_drift
+            report.goldens_checked += srv_checked
     report.wall_time_sec = time.perf_counter() - started
     return report
 

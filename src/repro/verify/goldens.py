@@ -27,6 +27,8 @@ __all__ = [
     "DEFAULT_GOLDENS_PATH",
     "COLUMNAR_GOLDEN_SCHEMA",
     "DEFAULT_COLUMNAR_GOLDENS_PATH",
+    "SERVING_GOLDEN_SCHEMA",
+    "DEFAULT_SERVING_GOLDENS_PATH",
     "golden_matrix",
     "golden_key",
     "compute_golden",
@@ -39,6 +41,11 @@ __all__ = [
     "compute_columnar_golden",
     "write_columnar_golden_corpus",
     "check_columnar_goldens",
+    "serving_golden_matrix",
+    "serving_golden_key",
+    "compute_serving_golden",
+    "write_serving_golden_corpus",
+    "check_serving_goldens",
 ]
 
 #: Bump when the corpus layout changes.
@@ -494,3 +501,230 @@ def check_columnar_goldens(
 #: Probe associativity for "is the columnar engine available at all":
 #: the widest geometry in the matrix (k=16 needs numpy for its tables).
 MAX_ASSOC_PROBE = 16
+
+
+# ----------------------------------------------------------------------
+# Serving corpus: the streaming Zipf key-value scenario, end to end.
+#
+# Each cell pins the exact miss count of one serving spec (Zipf alpha,
+# key churn, flash-crowd phases, two tenants) on a small geometry — the
+# generator, the set-sharded front-end and the streaming engines all sit
+# inside the pinned number.  The committed value comes from the
+# single-shard pure-scalar reference; the checker recomputes it there
+# *and* (when numpy is up) through the sharded columnar front-end, so a
+# drift message names both the cell and the engine that moved.
+# ----------------------------------------------------------------------
+SERVING_GOLDEN_SCHEMA = "repro-serving-goldens/1"
+
+DEFAULT_SERVING_GOLDENS_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "tests"
+    / "goldens"
+    / "serving_goldens.json"
+)
+
+SERVING_GOLDEN_SEEDS: Tuple[int, ...] = (0, 1, 2)
+SERVING_GOLDEN_POLICIES: Tuple[str, ...] = ("lru", "lip")
+SERVING_GOLDEN_ALPHAS: Tuple[float, ...] = (1.1, 1.4)
+#: Small geometry; 4096 accesses over 512 keys with churn and one flash
+#: phase covers warm steady state, retirement and the crowd override.
+SERVING_GOLDEN_GEOMETRY: Tuple[int, int] = (32, 4)
+SERVING_GOLDEN_ACCESSES = 4096
+SERVING_GOLDEN_KEYS = 512
+SERVING_GOLDEN_TENANTS = 2
+SERVING_GOLDEN_CHURN_PER_MILLION = 50_000
+#: Sharded recomputation fan-out, and a deliberately prime feed chunk so
+#: batch boundaries land mid-run everywhere.
+SERVING_GOLDEN_SHARDS = 4
+SERVING_GOLDEN_CHUNK = 509
+
+#: (seed, policy, alpha)
+ServingCell = Tuple[int, str, float]
+
+
+def serving_golden_matrix() -> List[ServingCell]:
+    """The full, ordered list of serving cells (seeds x policies x alphas)."""
+    return [
+        (seed, policy, alpha)
+        for seed in SERVING_GOLDEN_SEEDS
+        for policy in SERVING_GOLDEN_POLICIES
+        for alpha in SERVING_GOLDEN_ALPHAS
+    ]
+
+
+def serving_golden_key(cell: ServingCell) -> str:
+    seed, policy, alpha = cell
+    num_sets, assoc = SERVING_GOLDEN_GEOMETRY
+    return (
+        f"serve|{policy}|a{alpha}|s{seed}|{num_sets}x{assoc}"
+        f"|n{SERVING_GOLDEN_ACCESSES}"
+    )
+
+
+def _serving_golden_spec(cell: ServingCell):
+    from ..serve.workload import ServingSpec, auto_flash_phases
+
+    seed, _, alpha = cell
+    return ServingSpec(
+        keys=SERVING_GOLDEN_KEYS,
+        alpha=alpha,
+        tenants=SERVING_GOLDEN_TENANTS,
+        accesses=SERVING_GOLDEN_ACCESSES,
+        churn_per_million=SERVING_GOLDEN_CHURN_PER_MILLION,
+        phases=auto_flash_phases(SERVING_GOLDEN_ACCESSES, 1),
+        seed=seed,
+    )
+
+
+def compute_serving_golden(
+    cell: ServingCell, engine: str = "scalar", shards: int = 1
+) -> int:
+    """One cell's miss count through one front-end configuration."""
+    from ..serve.frontend import ShardedFrontend
+    from ..serve.service import resolve_policy_entries
+    from ..serve.workload import ServingStream
+
+    _, policy, _ = cell
+    num_sets, assoc = SERVING_GOLDEN_GEOMETRY
+    _, entries = resolve_policy_entries(policy, assoc)
+    frontend = ShardedFrontend(
+        num_sets, assoc, entries, shards=shards, engine=engine
+    )
+    misses = 0
+    stream = ServingStream(_serving_golden_spec(cell), backend="auto")
+    for chunk in stream.chunks(SERVING_GOLDEN_CHUNK):
+        misses += frontend.process(chunk)
+    return misses
+
+
+def write_serving_golden_corpus(
+    path: Union[str, Path, None] = None,
+    with_manifest: bool = True,
+) -> Path:
+    """Atomically (re)write the committed serving corpus.
+
+    The committed value is the single-shard pure-scalar reference; when
+    the columnar engine is available the sharded columnar front-end is
+    recomputed too and any disagreement aborts the write — the corpus
+    must never pin a diverging engine pair.
+    """
+    from ..engine.columnar import columnar_supported
+
+    path = (
+        Path(path) if path is not None else DEFAULT_SERVING_GOLDENS_PATH
+    )
+    _, assoc = SERVING_GOLDEN_GEOMETRY
+    cross_check = columnar_supported(assoc)
+    entries: Dict[str, int] = {}
+    for cell in serving_golden_matrix():
+        key = serving_golden_key(cell)
+        value = compute_serving_golden(cell, engine="scalar", shards=1)
+        if cross_check:
+            sharded = compute_serving_golden(
+                cell, engine="columnar", shards=SERVING_GOLDEN_SHARDS
+            )
+            if sharded != value:
+                raise AssertionError(
+                    f"{key}: sharded columnar misses {sharded} != scalar "
+                    f"reference {value}; refusing to write a divergent "
+                    f"corpus"
+                )
+        entries[key] = value
+    payload = {
+        "schema": SERVING_GOLDEN_SCHEMA,
+        "geometry": list(SERVING_GOLDEN_GEOMETRY),
+        "accesses": SERVING_GOLDEN_ACCESSES,
+        "keys": SERVING_GOLDEN_KEYS,
+        "tenants": SERVING_GOLDEN_TENANTS,
+        "churn_per_million": SERVING_GOLDEN_CHURN_PER_MILLION,
+        "shards": SERVING_GOLDEN_SHARDS,
+        "chunk": SERVING_GOLDEN_CHUNK,
+        "entries": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    if with_manifest:
+        from ..obs.provenance import build_manifest, write_manifest
+
+        write_manifest(
+            path,
+            build_manifest(
+                extra={
+                    "serving_goldens": {
+                        "schema": SERVING_GOLDEN_SCHEMA,
+                        "entries": len(entries),
+                        "columnar_cross_checked": cross_check,
+                    }
+                }
+            ),
+        )
+    return path
+
+
+def check_serving_goldens(
+    path: Union[str, Path, None] = None,
+) -> Tuple[List[str], int]:
+    """Recompute the serving corpus and name each drifting cell.
+
+    Every cell is recomputed through the single-shard scalar reference
+    (always available — the front-end's no-numpy fallback) and, when the
+    columnar engine is up, through the ``SERVING_GOLDEN_SHARDS``-way
+    columnar front-end; a drift message names the cell *and* the
+    configuration that moved.
+    """
+    from ..engine.columnar import columnar_supported
+
+    target = (
+        Path(path) if path is not None else DEFAULT_SERVING_GOLDENS_PATH
+    )
+    try:
+        with open(target) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return [f"serving golden corpus missing: {target}"], 0
+    if payload.get("schema") != SERVING_GOLDEN_SCHEMA:
+        return [
+            f"{target}: unknown serving goldens schema "
+            f"{payload.get('schema')!r}"
+        ], 0
+    _, assoc = SERVING_GOLDEN_GEOMETRY
+    configs: List[Tuple[str, str, int]] = [("scalar", "scalar", 1)]
+    if columnar_supported(assoc):
+        configs.append(
+            (
+                f"columnar/shards={SERVING_GOLDEN_SHARDS}",
+                "columnar",
+                SERVING_GOLDEN_SHARDS,
+            )
+        )
+    committed: Dict[str, int] = dict(payload.get("entries", {}))
+    drift: List[str] = []
+    checked = 0
+    current = {
+        serving_golden_key(cell): cell for cell in serving_golden_matrix()
+    }
+    for key, cell in current.items():
+        if key not in committed:
+            drift.append(f"{key}: not in committed serving corpus")
+            continue
+        expected = committed[key]
+        checked += 1
+        for label, engine, shards in configs:
+            actual = compute_serving_golden(
+                cell, engine=engine, shards=shards
+            )
+            if actual != expected:
+                drift.append(
+                    f"{key}: {label} misses {actual} != committed "
+                    f"{expected}"
+                )
+    for key in committed:
+        if key not in current:
+            drift.append(
+                f"{key}: committed but no longer in the serving matrix"
+            )
+    return drift, checked

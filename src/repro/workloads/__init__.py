@@ -1,6 +1,7 @@
 """Synthetic SPEC CPU 2006 stand-in workload suite and multi-core mixes."""
 
 from .mixes import MULTICORE_MIXES, get_mix, mix_names
+from .seeding import derive_seed, resolve_seed, spec_digest
 from .spec import SPEC_BENCHMARKS, Simpoint, SpecBenchmark, benchmark_names, get_benchmark
 
 __all__ = [
@@ -12,4 +13,7 @@ __all__ = [
     "MULTICORE_MIXES",
     "get_mix",
     "mix_names",
+    "derive_seed",
+    "resolve_seed",
+    "spec_digest",
 ]

@@ -1,0 +1,50 @@
+"""Deterministic seed derivation from workload-spec digests.
+
+Generators that accept ``seed=None`` must never fall back to global
+random state — an unrecorded seed makes the run unreproducible and the
+provenance manifest a lie.  Instead the seed is *derived* from a digest
+of the spec itself: the same spec always yields the same seed, different
+specs yield uncorrelated ones, and the derived value is recorded in the
+manifest (``build_manifest(seed=...)`` / spec ``manifest_extra``) so a
+rerun needs nothing but the manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+__all__ = ["derive_seed", "resolve_seed", "spec_digest"]
+
+
+def spec_digest(payload) -> str:
+    """SHA-256 hex digest of a JSON-serializable spec payload.
+
+    Canonical encoding (sorted keys, no whitespace) so dict ordering and
+    formatting cannot change the digest.
+    """
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def derive_seed(digest: str, salt: str = "") -> int:
+    """A non-negative 63-bit seed derived from a spec digest.
+
+    ``salt`` separates independent streams drawn from one spec (e.g. a
+    warmup trace vs a measured trace).
+    """
+    if salt:
+        digest = hashlib.sha256(
+            f"{digest}:{salt}".encode("utf-8")
+        ).hexdigest()
+    return int(digest[:16], 16) & ((1 << 63) - 1)
+
+
+def resolve_seed(seed: Optional[int], payload, salt: str = "") -> int:
+    """``seed`` itself when given, else :func:`derive_seed` of ``payload``."""
+    if seed is not None:
+        return int(seed)
+    return derive_seed(spec_digest(payload), salt)

@@ -29,10 +29,11 @@ intensity and therefore how much a miss-rate change moves its CPI.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from ..trace.record import Trace, concatenate
 from ..trace import synthetic as gen
+from .seeding import derive_seed, spec_digest
 
 __all__ = [
     "Simpoint",
@@ -70,15 +71,46 @@ class SpecBenchmark:
         self.instructions_per_access = instructions_per_access
         self.archetype = archetype
 
-    def trace(self, index: int, length: int, capacity: int, seed: int = 0) -> Trace:
+    def spec_digest(self, length: int, capacity: int) -> str:
+        """Canonical digest of this benchmark spec at one geometry."""
+        return spec_digest({
+            "kind": "spec-benchmark",
+            "name": self.name,
+            "archetype": self.archetype,
+            "instructions_per_access": self.instructions_per_access,
+            "weights": self.weights(),
+            "length": length,
+            "capacity": capacity,
+        })
+
+    def resolve_seed(
+        self, seed: Optional[int], length: int, capacity: int
+    ) -> int:
+        """``seed`` itself, or — for ``seed=None`` — a deterministic seed
+        derived from the spec digest.
+
+        The derived value is what must land in the provenance manifest
+        (``build_manifest(seed=...)``): never global random state.
+        """
+        if seed is not None:
+            return int(seed)
+        return derive_seed(self.spec_digest(length, capacity))
+
+    def trace(
+        self, index: int, length: int, capacity: int,
+        seed: Optional[int] = 0,
+    ) -> Trace:
         """Generate the trace of one simpoint.
 
         The per-simpoint seed derivation (``seed * 1009 + index * 31 + 7``)
         is the single source of truth here: parallel workers regenerate
         exactly this trace from ``(benchmark name, index, seed)`` instead
         of receiving a pickled copy, which is what makes parallel runs
-        bit-identical to serial ones.
+        bit-identical to serial ones.  ``seed=None`` resolves through
+        :meth:`resolve_seed` (spec-digest derivation), never through
+        global random state.
         """
+        seed = self.resolve_seed(seed, length, capacity)
         sp = self.simpoints[index]
         trace = sp.build(length, capacity, seed * 1009 + index * 31 + 7)
         return Trace(
@@ -88,13 +120,17 @@ class SpecBenchmark:
             name=f"{self.name}.sp{index}",
         )
 
-    def traces(self, length: int, capacity: int, seed: int = 0) -> List[Trace]:
+    def traces(
+        self, length: int, capacity: int, seed: Optional[int] = 0
+    ) -> List[Trace]:
         """Generate one trace per simpoint.
 
         ``capacity`` is the LLC size in blocks; ``length`` is accesses per
         simpoint.  The benchmark's intensity is applied to every simpoint's
-        instruction count.
+        instruction count.  ``seed=None`` is resolved once, so all
+        simpoints share one derived seed.
         """
+        seed = self.resolve_seed(seed, length, capacity)
         return [
             self.trace(index, length, capacity, seed)
             for index in range(len(self.simpoints))

@@ -160,6 +160,36 @@ def test_latest_deltas_needs_two_entries(tmp_path):
     assert filtered["regressions"][0]["cur"] == 20.0
 
 
+def test_latest_deltas_pairs_entries_from_the_same_source(tmp_path):
+    """Interleaved recorders must not be compared against each other.
+
+    A ``bench-serving`` row landing between two ``bench-kernels`` rows
+    would otherwise make every kernel metric look removed/added.
+    """
+    history = tmp_path / "hist.jsonl"
+    record_entry(history, {"k_sec": 10.0}, source="bench-kernels")
+    record_entry(history, {"serving_throughput": 1e6},
+                 source="bench-serving")
+    record_entry(history, {"k_sec": 11.0}, source="bench-kernels")
+
+    summary = latest_deltas(history)
+    assert summary["source"] == "bench-kernels"
+    assert [d["metric"] for d in summary["deltas"]] == ["k_sec"]
+    assert summary["deltas"][0]["prev"] == 10.0
+    assert summary["deltas"][0]["cur"] == 11.0
+    assert not any(d["direction"] in ("removed", "added")
+                   for d in summary["deltas"])
+
+    # Pinning the source picks the newest entry of *that* series.
+    serving = latest_deltas(history, source="bench-serving")
+    assert serving is None  # only one serving row so far
+    record_entry(history, {"serving_throughput": 2e6},
+                 source="bench-serving")
+    serving = latest_deltas(history, source="bench-serving")
+    assert serving["source"] == "bench-serving"
+    assert serving["deltas"][0]["cur"] == 2e6
+
+
 def test_format_deltas_marks_regressions():
     deltas = compare_entries(_entry({"wall_sec": 10.0}),
                              _entry({"wall_sec": 20.0}))

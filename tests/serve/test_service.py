@@ -1,0 +1,153 @@
+"""Unit tests for ``run_serving``: report, obs wiring, provenance.
+
+One small spec drives the full path — generator, sharded front-end,
+status publisher, metrics gauges, JSON report and provenance manifest —
+and every surface is checked against the direct front-end numbers.
+"""
+
+import json
+
+import pytest
+
+from repro.core.ipv import lip_ipv, lru_ipv
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import manifest_path_for
+from repro.obs.status import read_status
+from repro.serve.frontend import ShardedFrontend
+from repro.serve.service import resolve_policy_entries, run_serving
+from repro.serve.workload import ServingSpec, ServingStream
+
+NUM_SETS = 32
+ASSOC = 4
+
+SPEC = ServingSpec(
+    keys=512, alpha=1.2, tenants=2, accesses=20_000,
+    churn_per_million=50_000, seed=9,
+)
+
+
+def reference_misses(spec=SPEC, policy="lru"):
+    _, entries = resolve_policy_entries(policy, ASSOC)
+    fe = ShardedFrontend(NUM_SETS, ASSOC, entries, shards=1,
+                         engine="scalar")
+    misses = 0
+    for chunk in ServingStream(spec, backend="python").chunks(4096):
+        misses += fe.process(chunk)
+    return misses
+
+
+class TestResolvePolicyEntries:
+    def test_named_policies(self):
+        assert resolve_policy_entries("lru", 4) == (
+            "lru", tuple(lru_ipv(4).entries)
+        )
+        assert resolve_policy_entries("LIP", 4) == (
+            "lip", tuple(lip_ipv(4).entries)
+        )
+
+    def test_explicit_vector(self):
+        name, entries = resolve_policy_entries((0, 1, 2, 3, 0), 4)
+        assert name == "ipv4"
+        assert entries == (0, 1, 2, 3, 0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown serving policy"):
+            resolve_policy_entries("belady", 4)
+
+    def test_gippr_demands_its_assoc(self):
+        with pytest.raises(ValueError, match="gippr"):
+            resolve_policy_entries("gippr", 4)
+
+
+class TestRunServing:
+    def test_report_matches_reference(self):
+        report = run_serving(SPEC, NUM_SETS, ASSOC, policy="lru",
+                             shards=4)
+        assert report.accesses == SPEC.accesses
+        assert report.misses == reference_misses()
+        assert report.shed == 0
+        assert 0.0 < report.miss_rate < 1.0
+        assert report.throughput > 0
+
+    def test_report_dict_schema(self):
+        report = run_serving(SPEC, NUM_SETS, ASSOC, shards=2)
+        payload = report.to_dict()
+        assert payload["schema"] == "repro-serving-report/1"
+        assert payload["spec_digest"] == SPEC.digest()
+        assert payload["seed"] == SPEC.resolved_seed()
+        assert payload["seed_derived"] is False
+        assert payload["shards"] == 2
+        assert payload["accesses"] == SPEC.accesses
+        assert payload["misses"] == report.misses
+        assert len(payload["shards_detail"]) == 2
+        assert payload["totals"]["accesses"] == SPEC.accesses
+        assert payload["retired_keys"] > 0
+
+    def test_gauges_land_in_registry(self):
+        registry = MetricsRegistry("repro_serve")
+        report = run_serving(SPEC, NUM_SETS, ASSOC, shards=2,
+                             registry=registry)
+        values = {
+            name: instrument.as_json()
+            for name, _, instrument in registry.instruments()
+        }
+        assert values["repro_serve_accesses"] == SPEC.accesses
+        assert values["repro_serve_misses"] == report.misses
+        assert values["repro_serve_shards"] == 2
+        assert values["repro_serve_shed_accesses"] == 0
+        assert values["repro_serve_retired_keys"] == report.retired
+        assert values["repro_serve_throughput_accesses_per_sec"] > 0
+
+    def test_status_file_published_and_finalized(self, tmp_path):
+        status_path = tmp_path / "serve.status.json"
+        run_serving(SPEC, NUM_SETS, ASSOC, status_path=status_path,
+                    chunk_accesses=4096)
+        status = read_status(status_path)
+        assert status is not None
+        assert status["phase"] == "done"
+        assert status["accesses_done"] == SPEC.accesses
+        assert status["accesses_total"] == SPEC.accesses
+        assert status["throughput"] > 0
+
+    def test_report_path_writes_json_and_manifest(self, tmp_path):
+        report_path = tmp_path / "out" / "serving.json"
+        report = run_serving(SPEC, NUM_SETS, ASSOC, shards=2,
+                             report_path=report_path)
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk["misses"] == report.misses
+        manifest_path = manifest_path_for(report_path)
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["serving_spec_digest"] == SPEC.digest()
+        assert manifest["serving_seed"] == SPEC.resolved_seed()
+        assert manifest["serving_seed_derived"] is False
+        assert manifest["serving_run"]["shards"] == 2
+        assert manifest["seed"] == SPEC.resolved_seed()
+
+    def test_derived_seed_recorded_in_manifest(self, tmp_path):
+        spec = ServingSpec(keys=256, alpha=1.0, accesses=4096,
+                           seed=None)
+        report_path = tmp_path / "serving.json"
+        run_serving(spec, NUM_SETS, ASSOC, report_path=report_path)
+        manifest = json.loads(
+            manifest_path_for(report_path).read_text()
+        )
+        assert manifest["serving_seed_derived"] is True
+        assert manifest["serving_seed"] == spec.resolved_seed()
+        assert manifest["seed"] == spec.resolved_seed()
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            run_serving(SPEC, 48, ASSOC)
+
+    def test_engine_choice_does_not_change_misses(self):
+        scalar = run_serving(SPEC, NUM_SETS, ASSOC, engine="scalar",
+                             shards=1)
+        auto = run_serving(SPEC, NUM_SETS, ASSOC, engine="auto",
+                           shards=4)
+        assert auto.misses == scalar.misses
+
+    def test_chunk_size_does_not_change_misses(self):
+        a = run_serving(SPEC, NUM_SETS, ASSOC, chunk_accesses=1 << 12)
+        b = run_serving(SPEC, NUM_SETS, ASSOC, chunk_accesses=7777)
+        assert a.misses == b.misses

@@ -1,0 +1,118 @@
+"""Soak battery: long streams, flat memory, exact sharded bit-identity.
+
+The headline test (``-m slow``) pushes a 5M-access churning Zipf stream
+through the sharded front-end and asserts two things at once:
+
+* **Flat memory** — after a warm-up prefix, tracemalloc-observed heap
+  growth stays bounded (a leak of per-access state — O(accesses)
+  anywhere in generator, binning or engines — would add tens of MB);
+* **Exact miss equality** — the sharded run's miss count equals the
+  single-shard pure-scalar reference, bit for bit.
+
+A scaled-down mini-soak runs in the default suite so the property is
+exercised on every push, not only when someone remembers ``-m slow``.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.core.ipv import lru_ipv
+from repro.serve.frontend import ShardedFrontend
+from repro.serve.workload import ServingSpec, ServingStream
+
+NUM_SETS = 1024
+ASSOC = 8
+ENTRIES = tuple(lru_ipv(ASSOC).entries)
+
+#: Observed flat-memory ceiling is well under 1 MiB of growth; the bound
+#: leaves headroom for allocator noise while still catching any
+#: O(accesses) materialization (5M accesses = 40 MB of int64 alone).
+GROWTH_LIMIT_BYTES = 8 << 20
+
+
+def soak_spec(accesses):
+    return ServingSpec(
+        keys=1 << 14, alpha=1.2, tenants=2, accesses=accesses,
+        churn_per_million=20_000,
+        phases=((accesses // 4, accesses // 10, 0.6, 64),),
+        seed=1234,
+    )
+
+
+def run_soak(spec, shards, engine, chunk_accesses=1 << 16,
+             measure_memory=False):
+    """Stream ``spec`` through a front-end; return (misses, growth)."""
+    frontend = ShardedFrontend(
+        NUM_SETS, ASSOC, ENTRIES, shards=shards, engine=engine
+    )
+    stream = ServingStream(spec)
+    growth = 0
+    baseline = None
+    warm_accesses = max(chunk_accesses, spec.accesses // 8)
+    done = 0
+    if measure_memory:
+        tracemalloc.start()
+    try:
+        for chunk in stream.chunks(chunk_accesses):
+            frontend.process(chunk)
+            done += len(chunk)
+            if measure_memory and done >= warm_accesses:
+                current, _ = tracemalloc.get_traced_memory()
+                if baseline is None:
+                    baseline = current
+                else:
+                    growth = max(growth, current - baseline)
+    finally:
+        if measure_memory:
+            tracemalloc.stop()
+    assert frontend.shed_accesses == 0
+    assert frontend.accesses == spec.accesses
+    totals = frontend.totals()
+    totals.sanity_check()
+    assert stream.retired > 0, "soak spec must churn"
+    return frontend.misses, growth
+
+
+class TestMiniSoak:
+    """Always-on scaled-down soak: every push exercises the contract."""
+
+    ACCESSES = 300_000
+
+    def test_sharded_soak_flat_memory_and_exact_misses(self):
+        spec = soak_spec(self.ACCESSES)
+        misses, growth = run_soak(
+            spec, shards=4, engine="auto", chunk_accesses=1 << 15,
+            measure_memory=True,
+        )
+        reference, _ = run_soak(spec, shards=1, engine="scalar")
+        assert misses == reference
+        assert growth < GROWTH_LIMIT_BYTES, (
+            f"heap grew {growth / 2**20:.1f} MiB after warm-up"
+        )
+
+
+@pytest.mark.slow
+class TestFullSoak:
+    """The ISSUE's 5M-access soak (run with ``pytest -m slow``)."""
+
+    ACCESSES = 5_000_000
+
+    def test_five_million_access_soak(self):
+        spec = soak_spec(self.ACCESSES)
+        misses, growth = run_soak(
+            spec, shards=4, engine="auto", measure_memory=True
+        )
+        reference, _ = run_soak(spec, shards=1, engine="scalar")
+        assert misses == reference
+        assert growth < GROWTH_LIMIT_BYTES, (
+            f"heap grew {growth / 2**20:.1f} MiB after warm-up"
+        )
+
+    def test_chunk_size_invariance_at_scale(self):
+        spec = soak_spec(self.ACCESSES // 5)
+        a, _ = run_soak(spec, shards=4, engine="auto",
+                        chunk_accesses=1 << 16)
+        b, _ = run_soak(spec, shards=8, engine="auto",
+                        chunk_accesses=99_991)
+        assert a == b

@@ -1,0 +1,103 @@
+"""The ``seed=None`` contract: derived, deterministic, and recorded.
+
+Generators that accept ``seed=None`` never consult global random state —
+the effective seed is a pure function of the spec digest, identical
+across processes, distinct across specs, and written into the provenance
+manifest so a rerun needs nothing but the manifest.
+"""
+
+import json
+
+from repro.obs.provenance import build_manifest
+from repro.serve.workload import ServingSpec, ServingStream
+from repro.workloads.seeding import derive_seed, resolve_seed, spec_digest
+from repro.workloads.spec import get_benchmark
+
+CAPACITY = 256
+
+
+class TestSeedingPrimitives:
+    def test_spec_digest_is_canonical(self):
+        a = spec_digest({"b": 2, "a": 1})
+        b = spec_digest({"a": 1, "b": 2})
+        assert a == b
+        assert len(a) == 64
+
+    def test_digest_sensitivity(self):
+        assert spec_digest({"a": 1}) != spec_digest({"a": 2})
+
+    def test_derive_seed_range_and_determinism(self):
+        d = spec_digest({"kind": "x"})
+        s = derive_seed(d)
+        assert s == derive_seed(d)
+        assert 0 <= s < 1 << 63
+
+    def test_salt_separates_streams(self):
+        d = spec_digest({"kind": "x"})
+        assert derive_seed(d) != derive_seed(d, salt="warmup")
+
+    def test_resolve_seed_prefers_explicit(self):
+        assert resolve_seed(17, {"a": 1}) == 17
+        assert resolve_seed(None, {"a": 1}) == derive_seed(
+            spec_digest({"a": 1})
+        )
+
+
+class TestBenchmarkSeedNone:
+    def test_seed_none_is_deterministic(self):
+        bench = get_benchmark("429.mcf")
+        a = bench.traces(1500, CAPACITY, seed=None)[0]
+        b = bench.traces(1500, CAPACITY, seed=None)[0]
+        assert list(a.addresses) == list(b.addresses)
+
+    def test_seed_none_depends_on_spec(self):
+        mcf = get_benchmark("429.mcf")
+        libq = get_benchmark("462.libquantum")
+        assert mcf.resolve_seed(None, 1500, CAPACITY) != libq.resolve_seed(
+            None, 1500, CAPACITY
+        )
+        # ... and on the geometry (it is part of the digest payload).
+        assert mcf.resolve_seed(None, 1500, CAPACITY) != mcf.resolve_seed(
+            None, 1500, 2 * CAPACITY
+        )
+
+    def test_resolved_seed_matches_digest_derivation(self):
+        bench = get_benchmark("429.mcf")
+        assert bench.resolve_seed(None, 1500, CAPACITY) == derive_seed(
+            bench.spec_digest(1500, CAPACITY)
+        )
+
+    def test_derived_seed_is_manifest_recordable(self):
+        bench = get_benchmark("429.mcf")
+        seed = bench.resolve_seed(None, 1500, CAPACITY)
+        manifest = build_manifest(policy="lru", seed=seed)
+        assert manifest["seed"] == seed
+        json.dumps(manifest)  # must be JSON-serializable as written
+
+
+class TestServingSeedNone:
+    def test_seed_none_is_deterministic_and_spec_bound(self):
+        a = ServingSpec(keys=64, alpha=1.0, accesses=512, seed=None)
+        b = ServingSpec(keys=64, alpha=1.0, accesses=512, seed=None)
+        c = ServingSpec(keys=64, alpha=1.1, accesses=512, seed=None)
+        assert a.resolved_seed() == b.resolved_seed()
+        assert a.resolved_seed() != c.resolved_seed()
+        assert ServingStream(a).addresses() == ServingStream(b).addresses()
+
+    def test_derivation_ignores_the_none_seed_field(self):
+        # The derivation hashes the payload *without* its seed field, so
+        # it is a pure function of the workload shape.
+        spec = ServingSpec(keys=64, alpha=1.0, accesses=512, seed=None)
+        payload = spec.digest_payload()
+        del payload["seed"]
+        assert spec.resolved_seed() == derive_seed(spec_digest(payload))
+
+    def test_manifest_extra_records_derivation(self):
+        derived = ServingSpec(keys=64, accesses=512, seed=None)
+        explicit = ServingSpec(keys=64, accesses=512, seed=5)
+        extra_d = derived.manifest_extra()
+        extra_e = explicit.manifest_extra()
+        assert extra_d["serving_seed_derived"] is True
+        assert extra_d["serving_seed"] == derived.resolved_seed()
+        assert extra_e["serving_seed_derived"] is False
+        assert extra_e["serving_seed"] == 5
