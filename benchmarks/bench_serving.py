@@ -7,6 +7,8 @@ per-access scalar loop (the Figure 5/7/9 bit-walk reference, one access
 at a time), asserting bit-identical miss counts on a shared sample.  A
 separate untimed pass replays the full stream under ``tracemalloc`` and
 reports post-warm-up heap growth: the bounded-memory claim, measured.
+A paired pass with SLO telemetry attached records the telemetry
+throughput ratio (the >= 95 % acceptance bar of the observability PR).
 
 Runs two ways:
 
@@ -39,6 +41,7 @@ from repro.core.ipv import lru_ipv  # noqa: E402
 from repro.engine.scalar import ScalarStreamSimulator  # noqa: E402
 from repro.ga.fitness import simulate_misses_plru_ipv  # noqa: E402
 from repro.serve.frontend import ShardedFrontend  # noqa: E402
+from repro.serve.telemetry import ServeTelemetry  # noqa: E402
 from repro.serve.workload import (  # noqa: E402
     ServingSpec,
     ServingStream,
@@ -109,6 +112,51 @@ def measure_serving_throughput(
         "wall_sec": wall,
         "accesses_per_sec": accesses / wall,
         "retired_keys": stream.retired,
+    }
+
+
+def measure_telemetry_overhead(
+    accesses: int,
+    shards: int = SHARDS,
+    chunk_accesses: int = CHUNK_ACCESSES,
+) -> dict:
+    """Timed pass with SLO telemetry attached vs the plain drain loop.
+
+    Telemetry is fed once per engine batch (HDR histograms, sliding
+    windows, drift detection), so the enabled run must sustain >= 95 %
+    of the plain run's throughput — the PR's acceptance bar.  Misses
+    must be bit-identical: observing a run never changes it.
+    """
+    spec = bench_spec(accesses)
+
+    def run(telemetry):
+        frontend = ShardedFrontend(
+            NUM_SETS, ASSOC, ENTRIES, shards=shards, engine="auto",
+            telemetry=telemetry,
+        )
+        stream = ServingStream(spec)
+        t0 = time.perf_counter()
+        misses = 0
+        for chunk in stream.chunks(chunk_accesses):
+            misses += frontend.process(chunk)
+        return misses, time.perf_counter() - t0
+
+    plain_misses, plain_sec = run(None)
+    telem = ServeTelemetry(shards)
+    telem_misses, telem_sec = run(telem)
+    telem.finalize()
+    assert telem_misses == plain_misses, (
+        f"telemetry changed misses: {telem_misses} != {plain_misses}"
+    )
+    ratio = plain_sec / telem_sec if telem_sec > 0 else 1.0
+    return {
+        "accesses": accesses,
+        "shards": shards,
+        "plain_accesses_per_sec": accesses / plain_sec,
+        "telemetry_accesses_per_sec": accesses / telem_sec,
+        "throughput_ratio": ratio,
+        "windows_closed": telem.windows.windows_closed,
+        "meets_95pct": ratio >= 0.95,
     }
 
 
@@ -216,6 +264,7 @@ def collect(accesses: int, sample: int = SAMPLE_ACCESSES,
     baselines = measure_scalar_baselines(accesses, sample)
     sweep = measure_shard_sweep(min(accesses, 2_000_000))
     memory = measure_flat_memory(memory_accesses or accesses)
+    telemetry = measure_telemetry_overhead(accesses, shards=shards)
     speedup = (
         serving["accesses_per_sec"] / baselines["walk_accesses_per_sec"]
     )
@@ -229,6 +278,7 @@ def collect(accesses: int, sample: int = SAMPLE_ACCESSES,
         "scalar_baselines": baselines,
         "shard_sweep": sweep,
         "memory": memory,
+        "telemetry": telemetry,
         "speedup_vs_walk": speedup,
         "meets_5x": speedup >= 5.0,
     }
@@ -244,6 +294,8 @@ def trend_metrics(results: dict) -> dict:
         "serving_speedup": results["speedup_vs_walk"],
         "serving_heap_growth_bytes":
             results["memory"]["heap_growth_bytes"],
+        "serving_telemetry_ratio":
+            results["telemetry"]["throughput_ratio"],
         **{
             f"serving_shard{row['shards']}_accesses_per_sec":
                 row["accesses_per_sec"]
@@ -326,6 +378,12 @@ def main(argv=None) -> int:
     print(f"  heap growth after warm-up: "
           f"{mem['heap_growth_bytes'] / 2**20:.2f} MiB "
           f"({'flat' if mem['flat'] else 'NOT FLAT'})")
+    telem = results["telemetry"]
+    print(f"  telemetry {telem['telemetry_accesses_per_sec']:>12,.0f}"
+          f" acc/s with SLO telemetry attached "
+          f"({telem['throughput_ratio']:.1%} of plain, "
+          f"{'meets' if telem['meets_95pct'] else 'BELOW'} the 95% bar, "
+          f"{telem['windows_closed']} windows)")
     print(f"wrote {out}")
 
     if not args.no_history:

@@ -48,8 +48,8 @@ REPORT_FIELDS = (
     "schema", "spec", "spec_digest", "seed", "seed_derived", "policy",
     "ipv", "num_sets", "assoc", "shards", "engine", "backend",
     "accesses", "misses", "miss_rate", "wall_sec",
-    "throughput_accesses_per_sec", "shed_accesses", "retired_keys",
-    "shards_detail", "totals",
+    "throughput_accesses_per_sec", "shed_accesses", "shed_ratio",
+    "retired_keys", "shards_detail", "totals", "telemetry", "slo",
 )
 
 
@@ -112,7 +112,7 @@ def check_report_schema():
             payload = json.load(handle)
         missing = [f for f in REPORT_FIELDS if f not in payload]
         assert not missing, f"report missing fields: {missing}"
-        assert payload["schema"] == "repro-serving-report/1"
+        assert payload["schema"] == "repro-serving-report/2"
         assert payload["accesses"] == spec.accesses
         assert payload["misses"] == report.misses
         assert payload["seed_derived"] is True

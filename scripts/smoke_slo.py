@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""SLO telemetry smoke check (the ``make smoke-slo`` target).
+
+Asserts, in a few seconds, that the serving-path SLO telemetry is sound
+end to end:
+
+1. scrape endpoint: a telemetry-enabled ``run_serving`` with
+   ``metrics_port=0`` publishes its ephemeral port through
+   ``run-status.json``; a mid-run HTTP scrape returns OpenMetrics text
+   (``# EOF``-terminated, parseable by ``parse_prometheus``) carrying
+   per-shard p99 latency and windowed hit-rate gauges;
+2. drift detection: a stationary Zipf stream stays quiet, while an
+   injected hot-set flip (flash crowd over the whole key space, wrecking
+   locality) fires a ``drift`` event and — with an SLO attached — a
+   burn-rate violation in the final report;
+3. overhead: attaching telemetry costs <= 5 % on the serving drain loop
+   (paired process_time ratios, min over rounds — the
+   ``measure_counters_overhead`` discipline);
+4. ``repro serve --slo-strict`` exits non-zero on a violated SLO and
+   zero without one.
+
+Exits non-zero on any failure.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.ipv import lru_ipv  # noqa: E402
+from repro.obs.metrics import parse_prometheus  # noqa: E402
+from repro.obs.slo import SLOSpec  # noqa: E402
+from repro.serve.frontend import ShardedFrontend  # noqa: E402
+from repro.serve.service import run_serving  # noqa: E402
+from repro.serve.telemetry import ServeTelemetry  # noqa: E402
+from repro.serve.workload import (  # noqa: E402
+    FlashPhase,
+    ServingSpec,
+    ServingStream,
+)
+
+NUM_SETS = 256
+ASSOC = 8
+ENTRIES = tuple(lru_ipv(ASSOC).entries)
+KEYS = 1 << 12
+WINDOW = 4096
+
+
+def stationary_spec(accesses, seed=11):
+    return ServingSpec(keys=KEYS, alpha=1.2, accesses=accesses, seed=seed)
+
+
+def flipped_spec(accesses, seed=11):
+    """Stationary head, then a flash crowd over the *entire* key space.
+
+    Spreading 95 % of traffic uniformly over all keys destroys the Zipf
+    locality the cache warmed up on — a hit-rate collapse, not a spike.
+    """
+    flip_at = accesses // 2
+    phase = FlashPhase(start=flip_at, length=accesses - flip_at,
+                       share=0.95, hot_keys=KEYS)
+    return ServingSpec(keys=KEYS, alpha=1.2, accesses=accesses,
+                       phases=(phase,), seed=seed)
+
+
+def check_scrape_endpoint():
+    spec = stationary_spec(3_000_000)
+    with tempfile.TemporaryDirectory() as tmp:
+        status_path = os.path.join(tmp, "run-status.json")
+        report_box = {}
+
+        def run():
+            report_box["report"] = run_serving(
+                spec, NUM_SETS, ASSOC, policy="lru", shards=2,
+                chunk_accesses=1 << 14, window_accesses=WINDOW,
+                status_path=status_path, metrics_port=0,
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        port = None
+        body = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and thread.is_alive():
+            try:
+                with open(status_path) as handle:
+                    status = json.load(handle)
+                port = (status.get("serving") or {}).get("metrics_port")
+            except (OSError, ValueError):
+                port = None
+            if port:
+                try:
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/metrics", timeout=5
+                    ) as resp:
+                        content_type = resp.headers.get("Content-Type", "")
+                        body = resp.read().decode("utf-8")
+                except OSError:
+                    continue  # run ended between status read and scrape
+                if ("repro_serve_window_hit_rate", ()) in \
+                        parse_prometheus(body):
+                    break
+            time.sleep(0.02)
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "serving run did not finish"
+        assert body is not None, "never scraped the endpoint mid-run"
+        assert "openmetrics-text" in content_type
+        assert body.endswith("# EOF\n")
+        parsed = parse_prometheus(body)
+        p99_key = ("repro_serve_shard_latency_seconds",
+                   (("quantile", "0.99"), ("shard", "0")))
+        assert p99_key in parsed and parsed[p99_key] > 0
+        hit_key = ("repro_serve_window_hit_rate", ())
+        assert 0.0 <= parsed[hit_key] <= 1.0
+        assert ("repro_serve_windows_closed", ()) in parsed
+        report = report_box["report"]
+        assert report.telemetry is not None
+        assert report.telemetry["windows_closed"] > 0
+    print(f"  scrape        mid-run OpenMetrics OK on :{port} "
+          f"({len(parsed)} series, shard0 p99 {parsed[p99_key]*1e3:.2f}ms)")
+
+
+def check_drift_and_slo():
+    accesses = 600_000
+    slo = SLOSpec(min_hit_rate=0.5, short_windows=3, long_windows=12,
+                  budget=0.1)
+
+    quiet = run_serving(stationary_spec(accesses), NUM_SETS, ASSOC,
+                        shards=2, chunk_accesses=1 << 14,
+                        window_accesses=WINDOW, slo=slo)
+    # Judge the deterministic hit-rate series; wall-clock throughput is
+    # machine noise a CI box may legitimately wobble.
+    quiet_hits = [e for e in quiet.telemetry["drift_events"]
+                  if e["series"] == "hit_rate"]
+    assert quiet_hits == [], (
+        f"stationary stream fired hit_rate drift: {quiet_hits}"
+    )
+    assert quiet.slo_ok, f"stationary stream violated SLO: {quiet.slo_summary}"
+
+    flipped = run_serving(flipped_spec(accesses), NUM_SETS, ASSOC,
+                          shards=2, chunk_accesses=1 << 14,
+                          window_accesses=WINDOW, slo=slo)
+    events = flipped.telemetry["drift_events"]
+    hit_events = [e for e in events if e["series"] == "hit_rate"]
+    assert hit_events, f"hot-set flip fired no hit_rate drift: {events}"
+    flip_at = accesses // 2
+    first = hit_events[0]
+    # Shard sub-batches reorder accesses inside one chunk, so the first
+    # post-flip accesses can land in a window that nominally ends just
+    # before flip_at: allow one chunk of slack on the early side.
+    assert first["end_access"] >= flip_at - (1 << 14), (
+        f"drift fired before the flip: {first}"
+    )
+    assert first["end_access"] <= flip_at + 16 * WINDOW, (
+        f"drift fired too late after the flip: {first}"
+    )
+    assert not flipped.slo_ok, "hit-rate collapse did not violate the SLO"
+    objectives = {v["objective"]
+                  for v in flipped.slo_summary["violations"]}
+    assert "hit_rate" in objectives
+    windows_late = first["end_access"] // WINDOW - flip_at // WINDOW
+    print(f"  drift         quiet on stationary; flip detected "
+          f"{windows_late} window(s) after onset, SLO violated")
+
+
+def check_overhead():
+    # Paired process_time ratios over identical drain work, min over
+    # rounds (the measure_counters_overhead discipline): telemetry
+    # attached vs telemetry=None on the same chunk sequence.
+    spec = stationary_spec(200_000, seed=23)
+    chunks = list(ServingStream(spec).chunks(1 << 14))
+    rounds = 5
+    best = float("inf")
+    misses = set()
+    for _ in range(rounds):
+        plain = ShardedFrontend(NUM_SETS, ASSOC, ENTRIES, shards=2)
+        t0 = time.process_time()
+        m_plain = sum(plain.process(c) for c in chunks)
+        plain_sec = time.process_time() - t0
+
+        telem = ServeTelemetry(2, window_accesses=WINDOW)
+        wired = ShardedFrontend(NUM_SETS, ASSOC, ENTRIES, shards=2,
+                                telemetry=telem)
+        t0 = time.process_time()
+        m_wired = sum(wired.process(c) for c in chunks)
+        wired_sec = time.process_time() - t0
+
+        misses.update((m_plain, m_wired))
+        if plain_sec > 0:
+            best = min(best, wired_sec / plain_sec)
+    assert len(misses) == 1, f"telemetry changed miss counts: {misses}"
+    assert best <= 1.05, (
+        f"telemetry overhead {best:.3f}x exceeds the 1.05x budget"
+    )
+    print(f"  overhead      {best:.3f}x with telemetry attached "
+          f"(budget 1.05x), misses bit-identical")
+
+
+def check_slo_strict_exit():
+    args = [
+        "serve", "--keys", str(KEYS), "--accesses", "120000",
+        "--sets", str(NUM_SETS), "--assoc", str(ASSOC), "--shards", "2",
+        "--seed", "11", "--window", str(WINDOW),
+    ]
+    devnull = open(os.devnull, "w")
+    stdout = sys.stdout
+    try:
+        sys.stdout = devnull
+        rc_ok = cli_main(args + ["--slo-min-hit-rate", "0.01",
+                                 "--slo-strict"])
+        rc_bad = cli_main(args + ["--slo-min-hit-rate", "0.9999",
+                                  "--slo-strict"])
+        rc_lax = cli_main(args + ["--slo-min-hit-rate", "0.9999"])
+    finally:
+        sys.stdout = stdout
+        devnull.close()
+    assert rc_ok == 0, f"satisfiable SLO exited {rc_ok}"
+    assert rc_bad == 1, f"--slo-strict on a violated SLO exited {rc_bad}"
+    assert rc_lax == 0, f"violated SLO without --slo-strict exited {rc_lax}"
+    print("  slo-strict    exit codes 0/1/0 for ok/violated/lax")
+
+
+def main():
+    t0 = time.perf_counter()
+    check_scrape_endpoint()
+    check_drift_and_slo()
+    check_overhead()
+    check_slo_strict_exit()
+    print(f"slo smoke OK in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

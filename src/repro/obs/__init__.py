@@ -29,7 +29,16 @@ zero-overhead when disabled:
   stalled workers.
 * :mod:`repro.obs.status` — live ``run-status.json`` publishing (phase,
   progress, throughput, ETA, worker liveness) rendered by ``repro obs
-  watch``; the final state survives completion for post-mortems.
+  watch`` (and ``repro obs top`` for serving runs); the final state
+  survives completion for post-mortems.
+* :mod:`repro.obs.slo` — HDR-style log-bucketed latency histograms
+  (exact, mergeable counts) and multi-window burn-rate SLO evaluation.
+* :mod:`repro.obs.windows` — sliding offered-load windows over
+  hit rate / throughput / shed / queue depth, with EWMA + CUSUM drift
+  detection against the run's own warm baseline.
+* :mod:`repro.obs.export_http` — a stdlib ``http.server`` OpenMetrics
+  scrape endpoint over any metrics registry (``repro serve
+  --metrics-port``, ``repro obs serve-metrics``).
 * :mod:`repro.obs.trend` — append-only ``BENCH_history.jsonl`` perf
   history keyed by git revision, with a regression comparator behind
   ``repro obs trend --check``.
@@ -59,6 +68,11 @@ from .events import (
     event_from_dict,
     validate_event_dict,
 )
+from .export_http import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    openmetrics_text,
+)
 from .logconfig import configure_logging
 from .metrics import (
     Counter,
@@ -66,8 +80,10 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     parse_prometheus,
+    registry_from_json,
 )
 from .overhead import disabled_overhead_ratio
+from .slo import HdrHistogram, SLOEvaluator, SLOSpec
 from .provenance import (
     build_manifest,
     config_hash,
@@ -92,8 +108,15 @@ from .spans import (
     uninstall_recorder,
     validate_chrome_trace,
 )
-from .status import StatusPublisher, read_status, render_status
+from .status import (
+    StatusPublisher,
+    read_status,
+    render_status,
+    render_top,
+    watch,
+)
 from .tracer import Tracer, registry_from_events, replay_counts
+from .windows import DriftDetector, SlidingWindows
 from .trend import (
     compare_entries,
     latest_deltas,
@@ -124,6 +147,16 @@ __all__ = [
     "StatusPublisher",
     "read_status",
     "render_status",
+    "render_top",
+    "watch",
+    "DriftDetector",
+    "SlidingWindows",
+    "HdrHistogram",
+    "SLOEvaluator",
+    "SLOSpec",
+    "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
+    "openmetrics_text",
     "compare_entries",
     "latest_deltas",
     "record_bench_kernels",
@@ -139,6 +172,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "parse_prometheus",
+    "registry_from_json",
     "disabled_overhead_ratio",
     "build_manifest",
     "config_hash",

@@ -1,0 +1,135 @@
+"""OpenMetrics/Prometheus scrape endpoint over a metrics registry.
+
+A deliberately tiny, stdlib-only HTTP layer: a
+:class:`~http.server.ThreadingHTTPServer` in a daemon thread serving
+
+* ``GET /metrics`` — the registry's Prometheus text exposition,
+  terminated with the OpenMetrics ``# EOF`` marker (the existing
+  :func:`repro.obs.metrics.parse_prometheus` round-trips it, since the
+  parser skips comment lines);
+* ``GET /`` and ``GET /healthz`` — a one-line liveness response;
+* anything else — 404.
+
+The server snapshots the registry *inside the scrape request*, so a
+mid-run ``curl`` always sees a coherent single-pass export (each
+instrument read takes its own lock; see :mod:`repro.obs.metrics`).  Bind
+with ``port=0`` for an ephemeral port — ``repro serve`` publishes the
+actual port through ``run-status.json`` so smokes and operators can
+discover it.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "OPENMETRICS_CONTENT_TYPE", "openmetrics_text"]
+
+#: Content type negotiated by OpenMetrics-aware scrapers (Prometheus
+#: accepts it; the text body remains plain-Prometheus compatible).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def openmetrics_text(registry: MetricsRegistry) -> str:
+    """Registry exposition with the OpenMetrics ``# EOF`` terminator."""
+    body = registry.to_prometheus()
+    if body and not body.endswith("\n"):
+        body += "\n"
+    return body + "# EOF\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The source callable is attached to the *server* (one handler class
+    # is shared by every MetricsServer instance).
+    server_version = "repro-metrics/1"
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler contract
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            registry = self.server.metrics_source()  # type: ignore[attr-defined]
+            self._send(200, openmetrics_text(registry),
+                       OPENMETRICS_CONTENT_TYPE)
+        elif path in ("/", "/healthz"):
+            self._send(200, "ok\n", "text/plain; charset=utf-8")
+        else:
+            self._send(404, "not found\n", "text/plain; charset=utf-8")
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # scrapes happen every few seconds; stay silent
+
+
+class MetricsServer:
+    """Background scrape endpoint for a registry (or registry factory).
+
+    ``source`` is either a :class:`MetricsRegistry` (served live — the
+    scrape sees whatever the run has published so far) or a zero-arg
+    callable returning one (snapshot-per-scrape).  The server thread is
+    a daemon, so a crashed run never hangs on it; call :meth:`close`
+    (or use as a context manager) for an orderly shutdown.
+    """
+
+    def __init__(
+        self,
+        source: Union[MetricsRegistry, Callable[[], MetricsRegistry]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        if isinstance(source, MetricsRegistry):
+            registry = source
+            source_fn = lambda: registry  # noqa: E731
+        elif callable(source):
+            source_fn = source
+        else:
+            raise TypeError(
+                "source must be a MetricsRegistry or a callable returning "
+                f"one, got {type(source).__name__}"
+            )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.metrics_source = source_fn  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetricsServer(url={self.url!r})"

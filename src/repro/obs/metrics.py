@@ -26,6 +26,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "parse_prometheus",
+    "registry_from_json",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -109,22 +110,33 @@ class Histogram:
 
     Thread-safe: ``observe``/``merge_raw`` hold a per-instrument lock so
     concurrent observations never lose counts (see :class:`Counter`).
+
+    ``retain`` keeps the first ``retain`` raw (value, weight) samples so
+    :meth:`quantile` can answer with exact nearest-rank values; once the
+    total count exceeds ``retain`` (or a cross-process ``merge_raw``
+    lands, which carries no samples) the raw list is dropped and
+    quantiles fall back to linear interpolation on the bucket bounds.
     """
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "_lock")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "_lock",
+                 "_raw", "_retain")
 
-    def __init__(self, bounds: Sequence[float]):
+    def __init__(self, bounds: Sequence[float], retain: int = 0):
         bounds = sorted(float(b) for b in bounds)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         if len(set(bounds)) != len(bounds):
             raise ValueError("histogram bounds must be distinct")
+        if retain < 0:
+            raise ValueError(f"retain must be >= 0, got {retain}")
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
         self.count = 0
         self.sum = 0.0
+        self._retain = int(retain)
+        self._raw: Optional[List[Tuple[float, int]]] = [] if retain else None
         self._lock = threading.Lock()
 
     def observe(self, value: float, weight: int = 1) -> None:
@@ -146,12 +158,49 @@ class Histogram:
         with self._lock:
             self.count += weight
             self.sum += value * weight
+            if self._raw is not None:
+                if self.count > self._retain:
+                    self._raw = None
+                else:
+                    self._raw.append((value, weight))
             # Linear scan: bucket lists here are tiny (positions, distances).
             for i, bound in enumerate(self.bounds):
                 if value <= bound:
                     self.bucket_counts[i] += weight
                     return
             self.bucket_counts[-1] += weight
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile of the observed distribution.
+
+        Nearest-rank over the raw samples while they are retained (exact);
+        otherwise linear interpolation on the bucket bounds, the
+        ``histogram_quantile`` convention — observations in the overflow
+        bucket resolve to the highest finite bound.  ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return None
+            if self._raw is not None:
+                rank = max(1, math.ceil(q * self.count))
+                cumulative = 0
+                for value, weight in sorted(self._raw):
+                    cumulative += weight
+                    if cumulative >= rank:
+                        return value
+                raise AssertionError("raw samples inconsistent with count")
+            target = q * self.count
+            cumulative = 0
+            for i, bucket in enumerate(self.bucket_counts[:-1]):
+                previous = cumulative
+                cumulative += bucket
+                if bucket and cumulative >= target:
+                    hi = self.bounds[i]
+                    lo = self.bounds[i - 1] if i else min(0.0, hi)
+                    return lo + (hi - lo) * ((target - previous) / bucket)
+            return self.bounds[-1]
 
     def merge_raw(
         self, bucket_counts: Sequence[int], count: int, total: float,
@@ -177,6 +226,7 @@ class Histogram:
                 f"{len(self.bucket_counts)}"
             )
         with self._lock:
+            self._raw = None  # merged counts carry no samples
             for i, n in enumerate(bucket_counts):
                 self.bucket_counts[i] += int(n)
             self.count += int(count)
@@ -246,9 +296,10 @@ class MetricsRegistry:
         return self._get_or_create(Gauge, "gauge", name, help, labels)
 
     def histogram(self, name: str, bounds: Sequence[float], help: str = "",
-                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+                  labels: Optional[Dict[str, str]] = None,
+                  retain: int = 0) -> Histogram:
         return self._get_or_create(
-            Histogram, "histogram", name, help, labels, bounds
+            Histogram, "histogram", name, help, labels, bounds, retain
         )
 
     # ------------------------------------------------------------------
@@ -311,6 +362,41 @@ class MetricsRegistry:
 
     def dump_json(self) -> str:
         return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def registry_from_json(payload: dict) -> MetricsRegistry:
+    """Rebuild a registry from a ``to_json()`` snapshot.
+
+    The round-trip partner of :meth:`MetricsRegistry.to_json`: metric
+    names in the snapshot are already fully qualified, so the rebuilt
+    registry uses an empty namespace.  This is what lets
+    ``repro obs serve-metrics`` expose any dumped snapshot over the
+    scrape endpoint.
+    """
+    registry = MetricsRegistry()
+    for name, entry in sorted(payload.items()):
+        kind = entry.get("type")
+        help_text = entry.get("help", "")
+        for series in entry.get("series", ()):
+            labels = series.get("labels") or None
+            value = series.get("value")
+            if kind == "counter":
+                registry.counter(name, help_text, labels).inc(int(value))
+            elif kind == "gauge":
+                registry.gauge(name, help_text, labels).set(value)
+            elif kind == "histogram":
+                hist = registry.histogram(
+                    name, value["bounds"], help_text, labels
+                )
+                hist.merge_raw(
+                    value["bucket_counts"], value["count"], value["sum"],
+                    bounds=value["bounds"],
+                )
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown instrument type {kind!r}"
+                )
+    return registry
 
 
 def _fmt(value: float) -> str:

@@ -1,0 +1,464 @@
+"""SLO telemetry: HDR latency histograms and burn-rate evaluation.
+
+Two pieces, both stdlib-only:
+
+* :class:`HdrHistogram` — an HDR-style *log-bucketed* histogram for
+  latency-shaped values.  Values are quantized to integer multiples of
+  ``unit`` (default 1 ns); the first ``2**sub_bits`` units are exact,
+  and every power-of-two octave above that is split into ``2**sub_bits``
+  linear sub-buckets, bounding the relative quantization error of any
+  recorded value (and hence any quantile) by ``2**-sub_bits`` (~3.1 %
+  at the default 5 sub-bits).  Counts are **exact integers** in a sparse
+  ``{bucket_index: count}`` map, so histograms merge across shards and
+  worker processes losslessly — the same contract as
+  :meth:`repro.obs.metrics.Histogram.merge_raw`, enforced the same way
+  (layout disagreement raises instead of mis-binning).
+* :class:`SLOSpec` / :class:`SLOEvaluator` — a serving-level objective
+  (target percentile latency, minimum hit rate, maximum shed fraction)
+  evaluated the way production SLOs are: as **multi-window burn rates**.
+  Each closed :mod:`repro.obs.windows` window is marked good/bad per
+  objective; a violation fires only when the bad-window fraction exceeds
+  the error budget over *both* a short and a long trailing window, so a
+  single noisy window cannot page while a sustained breach fires within
+  ``short_windows`` of its onset.
+
+Everything here is pure bookkeeping over numbers the serving loop
+already has; the hot path never calls into this module more than once
+per engine *batch* (thousands of accesses), which is how the layer stays
+inside the ≤5 % overhead budget ``make smoke-slo`` enforces.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "HdrHistogram",
+    "SLOEvaluator",
+    "SLOSpec",
+]
+
+#: The quantiles every latency surface (report, status, gauges) exposes.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+class HdrHistogram:
+    """Log-bucketed latency histogram with exact, mergeable counts.
+
+    ``unit`` is the quantization step in the caller's value scale
+    (default ``1e-9``: nanosecond resolution for values in seconds);
+    ``sub_bits`` fixes the per-octave sub-bucket precision.  ``record``
+    accepts a ``weight`` so pre-aggregated costs (one engine batch =
+    thousands of accesses at one amortized per-access latency) flush in
+    without a Python-level loop, mirroring
+    :meth:`repro.obs.metrics.Histogram.observe`.
+
+    Thread-safe: ``record``/``merge`` hold a per-instrument lock (see
+    :class:`repro.obs.metrics.Counter` for why the GIL is not enough).
+    """
+
+    __slots__ = ("unit", "sub_bits", "counts", "count", "sum",
+                 "min_value", "max_value", "_lock")
+
+    def __init__(self, unit: float = 1e-9, sub_bits: int = 5):
+        if not unit > 0:
+            raise ValueError(f"unit must be positive, got {unit}")
+        if not 1 <= sub_bits <= 16:
+            raise ValueError(f"sub_bits must be in [1, 16], got {sub_bits}")
+        self.unit = float(unit)
+        self.sub_bits = int(sub_bits)
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- indexing ------------------------------------------------------
+    def _index_of(self, units: int) -> int:
+        sub = 1 << self.sub_bits
+        if units < sub:
+            return units
+        exp = units.bit_length() - 1          # 2**exp <= units
+        shift = exp - self.sub_bits
+        return ((shift + 1) << self.sub_bits) + ((units >> shift) - sub)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lo, hi)`` value range of bucket ``index`` (caller scale)."""
+        if index < 0:
+            raise ValueError(f"bucket index must be >= 0, got {index}")
+        sub = 1 << self.sub_bits
+        if index < sub:
+            return index * self.unit, (index + 1) * self.unit
+        shift = (index >> self.sub_bits) - 1
+        lo = (sub + (index & (sub - 1))) << shift
+        return lo * self.unit, (lo + (1 << shift)) * self.unit
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative quantization error of any recorded value."""
+        return 2.0 ** -self.sub_bits
+
+    # -- recording -----------------------------------------------------
+    def record(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` (``weight`` times at once, like ``observe``)."""
+        if value != value:
+            raise ValueError("cannot record NaN")
+        if value < 0:
+            raise ValueError(f"latency values must be >= 0, got {value}")
+        if not weight >= 0:  # catches negatives and NaN weights alike
+            raise ValueError(f"record weight must be >= 0, got {weight}")
+        if weight == 0:
+            return
+        index = self._index_of(int(value / self.unit))
+        with self._lock:
+            self.counts[index] = self.counts.get(index, 0) + weight
+            self.count += weight
+            self.sum += value * weight
+            if self.min_value is None or value < self.min_value:
+                self.min_value = value
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
+
+    # -- quantiles -----------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the exact bucket counts.
+
+        Returns the upper edge of the bucket holding rank
+        ``ceil(q * count)`` — the HDR "highest equivalent value"
+        convention — clamped to the exactly-tracked observed min/max, so
+        ``quantile(0.0)``/``quantile(1.0)`` are exact.  ``None`` when
+        empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return None
+            if q == 0.0:
+                return self.min_value
+            rank = max(1, math.ceil(q * self.count))
+            cumulative = 0
+            for index in sorted(self.counts):
+                cumulative += self.counts[index]
+                if cumulative >= rank:
+                    _, hi = self.bucket_bounds(index)
+                    value = hi - self.unit  # highest representable in bucket
+                    return min(max(value, self.min_value), self.max_value)
+        raise AssertionError("bucket counts inconsistent with count")
+
+    def percentiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p99": ...}`` for the given quantiles."""
+        out = {}
+        for q in qs:
+            label = f"p{q * 100:g}".replace(".", "_")
+            out[label] = self.quantile(q)
+        return out
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    # -- merging -------------------------------------------------------
+    def merge(self, other: "HdrHistogram") -> None:
+        """Add ``other``'s exact counts into this histogram."""
+        self.merge_raw(
+            other.counts, other.count, other.sum,
+            min_value=other.min_value, max_value=other.max_value,
+            unit=other.unit, sub_bits=other.sub_bits,
+        )
+
+    def merge_raw(
+        self,
+        counts: Dict[int, int],
+        count: int,
+        total: float,
+        min_value: Optional[float] = None,
+        max_value: Optional[float] = None,
+        unit: Optional[float] = None,
+        sub_bits: Optional[int] = None,
+    ) -> None:
+        """Cross-shard / cross-process merge of raw bucket counts.
+
+        Pass the source's ``unit``/``sub_bits`` so layout disagreement
+        raises instead of silently mis-binning (the
+        ``Histogram.merge_raw`` contract).
+        """
+        if unit is not None and float(unit) != self.unit:
+            raise ValueError(f"hdr merge: unit {unit} != {self.unit}")
+        if sub_bits is not None and int(sub_bits) != self.sub_bits:
+            raise ValueError(
+                f"hdr merge: sub_bits {sub_bits} != {self.sub_bits}"
+            )
+        with self._lock:
+            for index, n in counts.items():
+                index = int(index)
+                if index < 0:
+                    raise ValueError(f"hdr merge: bad bucket index {index}")
+                self.counts[index] = self.counts.get(index, 0) + int(n)
+            self.count += int(count)
+            self.sum += float(total)
+            for bound, better in ((min_value, min), (max_value, max)):
+                if bound is None:
+                    continue
+                current = self.min_value if better is min else self.max_value
+                merged = bound if current is None else better(current, bound)
+                if better is min:
+                    self.min_value = merged
+                else:
+                    self.max_value = merged
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (counts keyed by stringified index)."""
+        return {
+            "schema": "repro-hdr/1",
+            "unit": self.unit,
+            "sub_bits": self.sub_bits,
+            "counts": {str(k): v for k, v in self.counts.items()},
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HdrHistogram":
+        if payload.get("schema") != "repro-hdr/1":
+            raise ValueError(
+                f"not an hdr snapshot: schema={payload.get('schema')!r}"
+            )
+        hist = cls(unit=payload["unit"], sub_bits=payload["sub_bits"])
+        hist.merge_raw(
+            {int(k): int(v) for k, v in payload["counts"].items()},
+            payload["count"], payload["sum"],
+            min_value=payload.get("min"), max_value=payload.get("max"),
+        )
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HdrHistogram(count={self.count}, "
+                f"buckets={len(self.counts)}, max={self.max_value})")
+
+
+# ----------------------------------------------------------------------
+# SLO specs and multi-window burn-rate evaluation.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLOSpec:
+    """A serving-level objective over the windowed telemetry.
+
+    Objectives are optional; ``None`` disables that dimension.  A window
+    is *bad* when any enabled objective fails on it:
+
+    * ``latency_target`` — the window's ``latency_quantile`` amortized
+      per-access latency (seconds) exceeded the target;
+    * ``min_hit_rate`` — the window hit rate fell below the floor;
+    * ``max_shed_ratio`` — the window shed more than this fraction of
+      its offered load.
+
+    ``budget`` is the error budget: the tolerated long-run fraction of
+    bad windows.  A violation fires when the observed bad fraction burns
+    the budget at ``burn_threshold``× or faster over *both* the last
+    ``short_windows`` and the last ``long_windows`` closed windows — the
+    standard multi-window burn-rate alerting shape.
+
+    The spec is an *operational overlay*: it never shapes the workload,
+    so :meth:`repro.serve.workload.ServingSpec.digest` excludes it.
+    """
+
+    latency_target: Optional[float] = None
+    latency_quantile: float = 0.99
+    min_hit_rate: Optional[float] = None
+    max_shed_ratio: Optional[float] = None
+    budget: float = 0.1
+    short_windows: int = 3
+    long_windows: int = 12
+    burn_threshold: float = 1.0
+
+    def __post_init__(self):
+        if self.latency_target is not None and not self.latency_target > 0:
+            raise ValueError("latency_target must be positive seconds")
+        if not 0.0 < self.latency_quantile < 1.0:
+            raise ValueError("latency_quantile must be in (0, 1)")
+        if self.min_hit_rate is not None \
+                and not 0.0 <= self.min_hit_rate <= 1.0:
+            raise ValueError("min_hit_rate must be in [0, 1]")
+        if self.max_shed_ratio is not None \
+                and not 0.0 <= self.max_shed_ratio <= 1.0:
+            raise ValueError("max_shed_ratio must be in [0, 1]")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ValueError(
+                "need 1 <= short_windows <= long_windows, got "
+                f"{self.short_windows}/{self.long_windows}"
+            )
+        if not self.burn_threshold > 0:
+            raise ValueError("burn_threshold must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one objective is set."""
+        return (self.latency_target is not None
+                or self.min_hit_rate is not None
+                or self.max_shed_ratio is not None)
+
+    def objectives(self) -> Tuple[str, ...]:
+        out = []
+        if self.latency_target is not None:
+            out.append("latency")
+        if self.min_hit_rate is not None:
+            out.append("hit_rate")
+        if self.max_shed_ratio is not None:
+            out.append("shed_ratio")
+        return tuple(out)
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_target": self.latency_target,
+            "latency_quantile": self.latency_quantile,
+            "min_hit_rate": self.min_hit_rate,
+            "max_shed_ratio": self.max_shed_ratio,
+            "budget": self.budget,
+            "short_windows": self.short_windows,
+            "long_windows": self.long_windows,
+            "burn_threshold": self.burn_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SLOSpec":
+        return cls(**{
+            k: payload[k] for k in (
+                "latency_target", "latency_quantile", "min_hit_rate",
+                "max_shed_ratio", "budget", "short_windows",
+                "long_windows", "burn_threshold",
+            ) if k in payload
+        })
+
+
+class SLOEvaluator:
+    """Marks windows good/bad per objective and fires burn-rate alerts.
+
+    Feed every closed window (with its per-window latency quantile) to
+    :meth:`observe_window`; it returns a violation record when the
+    multi-window burn condition newly holds, and ``None`` otherwise.  A
+    firing objective stays *latched* (no duplicate violation per window)
+    until its short-window burn drops back under the threshold.
+    """
+
+    def __init__(self, spec: SLOSpec):
+        if not spec.enabled:
+            raise ValueError("SLO spec has no enabled objectives")
+        self.spec = spec
+        self.windows_seen = 0
+        self.violations: list = []
+        self._bad: Dict[str, list] = {o: [] for o in spec.objectives()}
+        self._latched: Dict[str, bool] = {o: False for o in spec.objectives()}
+
+    # ------------------------------------------------------------------
+    def _window_is_bad(self, objective: str, window: dict,
+                       latency: Optional[float]) -> Optional[bool]:
+        """Bad/good verdict for one objective; ``None`` = not measurable."""
+        spec = self.spec
+        if objective == "latency":
+            if latency is None:
+                return None
+            return latency > spec.latency_target
+        if objective == "hit_rate":
+            hit_rate = window.get("hit_rate")
+            if hit_rate is None:
+                return None
+            return hit_rate < spec.min_hit_rate
+        if objective == "shed_ratio":
+            shed_ratio = window.get("shed_ratio")
+            if shed_ratio is None:
+                return None
+            return shed_ratio > spec.max_shed_ratio
+        raise AssertionError(f"unknown objective {objective}")
+
+    def _burn_rate(self, flags: Iterable[bool], horizon: int) -> float:
+        recent = list(flags)[-horizon:]
+        if not recent:
+            return 0.0
+        return (sum(recent) / len(recent)) / self.spec.budget
+
+    # ------------------------------------------------------------------
+    def observe_window(self, window: dict,
+                       latency: Optional[float] = None) -> Optional[dict]:
+        """Evaluate one closed window; return a new violation or ``None``.
+
+        ``latency`` is the window's ``latency_quantile`` amortized
+        per-access latency in seconds (from the window's
+        :class:`HdrHistogram` slice); pass ``None`` when unmeasured.
+        """
+        spec = self.spec
+        self.windows_seen += 1
+        fired = None
+        for objective in self._bad:
+            verdict = self._window_is_bad(objective, window, latency)
+            if verdict is None:
+                continue
+            flags = self._bad[objective]
+            flags.append(verdict)
+            del flags[:-spec.long_windows]
+            if len(flags) < spec.short_windows:
+                continue
+            burn_short = self._burn_rate(flags, spec.short_windows)
+            burn_long = self._burn_rate(flags, spec.long_windows)
+            burning = (burn_short >= spec.burn_threshold
+                       and burn_long >= spec.burn_threshold)
+            if burning and not self._latched[objective]:
+                self._latched[objective] = True
+                fired = {
+                    "kind": "slo_violation",
+                    "objective": objective,
+                    "window_index": window.get("index"),
+                    "end_access": window.get("end_access"),
+                    "burn_short": burn_short,
+                    "burn_long": burn_long,
+                    "value": {
+                        "latency": latency,
+                        "hit_rate": window.get("hit_rate"),
+                        "shed_ratio": window.get("shed_ratio"),
+                    }[objective if objective != "latency" else "latency"],
+                }
+                self.violations.append(fired)
+            elif not burning:
+                self._latched[objective] = False
+        return fired
+
+    # ------------------------------------------------------------------
+    def burn_rates(self) -> Dict[str, Dict[str, float]]:
+        """Current short/long burn rate per objective."""
+        spec = self.spec
+        return {
+            objective: {
+                "short": self._burn_rate(flags, spec.short_windows),
+                "long": self._burn_rate(flags, spec.long_windows),
+            }
+            for objective, flags in self._bad.items()
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict:
+        """JSON-ready verdict for the final report and ``run-status.json``."""
+        return {
+            "spec": self.spec.to_dict(),
+            "windows_seen": self.windows_seen,
+            "burn_rates": self.burn_rates(),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }

@@ -33,6 +33,7 @@ __all__ = [
     "StatusPublisher",
     "read_status",
     "render_status",
+    "render_top",
     "watch",
 ]
 
@@ -218,35 +219,163 @@ def render_status(status: dict, now: Optional[float] = None) -> str:
     return "\n".join(lines)
 
 
+def _fmt_rate(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def _fmt_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.0f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def render_top(status: dict, now: Optional[float] = None) -> str:
+    """Serving dashboard view: windows, percentiles, shards, drift, SLO.
+
+    The ``repro obs top`` backend.  Renders the ``serving`` section a
+    telemetry-enabled ``repro serve`` publishes into ``run-status.json``;
+    falls back to :func:`render_status` when the section is absent (so
+    pointing ``obs top`` at a GA or matrix run still shows something).
+    """
+    serving = status.get("serving")
+    if not isinstance(serving, dict):
+        return render_status(status, now=now)
+    lines = [render_status(status, now=now)]
+    latency = serving.get("latency") or {}
+    if latency:
+        lines.append(
+            "  latency   "
+            + "  ".join(
+                f"{q} {_fmt_latency(latency.get(q))}"
+                for q in ("p50", "p90", "p99", "p99_9")
+                if q in latency
+            )
+            + " (amortized/access)"
+        )
+    windows = serving.get("windows") or []
+    for window in windows[-4:]:
+        hit_rate = window.get("hit_rate")
+        shed_ratio = window.get("shed_ratio")
+        hit = f"{hit_rate:.1%}" if hit_rate is not None else "-"
+        shed = f"{shed_ratio:.1%}" if shed_ratio is not None else "-"
+        lines.append(
+            f"  window    #{window.get('index', '?')}  hit {hit}  "
+            f"tp {_fmt_rate(window.get('throughput'))}  shed {shed}  "
+            f"q {window.get('queue_depth', 0)}"
+        )
+    shards = serving.get("shards") or []
+    if shards:
+        parts = []
+        for shard in shards:
+            parts.append(
+                f"{shard.get('shard', '?')}: "
+                f"p99 {_fmt_latency(shard.get('p99'))} "
+                f"q{shard.get('queue_depth', 0)}"
+            )
+        lines.append("  shards    " + " | ".join(parts))
+    drift = serving.get("drift") or {}
+    events = drift.get("events") or []
+    if events:
+        last = events[-1]
+        lines.append(
+            f"  drift     {len(events)} event(s); last: "
+            f"{last.get('series', '?')} {last.get('direction', '?')} "
+            f"@window {last.get('window_index', '?')}"
+        )
+    else:
+        lines.append("  drift     none")
+    slo = serving.get("slo")
+    if isinstance(slo, dict):
+        burn = slo.get("burn_rates") or {}
+        parts = []
+        for objective in sorted(burn):
+            rates = burn[objective]
+            parts.append(
+                f"{objective} {rates.get('short', 0.0):.2f}/"
+                f"{rates.get('long', 0.0):.2f}"
+            )
+        verdict = "OK" if slo.get("ok", True) else "VIOLATED"
+        lines.append(
+            "  slo       " + (" | ".join(parts) if parts else "-")
+            + f"  [{verdict}]"
+        )
+    port = serving.get("metrics_port")
+    if port:
+        lines.append(f"  scrape    http://127.0.0.1:{port}/metrics")
+    return "\n".join(lines)
+
+
 def watch(
     path: Union[str, Path],
     interval: float = 1.0,
     iterations: Optional[int] = None,
     stream=None,
     clear: bool = True,
+    render=None,
+    max_interval: float = 5.0,
 ) -> int:
     """Refreshing terminal view of a status file; the CLI backend.
+
+    Tolerates a missing or torn snapshot mid-run: the last good snapshot
+    stays on screen under a ``stale since …`` banner, and the poll
+    interval backs off (doubling up to ``max_interval``) until the file
+    reads cleanly again.  ``render`` swaps the snapshot renderer
+    (:func:`render_top` for ``repro obs top``).
 
     Returns 0 once the status goes ``final`` (or after ``iterations``
     refreshes), 1 if the file never became readable.
     """
     stream = stream if stream is not None else sys.stdout
-    seen = False
+    render = render if render is not None else render_status
+    last_good: Optional[dict] = None
+    stale_since: Optional[float] = None
+    delay = interval
     count = 0
     while True:
         status = read_status(path)
         if status is not None:
-            seen = True
+            last_good = status
+            stale_since = None
+            delay = interval
             if clear and getattr(stream, "isatty", lambda: False)():
                 stream.write("\x1b[2J\x1b[H")
-            stream.write(render_status(status) + "\n")
+            stream.write(render(status) + "\n")
             stream.flush()
             if status.get("final"):
                 return 0
         else:
-            stream.write(f"waiting for {path} ...\n")
+            now = time.time()
+            if stale_since is None:
+                stale_since = now
+            clock = time.strftime("%H:%M:%S", time.localtime(stale_since))
+            if clear and getattr(stream, "isatty", lambda: False)():
+                stream.write("\x1b[2J\x1b[H")
+            if last_good is not None:
+                stream.write(render(last_good) + "\n")
+                stream.write(
+                    f"  ** status unreadable — stale since {clock} "
+                    f"({_fmt_duration(now - stale_since)} ago); "
+                    f"retrying every {delay:.1f}s **\n"
+                )
+            else:
+                stream.write(
+                    f"waiting for {path} (unreadable since {clock}) ...\n"
+                )
             stream.flush()
+            delay = min(delay * 2.0, max_interval)
         count += 1
         if iterations is not None and count >= iterations:
-            return 0 if seen else 1
-        time.sleep(interval)
+            return 0 if last_good is not None else 1
+        time.sleep(delay)

@@ -1,0 +1,288 @@
+"""Sliding access-count windows and online drift detection.
+
+The serving loop produces one totals update per engine batch; this
+module folds those into fixed-size **offered-load windows** (accesses
+*plus* shed, so a fully-shedding system still closes windows) and runs
+an online change detector over the per-window series:
+
+* :class:`SlidingWindows` — accumulates batch deltas and emits a closed
+  window dict every ``window_accesses`` of offered load, carrying hit
+  rate, throughput, shed ratio and queue depth.  Windows are exact: a
+  batch that straddles a boundary is split proportionally, so window
+  edges land on precise access counts (tests pin a boundary exactly on
+  a flash-phase edge).
+* :class:`DriftDetector` — per-series EWMA for context plus a one-sided
+  CUSUM against the run's own *warm baseline* (mean of the first
+  ``warmup_windows`` closed windows).  CUSUM accumulates only sustained
+  deviation beyond a dead-band ``delta``, so Zipf sampling noise stays
+  quiet while a hot-set flip or throughput collapse fires within a few
+  windows.  After firing, the series re-warms on post-change data so a
+  persistent shift yields one event, not one per window.
+
+Both classes are plain-Python bookkeeping fed once per *batch*; nothing
+here touches the per-access hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["DriftDetector", "SlidingWindows", "DEFAULT_DRIFT_SERIES"]
+
+
+class SlidingWindows:
+    """Fold per-batch serving deltas into fixed offered-load windows.
+
+    ``record`` takes the *delta* since the previous call (accesses
+    serviced, hits among them, accesses shed, current queue depth, wall
+    seconds spent) and returns the list of windows that closed — usually
+    empty or one, more when a single large batch spans several windows.
+
+    Window dicts (all exact integers except the derived rates)::
+
+        {"index", "start_access", "end_access",   # offered-load offsets
+         "accesses", "hits", "shed",              # exact counts
+         "hit_rate",      # hits/accesses, None when accesses == 0
+         "shed_ratio",    # shed/(accesses+shed), None when nothing offered
+         "wall_sec", "throughput",                # serviced/sec, None if no wall
+         "queue_depth"}                           # last observed depth
+
+    The most recent ``max_windows`` closed windows are retained in
+    :attr:`closed` for status publication.
+    """
+
+    def __init__(self, window_accesses: int, max_windows: int = 64):
+        if window_accesses < 1:
+            raise ValueError(
+                f"window_accesses must be >= 1, got {window_accesses}"
+            )
+        if max_windows < 1:
+            raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+        self.window_accesses = int(window_accesses)
+        self.max_windows = int(max_windows)
+        self.closed: List[dict] = []
+        self.windows_closed = 0
+        self.total_offered = 0
+        # accumulators for the currently-open window
+        self._accesses = 0
+        self._hits = 0
+        self._shed = 0
+        self._wall = 0.0
+        self._queue_depth = 0
+
+    @property
+    def open_offered(self) -> int:
+        """Offered load accumulated in the still-open window."""
+        return self._accesses + self._shed
+
+    def _close(self) -> dict:
+        offered = self._accesses + self._shed
+        start = self.total_offered
+        window = {
+            "index": self.windows_closed,
+            "start_access": start,
+            "end_access": start + offered,
+            "accesses": self._accesses,
+            "hits": self._hits,
+            "shed": self._shed,
+            "hit_rate": (self._hits / self._accesses
+                         if self._accesses else None),
+            "shed_ratio": (self._shed / offered if offered else None),
+            "wall_sec": self._wall,
+            "throughput": (self._accesses / self._wall
+                           if self._wall > 0 else None),
+            "queue_depth": self._queue_depth,
+        }
+        self.windows_closed += 1
+        self.total_offered += offered
+        self.closed.append(window)
+        del self.closed[:-self.max_windows]
+        self._accesses = 0
+        self._hits = 0
+        self._shed = 0
+        self._wall = 0.0
+        return window
+
+    def record(self, accesses: int, hits: int, shed: int = 0,
+               queue_depth: int = 0, wall_sec: float = 0.0) -> List[dict]:
+        """Fold one batch delta in; return any windows it closed."""
+        if accesses < 0 or shed < 0:
+            raise ValueError("window deltas must be non-negative")
+        if not 0 <= hits <= accesses:
+            raise ValueError(
+                f"hits must be in [0, accesses], got {hits}/{accesses}"
+            )
+        if wall_sec < 0:
+            raise ValueError(f"wall_sec must be >= 0, got {wall_sec}")
+        self._queue_depth = queue_depth
+        closed: List[dict] = []
+        remaining_acc, remaining_hits, remaining_shed = accesses, hits, shed
+        remaining_wall = wall_sec
+        while True:
+            offered_left = remaining_acc + remaining_shed
+            room = self.window_accesses - self.open_offered
+            if offered_left < room or offered_left == 0:
+                break
+            # Split the batch at the boundary: fill `room` offered units,
+            # apportioning serviced/shed (and hits, wall) proportionally
+            # with exact integer remainders carried forward.  The floor
+            # division keeps 0 <= hits <= accesses on BOTH sides of the
+            # split ((n-h)(n-a) >= 0 gives floor(ha/n) >= h + a - n).
+            take_acc = min(remaining_acc, room)
+            take_shed = room - take_acc
+            take_hits = (remaining_hits * take_acc // remaining_acc
+                         if remaining_acc else 0)
+            frac = room / offered_left
+            take_wall = remaining_wall * frac
+            self._accesses += take_acc
+            self._hits += take_hits
+            self._shed += take_shed
+            self._wall += take_wall
+            remaining_acc -= take_acc
+            remaining_hits -= take_hits
+            remaining_shed -= take_shed
+            remaining_wall -= take_wall
+            closed.append(self._close())
+        self._accesses += remaining_acc
+        self._hits += remaining_hits
+        self._shed += remaining_shed
+        self._wall += remaining_wall
+        return closed
+
+    def flush(self) -> Optional[dict]:
+        """Close the partial trailing window (end of run); None if empty."""
+        if self.open_offered == 0:
+            return None
+        return self._close()
+
+
+#: Series the serving-path detector watches by default.  ``direction``
+#: is the *bad* direction: "down" fires on collapses (hit rate,
+#: throughput), "up" would fire on growth (e.g. queue depth).
+DEFAULT_DRIFT_SERIES: Dict[str, dict] = {
+    "hit_rate": {"direction": "down", "delta": 0.05, "threshold": 0.15,
+                 "min_delta": 0.02, "min_threshold": 0.06},
+    # Per-window wall-clock throughput is far noisier than hit rate
+    # (scheduler preemption, GC, frequency shifts can halve a single
+    # window), so the dead-band and threshold are much wider: only a
+    # sustained regression deeper than ~25 % accumulates to a firing.
+    "throughput": {"direction": "down", "delta": 0.25, "threshold": 1.5,
+                   "min_delta": 0.0, "min_threshold": 0.0},
+}
+
+
+class DriftDetector:
+    """One-sided CUSUM + EWMA drift detection against a warm baseline.
+
+    Per watched series: the first ``warmup_windows`` non-``None`` window
+    values establish a baseline (their mean).  After warmup, each window
+    updates an EWMA (context for events/status) and a one-sided CUSUM
+
+    ``s = max(0, s + (baseline - x) - delta)``        (direction="down")
+
+    which accumulates only deviation *beyond* the dead-band ``delta``
+    and fires when ``s`` exceeds ``threshold``.  Both ``delta`` and
+    ``threshold`` are specified *relative to the baseline* with absolute
+    floors (``min_delta``/``min_threshold``), so the detector scales
+    from 90 %-hit-rate runs down to low-hit-rate regimes without manual
+    tuning.  After firing, the series discards its baseline and
+    re-warms on subsequent windows, so a step change produces a single
+    event rather than one per window.
+    """
+
+    def __init__(self, series: Optional[Dict[str, dict]] = None,
+                 warmup_windows: int = 5, ewma_alpha: float = 0.3):
+        if warmup_windows < 1:
+            raise ValueError(
+                f"warmup_windows must be >= 1, got {warmup_windows}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if series is None:
+            series = DEFAULT_DRIFT_SERIES
+        self.warmup_windows = int(warmup_windows)
+        self.ewma_alpha = float(ewma_alpha)
+        self.events: List[dict] = []
+        self._series: Dict[str, dict] = {}
+        for name, cfg in series.items():
+            direction = cfg.get("direction", "down")
+            if direction not in ("down", "up"):
+                raise ValueError(
+                    f"series {name!r}: direction must be down/up, "
+                    f"got {direction!r}"
+                )
+            self._series[name] = {
+                "direction": direction,
+                "delta": float(cfg.get("delta", 0.05)),
+                "threshold": float(cfg.get("threshold", 0.25)),
+                "min_delta": float(cfg.get("min_delta", 0.0)),
+                "min_threshold": float(cfg.get("min_threshold", 0.0)),
+                "warmup": [],
+                "baseline": None,
+                "ewma": None,
+                "cusum": 0.0,
+            }
+
+    def _extract(self, name: str, window: dict) -> Optional[float]:
+        value = window.get(name)
+        return None if value is None else float(value)
+
+    def observe(self, window: dict) -> List[dict]:
+        """Feed one closed window; return any drift events it triggered."""
+        fired: List[dict] = []
+        for name, state in self._series.items():
+            value = self._extract(name, window)
+            if value is None:
+                continue
+            if state["baseline"] is None:
+                state["warmup"].append(value)
+                if len(state["warmup"]) >= self.warmup_windows:
+                    state["baseline"] = (
+                        sum(state["warmup"]) / len(state["warmup"])
+                    )
+                    state["ewma"] = state["baseline"]
+                    state["warmup"] = []
+                    state["cusum"] = 0.0
+                continue
+            alpha = self.ewma_alpha
+            state["ewma"] = alpha * value + (1.0 - alpha) * state["ewma"]
+            baseline = state["baseline"]
+            scale = abs(baseline)
+            delta = max(state["delta"] * scale, state["min_delta"])
+            threshold = max(state["threshold"] * scale,
+                            state["min_threshold"])
+            deviation = (baseline - value if state["direction"] == "down"
+                         else value - baseline)
+            state["cusum"] = max(0.0, state["cusum"] + deviation - delta)
+            if state["cusum"] > threshold:
+                event = {
+                    "kind": "drift",
+                    "series": name,
+                    "direction": state["direction"],
+                    "window_index": window.get("index"),
+                    "end_access": window.get("end_access"),
+                    "baseline": baseline,
+                    "value": value,
+                    "ewma": state["ewma"],
+                    "cusum": state["cusum"],
+                }
+                self.events.append(event)
+                fired.append(event)
+                # Re-warm on post-change data: one event per shift.
+                state["baseline"] = None
+                state["ewma"] = None
+                state["cusum"] = 0.0
+                state["warmup"] = []
+        return fired
+
+    def state(self) -> Dict[str, dict]:
+        """Baseline/EWMA/CUSUM snapshot per series (for status files)."""
+        return {
+            name: {
+                "baseline": st["baseline"],
+                "ewma": st["ewma"],
+                "cusum": st["cusum"],
+                "warmed": st["baseline"] is not None,
+            }
+            for name, st in self._series.items()
+        }

@@ -10,6 +10,7 @@ and backs the ``repro serve`` CLI.
 
 from .frontend import ShardedFrontend, ShardResult
 from .service import ServingReport, run_serving
+from .telemetry import DEFAULT_WINDOW_ACCESSES, ServeTelemetry
 from .workload import (
     GEN_BLOCK,
     FlashPhase,
@@ -20,8 +21,10 @@ from .workload import (
 )
 
 __all__ = [
+    "DEFAULT_WINDOW_ACCESSES",
     "GEN_BLOCK",
     "FlashPhase",
+    "ServeTelemetry",
     "ServingReport",
     "ServingSpec",
     "ServingStream",

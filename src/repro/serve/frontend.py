@@ -28,6 +28,7 @@ forbids.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from ..cache.stats import CacheStats
@@ -102,6 +103,15 @@ class ShardedFrontend:
     columnar engine when supported (numpy + compiled tables) and the
     scalar walk/LUT stream otherwise; ``"columnar"``/``"scalar"`` force
     one (columnar raises where unsupported).
+
+    ``telemetry`` (a :class:`~repro.serve.telemetry.ServeTelemetry`)
+    hooks the drain loop: each drained sub-batch is wall-clocked and fed
+    to ``telemetry.record_batch``, shed overflow to
+    ``telemetry.record_shed``.  Telemetry never sees individual
+    accesses and never changes what the engines simulate, so miss
+    counts stay bit-identical with it on or off; with ``telemetry=None``
+    (the default) the drain loop pays one ``is not None`` test per
+    batch — the disabled-overhead budget ``make smoke-slo`` enforces.
     """
 
     def __init__(
@@ -112,6 +122,7 @@ class ShardedFrontend:
         shards: int = 1,
         engine: str = "auto",
         max_queue_batches: int = DEFAULT_MAX_QUEUE_BATCHES,
+        telemetry=None,
     ):
         if not is_power_of_two(num_sets):
             raise ValueError(
@@ -144,6 +155,7 @@ class ShardedFrontend:
         self.sets_per_shard = num_sets // shards
         self._shard_shift = (self.sets_per_shard - 1).bit_length()
         self._np = numpy_or_none()
+        self.telemetry = telemetry
         self._shards: List[_Shard] = [
             self._make_shard() for _ in range(shards)
         ]
@@ -206,6 +218,8 @@ class ShardedFrontend:
                 shed += len(sub)
             else:
                 shard.queue.append(sub)
+        if shed and self.telemetry is not None:
+            self.telemetry.record_shed(shed)
         return shed
 
     def drain(self, max_batches: Optional[int] = None) -> int:
@@ -216,13 +230,24 @@ class ShardedFrontend:
         """
         done = 0
         misses = 0
+        telemetry = self.telemetry
         progressed = True
         while progressed and (max_batches is None or done < max_batches):
             progressed = False
-            for shard in self._shards:
+            for index, shard in enumerate(self._shards):
                 if not shard.queue:
                     continue
-                misses += shard.simulate(shard.queue.popleft())
+                if telemetry is None:
+                    misses += shard.simulate(shard.queue.popleft())
+                else:
+                    sub = shard.queue.popleft()
+                    begin = perf_counter()
+                    missed = shard.simulate(sub)
+                    elapsed = perf_counter() - begin
+                    telemetry.record_batch(
+                        index, len(sub), missed, elapsed, len(shard.queue)
+                    )
+                    misses += missed
                 done += 1
                 progressed = True
                 if max_batches is not None and done >= max_batches:

@@ -67,3 +67,51 @@ class TestSchema:
             validate_event_dict(
                 {"kind": "miss", "access": "three", "set": 0}
             )
+
+
+class TestTelemetryKinds:
+    """``drift`` / ``slo_violation`` carry a float value, unlike the
+    replacement-policy kinds, whose ``value`` stays integer-only."""
+
+    def test_drift_with_float_value_passes(self):
+        validate_event_dict(
+            {"kind": "drift", "access": 65536, "label": "hit_rate",
+             "value": 0.4375}
+        )
+
+    def test_slo_violation_with_int_value_passes(self):
+        validate_event_dict(
+            {"kind": "slo_violation", "access": 1000, "label": "latency",
+             "value": 1}
+        )
+
+    def test_requires_label_and_value(self):
+        with pytest.raises(ValueError, match="value"):
+            validate_event_dict(
+                {"kind": "drift", "access": 1, "label": "hit_rate"}
+            )
+        with pytest.raises(ValueError, match="label"):
+            validate_event_dict(
+                {"kind": "slo_violation", "access": 1, "value": 0.5}
+            )
+
+    def test_bool_value_rejected(self):
+        with pytest.raises(ValueError):
+            validate_event_dict(
+                {"kind": "drift", "access": 1, "label": "hit_rate",
+                 "value": True}
+            )
+
+    def test_float_value_still_rejected_for_policy_kinds(self):
+        with pytest.raises(ValueError):
+            validate_event_dict(
+                {"kind": "psel_sample", "access": 1, "set": 0,
+                 "label": "psel", "value": 0.5}
+            )
+
+    def test_round_trip(self):
+        event = TraceEvent("drift", 4096, label="throughput",
+                           value=123456.78)
+        again = event_from_dict(event.to_dict())
+        assert again == event
+        assert again.value == pytest.approx(123456.78)

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.obs.export_http`.
+
+The scrape endpoint must serve parseable OpenMetrics text (round-trip
+through ``parse_prometheus``), resolve ephemeral ports, answer liveness
+probes, 404 unknown paths, and shut down cleanly as a context manager.
+"""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export_http import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    openmetrics_text,
+)
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+
+
+def make_registry():
+    registry = MetricsRegistry("repro_test")
+    registry.counter("scrapes", "Scrape count").inc(3)
+    registry.gauge("hit_rate", "Windowed hit rate").set(0.875)
+    registry.gauge(
+        "shard_latency_seconds", "Per-shard latency",
+        labels={"shard": "0", "quantile": "0.99"},
+    ).set(1.5e-4)
+    return registry
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+class TestOpenmetricsText:
+    def test_eof_terminator_and_round_trip(self):
+        registry = make_registry()
+        text = openmetrics_text(registry)
+        assert text.endswith("# EOF\n")
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_test_scrapes", ())] == 3
+        assert parsed[("repro_test_hit_rate", ())] == pytest.approx(0.875)
+        key = ("repro_test_shard_latency_seconds",
+               (("quantile", "0.99"), ("shard", "0")))
+        assert parsed[key] == pytest.approx(1.5e-4)
+
+    def test_empty_registry_still_terminates(self):
+        assert openmetrics_text(MetricsRegistry("x")) == "# EOF\n"
+
+
+class TestMetricsServer:
+    def test_serves_parseable_metrics_on_ephemeral_port(self):
+        registry = make_registry()
+        with MetricsServer(registry, port=0) as server:
+            assert server.port > 0
+            assert server.url.endswith("/metrics")
+            status, ctype, body = fetch(server.url)
+            assert status == 200
+            assert ctype == OPENMETRICS_CONTENT_TYPE
+            assert body.endswith("# EOF\n")
+            parsed = parse_prometheus(body)
+            assert parsed[("repro_test_scrapes", ())] == 3
+
+    def test_scrape_sees_live_updates(self):
+        registry = make_registry()
+        with MetricsServer(registry, port=0) as server:
+            registry.gauge("hit_rate", "Windowed hit rate").set(0.25)
+            _, _, body = fetch(server.url)
+            parsed = parse_prometheus(body)
+            assert parsed[("repro_test_hit_rate", ())] == 0.25
+
+    def test_callable_source_snapshots_per_scrape(self):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return make_registry()
+
+        with MetricsServer(source, port=0) as server:
+            fetch(server.url)
+            fetch(server.url)
+        assert len(calls) == 2
+
+    def test_healthz_and_root(self):
+        with MetricsServer(make_registry(), port=0) as server:
+            base = f"http://{server.host}:{server.port}"
+            assert fetch(base + "/healthz")[:2] == (
+                200, "text/plain; charset=utf-8")
+            assert fetch(base + "/")[0] == 200
+
+    def test_unknown_path_404s(self):
+        with MetricsServer(make_registry(), port=0) as server:
+            base = f"http://{server.host}:{server.port}"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(base + "/nope")
+            assert err.value.code == 404
+            err.value.close()  # the HTTPError wraps the response socket
+
+    def test_close_releases_port(self):
+        server = MetricsServer(make_registry(), port=0)
+        url = server.url
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            fetch(url)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(TypeError, match="source"):
+            MetricsServer(object())

@@ -93,6 +93,90 @@ class TestInstruments:
             hist.merge_raw([1, 0, 0], 1, 0.5, bounds=[1, 3])
 
 
+class TestHistogramQuantile:
+    def test_exact_on_retained_raw_samples(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 10, 100],
+                                           retain=16)
+        for v in (5, 3, 9, 1, 7):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 1
+        assert hist.quantile(0.5) == 5      # nearest-rank median, exact
+        assert hist.quantile(1.0) == 9
+        # exact even for values that share a bucket
+        assert hist.quantile(0.2) == 1
+
+    def test_weighted_raw_samples(self):
+        hist = MetricsRegistry().histogram("h", bounds=[10], retain=100)
+        hist.observe(2, weight=9)
+        hist.observe(8, weight=1)
+        assert hist.quantile(0.9) == 2
+        assert hist.quantile(0.95) == 8
+
+    def test_interpolates_after_retention_drops(self):
+        hist = MetricsRegistry().histogram("h", bounds=[0, 10, 20],
+                                           retain=2)
+        for v in (2.0, 4.0, 6.0, 8.0):      # > retain: raw dropped
+            hist.observe(v)
+        # All four observations sit in the (0, 10] bucket: linear
+        # interpolation on its bounds, not an exact sample.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_resolves_to_highest_finite_bound(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 2])
+        hist.observe(100)
+        assert hist.quantile(0.99) == 2
+
+    def test_first_bucket_lower_bound(self):
+        hist = MetricsRegistry().histogram("h", bounds=[4])
+        hist.observe(2, weight=2)
+        # lo = min(0, 4) = 0: the median interpolates to the midpoint.
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+
+    def test_empty_and_range_checks(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1])
+        assert hist.quantile(0.5) is None
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(-0.1)
+
+    def test_merge_raw_drops_raw_samples(self):
+        hist = MetricsRegistry().histogram("h", bounds=[1, 2],
+                                           retain=100)
+        hist.observe(1.5)
+        hist.merge_raw([0, 1, 0], 1, 1.5)
+        # A merged-in snapshot has no raw samples: quantiles must fall
+        # back to interpolation rather than trust a partial raw list.
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+
+class TestRegistryFromJson:
+    def test_round_trips_every_instrument_kind(self):
+        registry = MetricsRegistry("repro")
+        registry.counter("jobs_total", "jobs").inc(5)
+        registry.gauge("wall_seconds", "wall").set(2.5)
+        registry.counter("events_total", labels={"kind": "hit"}).inc(7)
+        hist = registry.histogram("job_seconds", bounds=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(5.0)
+
+        from repro.obs.metrics import registry_from_json
+
+        rebuilt = registry_from_json(registry.to_json())
+        assert rebuilt.to_json() == registry.to_json()
+        # Exposition order may differ (rebuild sorts by name); the
+        # parsed series must match exactly.
+        assert parse_prometheus(rebuilt.to_prometheus()) == \
+            parse_prometheus(registry.to_prometheus())
+
+    def test_rejects_unknown_instrument_type(self):
+        from repro.obs.metrics import registry_from_json
+
+        with pytest.raises(ValueError, match="unknown instrument"):
+            registry_from_json(
+                {"x": {"type": "summary", "series": [{"value": 1}]}}
+            )
+
+
 class TestExporters:
     def _populated(self):
         registry = MetricsRegistry()

@@ -1,0 +1,271 @@
+"""Unit tests for :mod:`repro.obs.slo`.
+
+HdrHistogram: indexing invariants, bounded quantization error,
+lossless cross-shard merge, serde round-trip.  SLOSpec/SLOEvaluator:
+validation, multi-window burn-rate firing, latching, recovery.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_QUANTILES,
+    HdrHistogram,
+    SLOEvaluator,
+    SLOSpec,
+)
+
+
+class TestHdrIndexing:
+    def test_small_values_are_exact(self):
+        h = HdrHistogram(unit=1.0, sub_bits=5)
+        for units in range(32):
+            lo, hi = h.bucket_bounds(h._index_of(units))
+            assert lo == units and hi == units + 1
+
+    def test_index_is_monotone_and_covers(self):
+        h = HdrHistogram(unit=1.0, sub_bits=3)
+        prev = -1
+        for units in range(4096):
+            index = h._index_of(units)
+            assert index >= prev
+            lo, hi = h.bucket_bounds(index)
+            assert lo <= units < hi
+            prev = index
+
+    def test_relative_error_bound(self):
+        # Below 2**sub_bits buckets are exact-to-the-unit; the relative
+        # bound kicks in for the log-bucketed octaves above.
+        h = HdrHistogram(unit=1.0, sub_bits=5)
+        for units in (32, 100, 1023, 65537, 10**9):
+            lo, hi = h.bucket_bounds(h._index_of(units))
+            assert (hi - lo) / lo <= h.relative_error + 1e-12
+
+    def test_bucket_bounds_rejects_negative(self):
+        with pytest.raises(ValueError, match="bucket index"):
+            HdrHistogram().bucket_bounds(-1)
+
+
+class TestHdrRecording:
+    def test_rejects_bad_values(self):
+        h = HdrHistogram()
+        with pytest.raises(ValueError, match="NaN"):
+            h.record(float("nan"))
+        with pytest.raises(ValueError, match=">= 0"):
+            h.record(-1e-9)
+        with pytest.raises(ValueError, match="weight"):
+            h.record(1e-6, weight=-1)
+
+    def test_zero_weight_is_noop(self):
+        h = HdrHistogram()
+        h.record(1e-3, weight=0)
+        assert len(h) == 0
+        assert h.quantile(0.5) is None
+        assert h.mean is None
+
+    def test_weighted_record(self):
+        h = HdrHistogram(unit=1.0, sub_bits=5)
+        h.record(10, weight=1000)
+        assert h.count == 1000
+        assert h.sum == pytest.approx(10_000)
+        assert h.quantile(0.5) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unit"):
+            HdrHistogram(unit=0)
+        with pytest.raises(ValueError, match="sub_bits"):
+            HdrHistogram(sub_bits=0)
+
+
+class TestHdrQuantiles:
+    def test_extremes_are_exact(self):
+        h = HdrHistogram(unit=1e-9)
+        values = [3e-6, 1e-4, 7.5e-3, 42e-6]
+        for v in values:
+            h.record(v)
+        assert h.quantile(0.0) == pytest.approx(min(values))
+        assert h.quantile(1.0) == pytest.approx(max(values))
+
+    def test_quantile_error_within_bound(self):
+        rng = random.Random(7)
+        h = HdrHistogram(unit=1e-9, sub_bits=5)
+        samples = sorted(rng.lognormvariate(-9, 1.0) for _ in range(5000))
+        for v in samples:
+            h.record(v)
+        for q in DEFAULT_QUANTILES:
+            exact = samples[min(len(samples) - 1,
+                                max(0, math.ceil(q * len(samples)) - 1))]
+            got = h.quantile(q)
+            assert abs(got - exact) / exact <= h.relative_error + 1e-9
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError, match="quantile"):
+            HdrHistogram().quantile(1.5)
+
+    def test_percentile_labels(self):
+        h = HdrHistogram(unit=1.0)
+        h.record(5)
+        pcts = h.percentiles()
+        assert set(pcts) == {"p50", "p90", "p99", "p99_9"}
+        assert pcts["p50"] == 5
+
+
+class TestHdrMerge:
+    def test_cross_shard_merge_is_bit_exact(self):
+        # Recording everything into one histogram vs sharding the same
+        # stream across two and merging must give identical raw counts.
+        rng = random.Random(11)
+        single = HdrHistogram(unit=1e-9)
+        shards = [HdrHistogram(unit=1e-9) for _ in range(2)]
+        for i in range(4000):
+            v = rng.expovariate(1e4)
+            single.record(v)
+            shards[i % 2].record(v)
+        merged = HdrHistogram(unit=1e-9)
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.counts == single.counts
+        assert merged.count == single.count
+        assert merged.sum == pytest.approx(single.sum)
+        assert merged.min_value == single.min_value
+        assert merged.max_value == single.max_value
+        for q in DEFAULT_QUANTILES:
+            assert merged.quantile(q) == single.quantile(q)
+
+    def test_layout_mismatch_raises(self):
+        a = HdrHistogram(unit=1e-9, sub_bits=5)
+        with pytest.raises(ValueError, match="unit"):
+            a.merge(HdrHistogram(unit=1e-6, sub_bits=5))
+        with pytest.raises(ValueError, match="sub_bits"):
+            a.merge(HdrHistogram(unit=1e-9, sub_bits=6))
+
+    def test_merge_rejects_negative_index(self):
+        a = HdrHistogram()
+        with pytest.raises(ValueError, match="bucket index"):
+            a.merge_raw({-3: 1}, 1, 0.0)
+
+    def test_serde_round_trip(self):
+        h = HdrHistogram(unit=1e-9)
+        for v in (1e-6, 3e-5, 2e-3):
+            h.record(v, weight=7)
+        clone = HdrHistogram.from_dict(h.to_dict())
+        assert clone.counts == h.counts
+        assert clone.count == h.count
+        assert clone.min_value == h.min_value
+        assert clone.max_value == h.max_value
+
+    def test_from_dict_rejects_other_schemas(self):
+        with pytest.raises(ValueError, match="schema"):
+            HdrHistogram.from_dict({"schema": "bogus/9"})
+
+
+class TestSLOSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="latency_target"):
+            SLOSpec(latency_target=0)
+        with pytest.raises(ValueError, match="latency_quantile"):
+            SLOSpec(latency_target=1e-3, latency_quantile=1.0)
+        with pytest.raises(ValueError, match="min_hit_rate"):
+            SLOSpec(min_hit_rate=1.5)
+        with pytest.raises(ValueError, match="max_shed_ratio"):
+            SLOSpec(max_shed_ratio=-0.1)
+        with pytest.raises(ValueError, match="budget"):
+            SLOSpec(min_hit_rate=0.9, budget=0.0)
+        with pytest.raises(ValueError, match="short_windows"):
+            SLOSpec(min_hit_rate=0.9, short_windows=5, long_windows=3)
+        with pytest.raises(ValueError, match="burn_threshold"):
+            SLOSpec(min_hit_rate=0.9, burn_threshold=0)
+
+    def test_enabled_and_objectives(self):
+        assert not SLOSpec().enabled
+        spec = SLOSpec(latency_target=1e-3, min_hit_rate=0.9)
+        assert spec.enabled
+        assert spec.objectives() == ("latency", "hit_rate")
+
+    def test_dict_round_trip(self):
+        spec = SLOSpec(latency_target=2e-3, min_hit_rate=0.8,
+                       max_shed_ratio=0.05, budget=0.2,
+                       short_windows=2, long_windows=8)
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+
+def window(index, hit_rate=None, shed_ratio=None):
+    return {
+        "index": index,
+        "end_access": (index + 1) * 1000,
+        "hit_rate": hit_rate,
+        "shed_ratio": shed_ratio,
+    }
+
+
+class TestSLOEvaluator:
+    def test_requires_enabled_spec(self):
+        with pytest.raises(ValueError, match="no enabled objectives"):
+            SLOEvaluator(SLOSpec())
+
+    def test_sustained_breach_fires_once(self):
+        spec = SLOSpec(min_hit_rate=0.9, budget=0.1,
+                       short_windows=3, long_windows=6)
+        ev = SLOEvaluator(spec)
+        fired = [ev.observe_window(window(i, hit_rate=0.5))
+                 for i in range(6)]
+        events = [f for f in fired if f]
+        assert len(events) == 1          # latched after the first firing
+        assert events[0]["objective"] == "hit_rate"
+        assert events[0]["window_index"] == 2   # short horizon filled
+        assert events[0]["value"] == 0.5
+        assert ev.ok is False
+        summary = ev.summary()
+        assert summary["ok"] is False
+        assert summary["windows_seen"] == 6
+        assert summary["burn_rates"]["hit_rate"]["short"] == \
+            pytest.approx(1.0 / spec.budget)
+
+    def test_single_noisy_window_stays_quiet(self):
+        spec = SLOSpec(min_hit_rate=0.9, budget=0.34,
+                       short_windows=3, long_windows=6)
+        ev = SLOEvaluator(spec)
+        rates = [0.95, 0.96, 0.5, 0.95, 0.97, 0.96]
+        assert all(ev.observe_window(window(i, hit_rate=r)) is None
+                   for i, r in enumerate(rates))
+        assert ev.ok
+
+    def test_latch_releases_after_recovery(self):
+        spec = SLOSpec(min_hit_rate=0.9, budget=0.5,
+                       short_windows=2, long_windows=2)
+        ev = SLOEvaluator(spec)
+        for i in range(3):
+            ev.observe_window(window(i, hit_rate=0.1))
+        assert len(ev.violations) == 1
+        for i in range(3, 6):            # recover: burn drops, latch opens
+            ev.observe_window(window(i, hit_rate=0.99))
+        for i in range(6, 9):            # second breach fires again
+            ev.observe_window(window(i, hit_rate=0.1))
+        assert len(ev.violations) == 2
+
+    def test_unmeasurable_windows_are_skipped(self):
+        spec = SLOSpec(min_hit_rate=0.9, short_windows=2, long_windows=4)
+        ev = SLOEvaluator(spec)
+        for i in range(10):
+            assert ev.observe_window(window(i, hit_rate=None)) is None
+        assert ev.ok
+
+    def test_latency_objective_uses_passed_quantile(self):
+        spec = SLOSpec(latency_target=1e-3, budget=0.1,
+                       short_windows=2, long_windows=4)
+        ev = SLOEvaluator(spec)
+        assert ev.observe_window(window(0), latency=5e-3) is None
+        fired = ev.observe_window(window(1), latency=5e-3)
+        assert fired is not None
+        assert fired["objective"] == "latency"
+        assert fired["value"] == 5e-3
+
+    def test_shed_ratio_objective(self):
+        spec = SLOSpec(max_shed_ratio=0.01, budget=0.1,
+                       short_windows=2, long_windows=4)
+        ev = SLOEvaluator(spec)
+        ev.observe_window(window(0, shed_ratio=0.2))
+        fired = ev.observe_window(window(1, shed_ratio=0.2))
+        assert fired is not None and fired["objective"] == "shed_ratio"

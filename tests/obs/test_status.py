@@ -2,12 +2,14 @@
 
 import io
 import json
+import time
 
 from repro.obs.status import (
     STATUS_SCHEMA,
     StatusPublisher,
     read_status,
     render_status,
+    render_top,
     watch,
 )
 
@@ -145,3 +147,125 @@ def test_watch_nonfinal_bounded_iterations_returns_zero(tmp_path):
     out = io.StringIO()
     assert watch(pub.path, interval=0.0, iterations=1, stream=out) == 0
     assert "phase: simulate" in out.getvalue()
+
+
+def test_watch_survives_truncation_mid_loop(tmp_path, monkeypatch):
+    # A writer replacing the file can race the reader; simulate the torn
+    # state by truncating the snapshot to half a JSON document between
+    # watch iterations (hooked through time.sleep).  The last good
+    # snapshot must stay on screen under a "stale since" banner, and the
+    # exit code stays 0 because a good state *was* seen.
+    pub = _publisher(tmp_path, min_interval=0.0)
+    pub.update(phase="serving", jobs_done=2, jobs_total=8)
+    good = pub.path.read_text()
+
+    calls = []
+
+    def chaos_sleep(delay):
+        calls.append(delay)
+        if len(calls) == 1:
+            pub.path.write_text(good[: len(good) // 2])  # torn write
+        elif len(calls) == 3:
+            pub.path.write_text(good)  # writer finishes; file heals
+
+    monkeypatch.setattr(time, "sleep", chaos_sleep)
+    out = io.StringIO()
+    assert watch(pub.path, interval=0.01, iterations=5, stream=out,
+                 max_interval=0.08) == 0
+    text = out.getvalue()
+    assert "phase: serving" in text            # last good state re-rendered
+    assert "stale since" in text
+    assert "retrying every" in text
+    # Backoff doubled while unreadable, then reset on the good read.
+    assert calls[0] == 0.01                    # good read
+    assert calls[1] == 0.02 and calls[2] == 0.04   # torn: 2x backoff
+    assert calls[3] == 0.01                    # healed: reset
+    # The banner is gone from the final (healed) rendering.
+    assert text.rstrip().endswith("ago")
+
+
+def test_watch_torn_file_never_healing_returns_one(tmp_path, monkeypatch):
+    torn = tmp_path / "run-status.json"
+    torn.write_text('{"schema": "repro-stat')
+    monkeypatch.setattr(time, "sleep", lambda _d: None)
+    out = io.StringIO()
+    assert watch(torn, interval=0.0, iterations=3, stream=out) == 1
+    assert "waiting for" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Serving dashboard renderer (the `repro obs top` backend).
+# ----------------------------------------------------------------------
+def serving_status(**overrides):
+    status = {
+        "schema": STATUS_SCHEMA,
+        "kind": "serve",
+        "run_id": "serve-1",
+        "phase": "serving",
+        "final": False,
+        "started_at": 100.0,
+        "updated_at": 101.0,
+        "serving": {
+            "window_accesses": 4096,
+            "windows_closed": 6,
+            "windows": [
+                {"index": 5, "hit_rate": 0.91, "shed_ratio": 0.0,
+                 "throughput": 2.5e6, "queue_depth": 1},
+            ],
+            "latency": {"p50": 2e-7, "p90": 3e-7, "p99": 9e-7,
+                        "p99_9": 4e-6},
+            "shards": [
+                {"shard": 0, "batches": 10, "p99": 1.5e-3,
+                 "queue_depth": 0},
+                {"shard": 1, "batches": 9, "p99": 1.2e-3,
+                 "queue_depth": 2},
+            ],
+            "drift": {"events": [], "state": {}},
+            "slo": {
+                "ok": False,
+                "burn_rates": {"hit_rate": {"short": 3.3, "long": 1.1}},
+            },
+            "metrics_port": 9464,
+        },
+    }
+    status["serving"].update(overrides)
+    return status
+
+
+def test_render_top_shows_serving_dashboard():
+    text = render_top(serving_status(), now=102.0)
+    assert "p99 900ns" in text
+    assert "window    #5  hit 91.0%" in text
+    assert "tp 2.50M/s" in text
+    assert "0: p99 1.50ms q0 | 1: p99 1.20ms q2" in text
+    assert "drift     none" in text
+    assert "hit_rate 3.30/1.10" in text and "[VIOLATED]" in text
+    assert "http://127.0.0.1:9464/metrics" in text
+
+
+def test_render_top_shows_last_drift_event():
+    status = serving_status(drift={
+        "events": [{"series": "hit_rate", "direction": "down",
+                    "window_index": 4}],
+        "state": {},
+    })
+    text = render_top(status, now=102.0)
+    assert "1 event(s); last: hit_rate down @window 4" in text
+
+
+def test_render_top_falls_back_without_serving_section():
+    status = {
+        "schema": STATUS_SCHEMA, "kind": "ga", "run_id": "ga-1",
+        "phase": "evolve", "final": False,
+        "started_at": 100.0, "updated_at": 101.0,
+    }
+    assert render_top(status, now=102.0) == render_status(status, now=102.0)
+
+
+def test_watch_with_render_top(tmp_path):
+    pub = _publisher(tmp_path, min_interval=0.0, kind="serve")
+    pub.finalize(phase="done", serving=serving_status()["serving"])
+    out = io.StringIO()
+    assert watch(pub.path, interval=0.0, iterations=1, stream=out,
+                 render=render_top) == 0
+    assert "shards    0:" in out.getvalue()
